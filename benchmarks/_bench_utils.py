@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite."""
+
+import os
+
+from repro.experiments.reporting import format_figure_table
+
+#: Directory where regenerated figure tables are persisted for inspection
+#: (and for EXPERIMENTS.md).  Overridable via the REPRO_BENCH_RESULTS_DIR
+#: environment variable.
+RESULTS_DIR = os.environ.get(
+    "REPRO_BENCH_RESULTS_DIR",
+    os.path.join(os.path.dirname(__file__), "results"))
+
+
+def emit(figure) -> None:
+    """Print the regenerated figure table and persist it under ``results/``.
+
+    pytest captures stdout of passing tests, so the persisted file is the
+    canonical artefact of a benchmark run; it contains the exact series the
+    corresponding paper figure plots.
+    """
+    table = format_figure_table(figure)
+    print()
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{figure.figure_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table + "\n")

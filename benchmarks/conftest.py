@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Ensures ``src/`` is importable without installation and provides the shared
+benchmark configuration plus a tiny helper for printing figure tables as the
+benchmarks regenerate them.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.config import bench_config  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """Shared laptop-scale experiment configuration for all figure benchmarks.
+
+    Scale/trials can be raised towards paper scale via the environment
+    variables ``REPRO_BENCH_SCALE``, ``REPRO_BENCH_TRIALS`` and
+    ``REPRO_BENCH_JOBS``.
+    """
+    return bench_config()
+
+
+def emit(figure) -> None:
+    """Print the regenerated figure table beneath the benchmark output."""
+    from repro.experiments.reporting import format_figure_table
+
+    print()
+    print(format_figure_table(figure))

@@ -1,0 +1,47 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+A1 -- optimal vs heuristic dropping agreement on synthetic machine queues
+      (supports the §V-F claim that the heuristic can replace the optimal
+      search without a practical robustness loss);
+A2 -- PET histogram resolution versus end-to-end robustness and runtime.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (ablation_optimal_vs_heuristic,
+                                         ablation_pmf_resolution)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_optimal_vs_heuristic(benchmark):
+    report = benchmark.pedantic(
+        lambda: ablation_optimal_vs_heuristic(num_queues=150, queue_length=5,
+                                              beta=1.0, eta=2, seed=17),
+        rounds=1, iterations=1)
+    print()
+    print(f"A1 optimal-vs-heuristic agreement: rate={report.agreement_rate:.2%}, "
+          f"mean robustness gap={report.mean_robustness_gap:.4f}, "
+          f"max gap={report.max_robustness_gap:.4f}, "
+          f"mean drops optimal={report.mean_drops_optimal:.2f} "
+          f"heuristic={report.mean_drops_heuristic:.2f}")
+    # The heuristic should agree with the optimal decision on the majority of
+    # queues and lose very little instantaneous robustness on the rest.
+    assert report.agreement_rate >= 0.5
+    assert report.mean_robustness_gap < 0.5
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_pmf_resolution(benchmark, experiment_config):
+    config = experiment_config.with_overrides(trials=1)
+    points = benchmark.pedantic(
+        lambda: ablation_pmf_resolution(config, impulse_budgets=(8, 16, 24, 48),
+                                        level="30k"),
+        rounds=1, iterations=1)
+    print()
+    for p in points:
+        print(f"A2 PMF resolution: max_impulses={p.max_impulses:>3} "
+              f"robustness={p.robustness_pct:6.2f}% "
+              f"runtime={p.runtime_seconds:6.2f}s")
+    budgets = [p.max_impulses for p in points]
+    assert budgets == sorted(budgets)
+    assert all(0.0 <= p.robustness_pct <= 100.0 for p in points)

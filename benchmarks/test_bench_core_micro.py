@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the probabilistic core (the simulator's hot path).
+
+These benchmarks quantify the cost of the operations the complexity analysis
+of Section IV-F talks about: a single deadline-truncated convolution, the
+propagation of completion PMFs down a full machine queue, and one dropping
+decision per policy on a paper-sized queue (capacity 6).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.completion import QueueEntry, completion_pmf, queue_completion_pmfs
+from repro.core.dropping import (MachineQueueView, OptimalProactiveDropping,
+                                 ProactiveHeuristicDropping, ThresholdDropping)
+from repro.core.pmf import PMF
+from repro.workload.pet_builder import GammaPETBuilder
+
+
+def _paper_sized_queue(seed=0, queue_length=5):
+    """A queue shaped like the paper's machine queues (capacity 6, 1 running)."""
+    rng = np.random.default_rng(seed)
+    builder = GammaPETBuilder(samples_per_pair=500, max_impulses=24)
+    entries = []
+    backlog = 0.0
+    for task_id in range(queue_length):
+        mean = rng.uniform(50, 200)
+        exec_pmf = builder.sample_pair(mean, rng)
+        backlog += mean
+        deadline = int(backlog * rng.uniform(0.6, 1.8)) + 1
+        entries.append(QueueEntry(task_id=task_id, exec_pmf=exec_pmf,
+                                  deadline=deadline))
+    return MachineQueueView(machine_id=0, now=0, base_pmf=PMF.delta(0),
+                            entries=tuple(entries))
+
+
+@pytest.fixture(scope="module")
+def queue_view():
+    return _paper_sized_queue()
+
+
+@pytest.mark.benchmark(group="core-micro")
+def test_single_truncated_convolution(benchmark, queue_view):
+    prev = queue_view.base_pmf
+    entry = queue_view.entries[0]
+    result = benchmark(lambda: completion_pmf(prev, entry.exec_pmf, entry.deadline))
+    assert result.total_mass == pytest.approx(1.0, abs=1e-9)
+
+
+@pytest.mark.benchmark(group="core-micro")
+def test_queue_completion_propagation(benchmark, queue_view):
+    result = benchmark(lambda: queue_completion_pmfs(queue_view.base_pmf,
+                                                     queue_view.entries))
+    assert len(result) == queue_view.queue_length
+
+
+@pytest.mark.benchmark(group="core-micro")
+def test_heuristic_dropping_decision(benchmark, queue_view):
+    policy = ProactiveHeuristicDropping(beta=1.0, eta=2)
+    decision = benchmark(lambda: policy.evaluate_queue(queue_view))
+    assert decision.num_drops <= queue_view.queue_length
+
+
+@pytest.mark.benchmark(group="core-micro")
+def test_optimal_dropping_decision(benchmark, queue_view):
+    policy = OptimalProactiveDropping()
+    decision = benchmark(lambda: policy.evaluate_queue(queue_view))
+    assert decision.num_drops <= queue_view.queue_length
+
+
+@pytest.mark.benchmark(group="core-micro")
+def test_threshold_dropping_decision(benchmark, queue_view):
+    policy = ThresholdDropping(threshold=0.25)
+    decision = benchmark(lambda: policy.evaluate_queue(queue_view))
+    assert decision.num_drops <= queue_view.queue_length
+
+
+@pytest.mark.benchmark(group="core-micro")
+def test_pet_construction(benchmark):
+    """Cost of building one 12x8 PET matrix (500 Gamma samples per pair)."""
+    from repro.workload.spec import SpecWorkloadFactory
+
+    factory = SpecWorkloadFactory()
+    pet = benchmark.pedantic(lambda: factory.build_pet(np.random.default_rng(0)),
+                             rounds=1, iterations=1)
+    assert pet.shape == (12, 8)

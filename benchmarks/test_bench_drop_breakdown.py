@@ -1,0 +1,27 @@
+"""Benchmark regenerating the §V-F drop-breakdown analysis.
+
+Paper claim: with the proactive dropping mechanism in place, only a small
+minority (~7 %) of all machine-queue drops happen reactively; the rest are
+proactive drops of tasks that were unlikely to succeed.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.experiments.figures import reactive_share_analysis
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_reactive_share_of_drops(benchmark, experiment_config):
+    figure = benchmark.pedantic(
+        lambda: reactive_share_analysis(experiment_config, level="30k"),
+        rounds=1, iterations=1)
+    emit(figure)
+    with_heuristic = figure.series["PAM+Heuristic"][0].value
+    react_only = figure.series["PAM+ReactDrop"][0].value
+    assert 0.0 <= with_heuristic <= 1.0
+    # Proactive dropping takes over the vast majority of drops.
+    assert with_heuristic < 0.5
+    # Without proactive dropping every machine-queue drop is reactive (when
+    # any occurred at all).
+    assert react_only in (0.0, pytest.approx(1.0))

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Fig. 10: video-transcoding validation workload.
+
+Paper shape: the conclusions of Fig. 7a carry over to the transcoding
+workload -- proactive dropping helps every mapping heuristic and makes them
+perform similarly; the overall robustness is higher than in the SPEC scenario
+because the system is only moderately oversubscribed.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.experiments.figures import figure10_transcoding
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_transcoding(benchmark, experiment_config):
+    figure = benchmark.pedantic(
+        lambda: figure10_transcoding(experiment_config, level="20k",
+                                     mappers=("MSD", "MM", "PAM")),
+        rounds=1, iterations=1)
+    emit(figure)
+    assert len(figure.series) == 6
+    for mapper in ("MSD", "MM", "PAM"):
+        with_drop = figure.series[f"{mapper}+Heuristic"][0].value
+        without = figure.series[f"{mapper}+ReactDrop"][0].value
+        assert with_drop >= without - 5.0
+        assert 0.0 <= with_drop <= 100.0

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Fig. 5: effective depth (η) sensitivity.
+
+Paper shape: robustness peaks around η = 2 and does not improve for larger
+effective depths; η = 1 is slightly worse than η = 2.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.experiments.figures import figure5_effective_depth
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_effective_depth(benchmark, experiment_config):
+    figure = benchmark.pedantic(
+        lambda: figure5_effective_depth(experiment_config,
+                                        etas=(1, 2, 3, 4, 5),
+                                        levels=("20k", "30k", "40k")),
+        rounds=1, iterations=1)
+    emit(figure)
+    # Sanity: one series per oversubscription level, five points each,
+    # all robustness values are valid percentages.
+    assert len(figure.series) == 3
+    for name, points in figure.series.items():
+        assert [p.x for p in points] == [1, 2, 3, 4, 5]
+        assert all(0.0 <= p.value <= 100.0 for p in points)
+    # Shape: the heavier the oversubscription, the lower the robustness
+    # (compare series means).
+    means = {name: sum(p.value for p in pts) / len(pts)
+             for name, pts in figure.series.items()}
+    assert means["20k tasks"] >= means["40k tasks"]

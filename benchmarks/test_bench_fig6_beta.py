@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 6: robustness improvement factor (β) sensitivity.
+
+Paper shape: robustness is maximised at β = 1 and declines (or at best stays
+flat) as β grows, because larger β makes the dropping heuristic increasingly
+conservative until it is effectively disabled.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.experiments.figures import figure6_beta
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_beta(benchmark, experiment_config):
+    betas = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0)
+    figure = benchmark.pedantic(
+        lambda: figure6_beta(experiment_config, betas=betas,
+                             levels=("20k", "30k", "40k")),
+        rounds=1, iterations=1)
+    emit(figure)
+    assert len(figure.series) == 3
+    for name, points in figure.series.items():
+        assert [p.x for p in points] == list(betas)
+        assert all(0.0 <= p.value <= 100.0 for p in points)
+        # Shape: beta = 1 should be at least as good as the most conservative
+        # setting (allowing small-sample noise of a few points).
+        assert points[0].value >= points[-1].value - 5.0

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Fig. 7a: mapping heuristics in a heterogeneous system.
+
+Paper shape: for every mapping heuristic (MSD, MM, PAM) the proactive
+dropping heuristic ("+Heuristic") achieves at least the robustness of the
+reactive-only baseline ("+ReactDrop"), and with dropping enabled the three
+mapping heuristics converge to a similar robustness.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.experiments.figures import figure7a_heterogeneous
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7a_heterogeneous(benchmark, experiment_config):
+    figure = benchmark.pedantic(
+        lambda: figure7a_heterogeneous(experiment_config, level="30k",
+                                       mappers=("MSD", "MM", "PAM")),
+        rounds=1, iterations=1)
+    emit(figure)
+    assert len(figure.series) == 6
+    for mapper in ("MSD", "MM", "PAM"):
+        with_drop = figure.series[f"{mapper}+Heuristic"][0].value
+        without = figure.series[f"{mapper}+ReactDrop"][0].value
+        # Proactive dropping should not hurt (small-sample tolerance).
+        assert with_drop >= without - 5.0
+    # Convergence under dropping: the spread across mapping heuristics is
+    # much smaller than the full percentage scale.
+    dropped_values = [figure.series[f"{m}+Heuristic"][0].value
+                      for m in ("MSD", "MM", "PAM")]
+    assert max(dropped_values) - min(dropped_values) < 30.0

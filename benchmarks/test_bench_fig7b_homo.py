@@ -1,0 +1,26 @@
+"""Benchmark regenerating Fig. 7b: mapping heuristics in a homogeneous system.
+
+Paper shape: proactive dropping improves (or at least preserves) robustness
+for FCFS, EDF, SJF and PAM on identical machines, and brings the different
+mapping heuristics close together.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.experiments.figures import figure7b_homogeneous
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7b_homogeneous(benchmark, experiment_config):
+    figure = benchmark.pedantic(
+        lambda: figure7b_homogeneous(experiment_config, level="30k",
+                                     mappers=("FCFS", "EDF", "SJF", "PAM")),
+        rounds=1, iterations=1)
+    emit(figure)
+    assert len(figure.series) == 8
+    for mapper in ("FCFS", "EDF", "SJF", "PAM"):
+        with_drop = figure.series[f"{mapper}+Heuristic"][0].value
+        without = figure.series[f"{mapper}+ReactDrop"][0].value
+        assert 0.0 <= with_drop <= 100.0
+        assert with_drop >= without - 5.0

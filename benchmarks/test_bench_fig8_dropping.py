@@ -1,0 +1,34 @@
+"""Benchmark regenerating Fig. 8: proactive vs threshold-based dropping.
+
+Paper shape: robustness declines with oversubscription; PAM+Optimal and
+PAM+Heuristic are statistically indistinguishable and both outperform (or at
+least match) the threshold-based baseline.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.experiments.figures import figure8_dropping_policies
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8_dropping_policies(benchmark, experiment_config):
+    figure = benchmark.pedantic(
+        lambda: figure8_dropping_policies(experiment_config,
+                                          levels=("20k", "30k", "40k"),
+                                          include_optimal=True),
+        rounds=1, iterations=1)
+    emit(figure)
+    assert set(figure.series) == {"PAM+Optimal", "PAM+Heuristic", "PAM+Threshold"}
+    for name, points in figure.series.items():
+        assert [p.x for p in points] == ["20k", "30k", "40k"]
+        # Robustness declines (not strictly, small-sample tolerance) with load.
+        assert points[0].value >= points[-1].value - 5.0
+    # Optimal and heuristic dropping track each other closely.
+    for opt_point, heu_point in zip(figure.series["PAM+Optimal"],
+                                    figure.series["PAM+Heuristic"]):
+        assert abs(opt_point.value - heu_point.value) < 15.0
+    # The autonomous mechanisms are competitive with the threshold baseline.
+    for heu_point, thr_point in zip(figure.series["PAM+Heuristic"],
+                                    figure.series["PAM+Threshold"]):
+        assert heu_point.value >= thr_point.value - 10.0

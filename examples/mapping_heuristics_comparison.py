@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Mapping heuristics with and without proactive dropping (Fig. 7a / 7b).
+
+Runs the MSD / MM / PAM comparison on the heterogeneous SPEC-like system and
+(optionally) the FCFS / EDF / SJF / PAM comparison on the homogeneous system,
+each with the proactive dropping heuristic enabled and disabled, and prints
+the robustness tables.  The expected shape is the paper's: dropping lifts
+every mapping heuristic and makes them perform almost identically.
+
+Run with::
+
+    python examples/mapping_heuristics_comparison.py [--homogeneous] [--scale 0.01]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (ExperimentConfig, figure7a_heterogeneous,
+                               figure7b_homogeneous, format_figure_table)
+
+
+def summarize(figure, mappers) -> None:
+    """Print the per-heuristic improvement from proactive dropping."""
+    print()
+    for mapper in mappers:
+        with_drop = figure.series[f"{mapper}+Heuristic"][0].value
+        without = figure.series[f"{mapper}+ReactDrop"][0].value
+        print(f"  {mapper:<5} ReactDrop={without:6.2f}%   Heuristic={with_drop:6.2f}%   "
+              f"improvement={with_drop - without:+6.2f} pp")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--level", default="30k", choices=["20k", "30k", "40k"])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--homogeneous", action="store_true",
+                        help="also run the homogeneous-system comparison (Fig. 7b)")
+    args = parser.parse_args()
+
+    config = ExperimentConfig(scale=args.scale, trials=args.trials, base_seed=args.seed)
+
+    hetero_mappers = ("MSD", "MM", "PAM")
+    figure = figure7a_heterogeneous(config, level=args.level, mappers=hetero_mappers)
+    print(format_figure_table(figure))
+    summarize(figure, hetero_mappers)
+
+    if args.homogeneous:
+        homo_mappers = ("FCFS", "EDF", "SJF", "PAM")
+        figure_b = figure7b_homogeneous(config, level=args.level, mappers=homo_mappers)
+        print(format_figure_table(figure_b))
+        summarize(figure_b, homo_mappers)
+
+
+if __name__ == "__main__":
+    main()

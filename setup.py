@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this repository targets may lack the ``wheel`` package, in
+which case PEP 517 editable installs are unavailable; this ``setup.py``
+enables the legacy ``pip install -e . --no-use-pep517 --no-build-isolation``
+path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""repro: reproduction of the autonomous task-dropping mechanism for robust HC systems.
+
+This package reimplements, from scratch, the system described in
+
+    Mokhtari, Denninnart, Amini Salehi.  "Autonomous Task Dropping Mechanism
+    to Achieve Robustness in Heterogeneous Computing Systems."  IPDPS
+    Workshops (HCW), 2020.
+
+The public API is organised into subpackages:
+
+* :mod:`repro.core` -- PMFs, PET matrix, completion-time propagation,
+  instantaneous robustness and the dropping policies;
+* :mod:`repro.sim` -- the discrete-event batch-mode HC system simulator;
+* :mod:`repro.mapping` -- MinMin, MSD, PAM, FCFS, SJF and EDF mapping
+  heuristics;
+* :mod:`repro.workload` -- PET construction, platforms, arrivals, deadlines
+  and the scenario presets of the paper;
+* :mod:`repro.cost` -- machine pricing and cost accounting;
+* :mod:`repro.metrics` -- robustness measurement and statistics;
+* :mod:`repro.experiments` -- the harness reproducing every evaluation
+  figure of the paper.
+
+Quickstart::
+
+    from repro import quick_run
+
+    report = quick_run(level="30k", mapper="PAM", dropper="heuristic")
+    print(f"robustness = {report.robustness_pct:.1f}% on time")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core import PMF, PETMatrix, QueueEntry
+from .core.dropping import (AdaptiveThresholdDropping, NoProactiveDropping,
+                            OptimalProactiveDropping, ProactiveHeuristicDropping,
+                            ThresholdDropping)
+from .mapping import EDF, FCFS, MSD, PAM, SJF, MinMin, make_heuristic
+from .metrics import TrialMetrics, collect_trial_metrics
+from .sim import HCSystem, Machine, MachineType, SystemConfig, Task, TaskStatus, TaskType
+from .workload import (Scenario, homogeneous_scenario, spec_scenario,
+                       transcoding_scenario)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PMF",
+    "PETMatrix",
+    "QueueEntry",
+    "ProactiveHeuristicDropping",
+    "OptimalProactiveDropping",
+    "ThresholdDropping",
+    "AdaptiveThresholdDropping",
+    "NoProactiveDropping",
+    "MinMin",
+    "MSD",
+    "PAM",
+    "FCFS",
+    "SJF",
+    "EDF",
+    "make_heuristic",
+    "HCSystem",
+    "SystemConfig",
+    "Machine",
+    "MachineType",
+    "Task",
+    "TaskType",
+    "TaskStatus",
+    "Scenario",
+    "spec_scenario",
+    "homogeneous_scenario",
+    "transcoding_scenario",
+    "TrialMetrics",
+    "collect_trial_metrics",
+    "quick_run",
+    "__version__",
+]
+
+
+def quick_run(level: str = "30k", mapper: str = "PAM", dropper: str = "heuristic",
+              scale: float = 0.01, seed: int = 0, trials: int = 1,
+              scenario: str = "spec") -> TrialMetrics:
+    """Run a small end-to-end simulation and return its metrics.
+
+    This is the one-call entry point used by the quickstart example: it
+    builds the requested scenario preset, runs ``trials`` trials of the
+    chosen mapping heuristic + dropping policy combination, and returns the
+    metrics of the first trial (use :mod:`repro.experiments` for multi-trial
+    aggregation).
+
+    Parameters
+    ----------
+    level:
+        Oversubscription level label ("20k", "30k" or "40k").
+    mapper:
+        Mapping heuristic registry name ("MM", "MSD", "PAM", "FCFS", ...).
+    dropper:
+        Dropping policy registry name ("react", "heuristic", "optimal",
+        "threshold", "threshold-adaptive").
+    scale:
+        Fraction of the paper's task count to simulate.
+    seed:
+        Random seed of the workload trial.
+    trials:
+        Kept for API symmetry; only the first trial's metrics are returned.
+    scenario:
+        Scenario family ("spec", "homogeneous", "transcoding").
+    """
+    from .experiments.runner import TrialSpec, run_trial
+
+    spec = TrialSpec(scenario_name=scenario, level=level, scale=scale, gamma=1.0,
+                     queue_capacity=6, seed=seed, mapper_name=mapper,
+                     dropper_name=dropper, with_cost=True)
+    return run_trial(spec)

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro <figure>`` runs the experiment CLI."""
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

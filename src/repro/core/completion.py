@@ -1,0 +1,142 @@
+"""Completion-time propagation along a machine queue.
+
+These functions implement Equations 1, 4 and 5 of the paper: the completion
+time PMF of a pending task is obtained by convolving its execution time PMF
+with the completion time PMF of the task ahead of it, *truncated at the
+task's own deadline*.  The truncation encodes reactive dropping inside the
+probabilistic model: in the branch where the previous task finishes after the
+pending task's deadline, the pending task is (will be) reactively dropped, so
+its "execution time" is zero and the completion time of the queue position
+equals the completion time of the previous task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .pmf import PMF
+
+__all__ = [
+    "QueueEntry",
+    "completion_pmf",
+    "queue_completion_pmfs",
+    "queue_completion_with_drops",
+    "chance_of_success",
+]
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """Scheduler view of one pending task in a machine queue.
+
+    Attributes
+    ----------
+    task_id:
+        Identifier of the task (opaque to the probabilistic core).
+    exec_pmf:
+        Execution-time PMF of the task on the machine owning the queue
+        (a PET matrix entry).
+    deadline:
+        Absolute hard deadline of the task, in time units.
+    """
+
+    task_id: int
+    exec_pmf: PMF
+    deadline: int
+
+    def __post_init__(self):
+        if self.exec_pmf.is_empty:
+            raise ValueError("queue entry requires a non-empty execution PMF")
+
+
+def completion_pmf(prev_completion: PMF, exec_pmf: PMF, deadline: int,
+                   prune_eps: float = 1e-12) -> PMF:
+    """Completion-time PMF of a task queued behind ``prev_completion``.
+
+    Implements Eq. 1 (and its provisional-dropping variants Eq. 4/5): the
+    portion of ``prev_completion`` that falls strictly before ``deadline``
+    lets the task start, so it is convolved with ``exec_pmf``; the portion at
+    or after ``deadline`` corresponds to the task being reactively dropped,
+    so it is passed through unchanged.
+
+    Parameters
+    ----------
+    prev_completion:
+        Completion-time PMF of the task (or machine availability) directly
+        ahead in the queue.  May be a sub-probability PMF.
+    exec_pmf:
+        Execution-time PMF of the task being evaluated.
+    deadline:
+        Absolute deadline ``δ_i`` of the task being evaluated.
+    prune_eps:
+        Impulses below this mass are discarded from the result to bound the
+        support growth of chained convolutions.
+    """
+    starts_on_time, dropped_branch = prev_completion.split_at(deadline)
+    completed = starts_on_time.convolve(exec_pmf)
+    return completed.add(dropped_branch).pruned(prune_eps)
+
+
+def chance_of_success(completion: PMF, deadline: int) -> float:
+    """Probability that a task completes strictly before its deadline (Eq. 2)."""
+    return completion.mass_before(deadline)
+
+
+def queue_completion_pmfs(base: PMF, entries: Sequence[QueueEntry],
+                          prune_eps: float = 1e-12) -> List[PMF]:
+    """Completion-time PMFs of every pending task in a machine queue.
+
+    Parameters
+    ----------
+    base:
+        Completion-time PMF of whatever is ahead of the first pending task:
+        the currently running task's (conditioned) completion PMF, or a delta
+        at the current time for an idle machine.
+    entries:
+        Pending tasks in queue order (head first).
+
+    Returns
+    -------
+    list of PMF
+        ``result[k]`` is the completion-time PMF of ``entries[k]``.
+    """
+    result: List[PMF] = []
+    prev = base
+    for entry in entries:
+        prev = completion_pmf(prev, entry.exec_pmf, entry.deadline, prune_eps)
+        result.append(prev)
+    return result
+
+
+def queue_completion_with_drops(base: PMF, entries: Sequence[QueueEntry],
+                                dropped: Sequence[int],
+                                prune_eps: float = 1e-12) -> List[Optional[PMF]]:
+    """Completion PMFs when a subset of queue positions is provisionally dropped.
+
+    Dropped positions contribute nothing to the chain (their execution time
+    vanishes entirely, Eq. 4) and their slot in the returned list is ``None``.
+
+    Parameters
+    ----------
+    base:
+        Completion-time PMF ahead of the first pending task.
+    entries:
+        Pending tasks in queue order.
+    dropped:
+        Indices (into ``entries``) of tasks that are provisionally dropped.
+    """
+    dropped_set = set(int(i) for i in dropped)
+    for i in dropped_set:
+        if i < 0 or i >= len(entries):
+            raise IndexError(f"drop index {i} out of range for queue of "
+                             f"length {len(entries)}")
+    result: List[Optional[PMF]] = []
+    prev = base
+    for idx, entry in enumerate(entries):
+        if idx in dropped_set:
+            result.append(None)
+            continue
+        prev = completion_pmf(prev, entry.exec_pmf, entry.deadline, prune_eps)
+        result.append(prev)
+    return result

@@ -1,0 +1,24 @@
+"""Task-dropping policies (reactive, proactive heuristic, optimal, threshold)."""
+
+from .base import DropDecision, DroppingPolicy, MachineQueueView
+from .heuristic import DEFAULT_BETA, DEFAULT_ETA, ProactiveHeuristicDropping
+from .noop import NoProactiveDropping
+from .optimal import OptimalProactiveDropping, enumerate_droppable_subsets
+from .reactive import expired_indices, has_expired
+from .threshold import AdaptiveThresholdDropping, ThresholdDropping
+
+__all__ = [
+    "DropDecision",
+    "DroppingPolicy",
+    "MachineQueueView",
+    "NoProactiveDropping",
+    "ProactiveHeuristicDropping",
+    "OptimalProactiveDropping",
+    "ThresholdDropping",
+    "AdaptiveThresholdDropping",
+    "enumerate_droppable_subsets",
+    "expired_indices",
+    "has_expired",
+    "DEFAULT_BETA",
+    "DEFAULT_ETA",
+]

@@ -1,0 +1,109 @@
+"""Interfaces shared by all task-dropping policies.
+
+A dropping policy inspects the scheduler's probabilistic view of one machine
+queue at a mapping event and decides which *pending* (not yet running) tasks
+to drop proactively.  Policies never see the actual sampled execution times;
+they only see the machine's base completion PMF and the PET-derived execution
+PMFs of the queued tasks, exactly like the mechanism described in Section IV
+of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..completion import QueueEntry
+from ..pmf import PMF
+
+__all__ = ["MachineQueueView", "DropDecision", "DroppingPolicy"]
+
+
+@dataclass(frozen=True)
+class MachineQueueView:
+    """Probabilistic snapshot of one machine queue at a mapping event.
+
+    Attributes
+    ----------
+    machine_id:
+        Identifier of the machine (for bookkeeping / tracing only).
+    now:
+        Current simulation time.
+    base_pmf:
+        Completion-time PMF of whatever precedes the first pending task: the
+        running task's conditioned completion PMF or a delta at ``now`` when
+        the machine is idle.
+    entries:
+        Pending tasks in queue order (head of queue first).
+    pressure:
+        Optional system-load signal in ``[0, 1]`` (ratio of unmapped work to
+        queue capacity); used only by adaptive threshold policies.
+    """
+
+    machine_id: int
+    now: int
+    base_pmf: PMF
+    entries: Sequence[QueueEntry] = field(default_factory=tuple)
+    pressure: float = 0.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "entries", tuple(self.entries))
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending tasks visible to the dropping policy."""
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class DropDecision:
+    """Outcome of evaluating one machine queue.
+
+    Attributes
+    ----------
+    drop_indices:
+        Positions (into ``MachineQueueView.entries``) to drop proactively,
+        in ascending order.
+    robustness_before:
+        Instantaneous robustness of the queue if nothing is dropped, when the
+        policy computed it (``nan`` otherwise).
+    robustness_after:
+        Instantaneous robustness of the queue after the selected drops, when
+        the policy computed it (``nan`` otherwise).
+    """
+
+    drop_indices: Sequence[int] = ()
+    robustness_before: float = float("nan")
+    robustness_after: float = float("nan")
+
+    def __post_init__(self):
+        object.__setattr__(self, "drop_indices", tuple(sorted(int(i) for i in self.drop_indices)))
+
+    @property
+    def num_drops(self) -> int:
+        """Number of tasks selected for proactive dropping."""
+        return len(self.drop_indices)
+
+
+class DroppingPolicy(abc.ABC):
+    """Base class for proactive dropping policies.
+
+    Subclasses implement :meth:`evaluate_queue`; the simulator calls it once
+    per machine queue per mapping event, *after* reactive dropping of tasks
+    that already missed their deadlines.
+    """
+
+    #: Human-readable policy name used in experiment reports.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def evaluate_queue(self, view: MachineQueueView) -> DropDecision:
+        """Decide which pending tasks of ``view`` to drop proactively."""
+
+    def select_drops(self, view: MachineQueueView) -> List[int]:
+        """Convenience wrapper returning only the drop indices."""
+        return list(self.evaluate_queue(view).drop_indices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

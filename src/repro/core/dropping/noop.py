@@ -1,0 +1,22 @@
+"""A dropping policy that never drops proactively.
+
+Combined with the simulator's built-in reactive dropping this reproduces the
+"+ReactDrop" configurations of Figures 7 and 10: tasks are only discarded
+once they have already missed their deadlines.
+"""
+
+from __future__ import annotations
+
+from .base import DropDecision, DroppingPolicy, MachineQueueView
+
+__all__ = ["NoProactiveDropping"]
+
+
+class NoProactiveDropping(DroppingPolicy):
+    """Never select any task for proactive dropping."""
+
+    name = "react-only"
+
+    def evaluate_queue(self, view: MachineQueueView) -> DropDecision:
+        """Return an empty decision regardless of the queue state."""
+        return DropDecision(drop_indices=())

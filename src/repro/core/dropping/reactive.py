@@ -1,0 +1,29 @@
+"""Reactive dropping: discard tasks that have already missed their deadlines.
+
+Reactive dropping is not a policy choice in the paper -- it is always
+performed as the first step of every mapping event (Step 2 of the Fig. 4
+pseudo-code).  The helper here is shared by the simulator and by tests; it is
+purely deterministic given the current time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..completion import QueueEntry
+
+__all__ = ["expired_indices", "has_expired"]
+
+
+def has_expired(deadline: int, now: int) -> bool:
+    """True when a task with ``deadline`` can no longer complete on time.
+
+    Completion strictly before the deadline counts as success (Eq. 2), so a
+    task whose deadline is ``<= now`` has already missed it.
+    """
+    return int(deadline) <= int(now)
+
+
+def expired_indices(entries: Sequence[QueueEntry], now: int) -> List[int]:
+    """Indices of pending queue entries whose deadlines have passed."""
+    return [idx for idx, entry in enumerate(entries) if has_expired(entry.deadline, now)]

@@ -1,0 +1,404 @@
+"""Discrete probability mass functions over integer time.
+
+The paper models the execution time of each task type on each machine type as
+a discrete random variable whose distribution is a Probability Mass Function
+(PMF).  All of the probabilistic machinery of the dropping mechanism --
+completion-time chaining (Eq. 1), chance of success (Eq. 2), instantaneous
+robustness (Eq. 3) -- is built on a handful of PMF operations:
+
+* convolution (sum of independent random variables),
+* splitting a PMF at a deadline (the branch where a task starts on time
+  versus the branch where it is reactively dropped),
+* mixture addition (recombining those branches),
+* mass queries (``P(X < t)``), and
+* conditioning (the scheduler's view of a task that is already running).
+
+This module implements a small, NumPy-backed PMF type optimised for those
+operations.  Time is an integer number of *time units* (milliseconds
+throughout the repository).  A :class:`PMF` may carry total mass below one;
+such *sub-probability* PMFs arise naturally when a distribution is split at a
+deadline and are recombined with :meth:`PMF.add`.
+
+The representation is dense: ``probs[k]`` is the probability of the value
+``origin + k``.  Dense storage makes convolution a single ``np.convolve``
+call, which is the hot path of the whole simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PMF", "EMPTY_PMF"]
+
+#: Probability mass below this value is discarded by :meth:`PMF.pruned`.
+DEFAULT_PRUNE_EPS = 1e-12
+
+#: Tolerance used when checking that a PMF is (sub-)normalised.
+MASS_TOLERANCE = 1e-6
+
+
+class PMF:
+    """A (sub-)probability mass function over the integers.
+
+    Parameters
+    ----------
+    origin:
+        Integer time value of the first entry of ``probs``.
+    probs:
+        Non-negative probabilities; ``probs[k]`` is the probability of the
+        value ``origin + k``.  The array is copied, trimmed of leading and
+        trailing zeros and validated.
+
+    Notes
+    -----
+    Instances are immutable; every operation returns a new :class:`PMF`.
+    A PMF with zero total mass is represented with an empty ``probs`` array
+    and behaves as the additive identity of :meth:`add`.
+    """
+
+    __slots__ = ("_origin", "_probs")
+
+    def __init__(self, origin: int, probs: Iterable[float]):
+        arr = np.asarray(list(probs) if not isinstance(probs, np.ndarray) else probs,
+                         dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("probs must be one-dimensional")
+        if arr.size and np.any(arr < -1e-15):
+            raise ValueError("probabilities must be non-negative")
+        arr = np.clip(arr, 0.0, None)
+        total = float(arr.sum())
+        if total > 1.0 + MASS_TOLERANCE:
+            raise ValueError(f"total probability mass {total} exceeds 1")
+        origin = int(origin)
+        # Trim leading/trailing zeros so origin/support are canonical.
+        nz = np.nonzero(arr)[0]
+        if nz.size == 0:
+            self._origin = 0
+            self._probs = np.empty(0, dtype=np.float64)
+        else:
+            lo, hi = int(nz[0]), int(nz[-1]) + 1
+            self._origin = origin + lo
+            self._probs = arr[lo:hi].copy()
+        self._probs.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def delta(cls, t: int) -> "PMF":
+        """Degenerate PMF with all mass at time ``t``."""
+        return cls(int(t), np.array([1.0]))
+
+    @classmethod
+    def empty(cls) -> "PMF":
+        """PMF with zero total mass (additive identity)."""
+        return cls(0, np.empty(0))
+
+    @classmethod
+    def from_impulses(cls, times: Sequence[int], probs: Sequence[float]) -> "PMF":
+        """Build a PMF from sparse ``(time, probability)`` impulses.
+
+        Duplicate times are accumulated.  This is the constructor used when
+        converting histogram bins (the paper's discretisation of sampled
+        execution times) into a PMF.
+        """
+        times_arr = np.asarray(times, dtype=np.int64)
+        probs_arr = np.asarray(probs, dtype=np.float64)
+        if times_arr.shape != probs_arr.shape:
+            raise ValueError("times and probs must have the same length")
+        if times_arr.size == 0:
+            return cls.empty()
+        lo = int(times_arr.min())
+        hi = int(times_arr.max())
+        dense = np.zeros(hi - lo + 1, dtype=np.float64)
+        np.add.at(dense, times_arr - lo, probs_arr)
+        return cls(lo, dense)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float], max_impulses: int = 32,
+                     min_value: int = 1) -> "PMF":
+        """Discretise empirical samples into a PMF with bounded support size.
+
+        The paper generates 500 Gamma-distributed execution-time samples per
+        (task type, machine type) pair and "applies a histogram to discretise
+        the result and produce PMFs".  This helper reproduces that step:
+        samples are rounded to integer time units, clipped below at
+        ``min_value`` and, if the number of distinct values exceeds
+        ``max_impulses``, re-binned into ``max_impulses`` equal-width bins
+        whose probability mass is placed at the (rounded) bin centres.
+        """
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot build a PMF from zero samples")
+        if np.any(~np.isfinite(arr)):
+            raise ValueError("samples must be finite")
+        values = np.maximum(np.rint(arr).astype(np.int64), int(min_value))
+        uniq, counts = np.unique(values, return_counts=True)
+        if uniq.size > max_impulses:
+            lo, hi = float(values.min()), float(values.max())
+            edges = np.linspace(lo, hi + 1e-9, max_impulses + 1)
+            idx = np.clip(np.searchsorted(edges, values, side="right") - 1,
+                          0, max_impulses - 1)
+            centres = np.rint((edges[:-1] + edges[1:]) / 2.0).astype(np.int64)
+            centres = np.maximum(centres, int(min_value))
+            mass = np.bincount(idx, minlength=max_impulses).astype(np.float64)
+            keep = mass > 0
+            uniq, counts = centres[keep], mass[keep]
+        probs = counts / counts.sum()
+        return cls.from_impulses(uniq, probs)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def origin(self) -> int:
+        """Smallest time value with non-zero probability (0 if empty)."""
+        return self._origin
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Read-only dense probability array starting at :attr:`origin`."""
+        return self._probs
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the PMF carries zero probability mass."""
+        return self._probs.size == 0
+
+    @property
+    def total_mass(self) -> float:
+        """Total probability mass (1.0 for a proper PMF)."""
+        return float(self._probs.sum()) if self._probs.size else 0.0
+
+    @property
+    def min_time(self) -> int:
+        """Smallest value in the support (0 for the empty PMF)."""
+        return self._origin
+
+    @property
+    def max_time(self) -> int:
+        """Largest value in the support (0 for the empty PMF)."""
+        if self.is_empty:
+            return 0
+        return self._origin + self._probs.size - 1
+
+    @property
+    def support_size(self) -> int:
+        """Number of values with non-zero probability."""
+        return int(np.count_nonzero(self._probs))
+
+    def impulses(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the sparse ``(times, probabilities)`` representation."""
+        if self.is_empty:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        idx = np.nonzero(self._probs)[0]
+        return idx + self._origin, self._probs[idx].copy()
+
+    def prob_at(self, t: int) -> float:
+        """Probability of exactly the value ``t``."""
+        k = int(t) - self._origin
+        if k < 0 or k >= self._probs.size:
+            return 0.0
+        return float(self._probs[k])
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Expected value; raises on an empty PMF."""
+        if self.is_empty:
+            raise ValueError("mean of an empty PMF is undefined")
+        times = self._origin + np.arange(self._probs.size)
+        return float(np.dot(times, self._probs) / self.total_mass)
+
+    def variance(self) -> float:
+        """Variance of the distribution (mass-normalised)."""
+        if self.is_empty:
+            raise ValueError("variance of an empty PMF is undefined")
+        times = self._origin + np.arange(self._probs.size, dtype=np.float64)
+        w = self._probs / self.total_mass
+        mu = float(np.dot(times, w))
+        return float(np.dot((times - mu) ** 2, w))
+
+    def std(self) -> float:
+        """Standard deviation of the distribution."""
+        return float(np.sqrt(self.variance()))
+
+    def quantile(self, q: float) -> int:
+        """Smallest value ``t`` with ``P(X <= t) >= q * total_mass``."""
+        if self.is_empty:
+            raise ValueError("quantile of an empty PMF is undefined")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        target = q * self.total_mass
+        cum = np.cumsum(self._probs)
+        idx = int(np.searchsorted(cum, target - 1e-15, side="left"))
+        idx = min(idx, self._probs.size - 1)
+        return self._origin + idx
+
+    # ------------------------------------------------------------------
+    # Mass queries
+    # ------------------------------------------------------------------
+    def mass_before(self, t: int) -> float:
+        """Probability mass strictly before ``t`` (``P(X < t)``).
+
+        This is the paper's *chance of success* query (Eq. 2) when ``t`` is a
+        task deadline.
+        """
+        k = int(t) - self._origin
+        if k <= 0:
+            return 0.0
+        if k >= self._probs.size:
+            return self.total_mass
+        return float(self._probs[:k].sum())
+
+    def mass_at_or_after(self, t: int) -> float:
+        """Probability mass at or after ``t`` (``P(X >= t)``)."""
+        return self.total_mass - self.mass_before(t)
+
+    def cdf(self, t: int) -> float:
+        """``P(X <= t)``."""
+        return self.mass_before(int(t) + 1)
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def split_at(self, t: int) -> Tuple["PMF", "PMF"]:
+        """Split into ``(mass with X < t, mass with X >= t)``.
+
+        Both halves keep their original time values; their total masses sum
+        to :attr:`total_mass`.  This mirrors the two branches of Eq. 1: the
+        branch in which the next task can start before its deadline and the
+        branch in which it is reactively dropped.
+        """
+        if self.is_empty:
+            return PMF.empty(), PMF.empty()
+        k = int(t) - self._origin
+        if k <= 0:
+            return PMF.empty(), self
+        if k >= self._probs.size:
+            return self, PMF.empty()
+        return PMF(self._origin, self._probs[:k]), PMF(self._origin + k, self._probs[k:])
+
+    def shift(self, dt: int) -> "PMF":
+        """Translate the distribution by ``dt`` time units."""
+        if self.is_empty:
+            return self
+        return PMF(self._origin + int(dt), self._probs)
+
+    def scaled(self, factor: float) -> "PMF":
+        """Multiply all probabilities by ``factor`` in ``[0, 1]``."""
+        if factor < 0 or factor > 1.0 + MASS_TOLERANCE:
+            raise ValueError("scale factor must be within [0, 1]")
+        if self.is_empty or factor == 1.0:
+            return self
+        return PMF(self._origin, self._probs * factor)
+
+    def add(self, other: "PMF") -> "PMF":
+        """Pointwise mixture sum of two sub-probability PMFs.
+
+        The combined mass must not exceed one.  Used to recombine the
+        "started on time" and "reactively dropped" branches of Eq. 1.
+        """
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        lo = min(self._origin, other._origin)
+        hi = max(self.max_time, other.max_time)
+        dense = np.zeros(hi - lo + 1, dtype=np.float64)
+        dense[self._origin - lo:self._origin - lo + self._probs.size] += self._probs
+        dense[other._origin - lo:other._origin - lo + other._probs.size] += other._probs
+        return PMF(lo, dense)
+
+    def convolve(self, other: "PMF") -> "PMF":
+        """Distribution of the sum of two independent random variables.
+
+        The total mass of the result is the product of the operand masses,
+        so convolving with a sub-probability PMF keeps mass bookkeeping
+        consistent.
+        """
+        if self.is_empty or other.is_empty:
+            return PMF.empty()
+        probs = np.convolve(self._probs, other._probs)
+        return PMF(self._origin + other._origin, probs)
+
+    def conditional_at_least(self, t: int) -> "PMF":
+        """Condition on ``X >= t`` and renormalise to the original mass.
+
+        This is the scheduler's estimate of the remaining completion time of
+        a task that started in the past and has not finished by time ``t``.
+        """
+        before, after = self.split_at(t)
+        if after.is_empty:
+            # All mass is in the past: the task should have finished already.
+            # The best available estimate is "immediately", i.e. at time t.
+            return PMF.delta(t).scaled(min(self.total_mass, 1.0))
+        return PMF(after._origin, after._probs * (self.total_mass / after.total_mass))
+
+    def pruned(self, eps: float = DEFAULT_PRUNE_EPS) -> "PMF":
+        """Drop impulses with probability below ``eps``.
+
+        The paper notes that, in practice, the number of impulses produced by
+        chained convolutions stays small; pruning negligible mass keeps the
+        dense representation compact without materially changing any chance
+        of success.
+        """
+        if self.is_empty:
+            return self
+        probs = np.where(self._probs >= eps, self._probs, 0.0)
+        return PMF(self._origin, probs)
+
+    def normalised(self) -> "PMF":
+        """Rescale to total mass one (raises on the empty PMF)."""
+        if self.is_empty:
+            raise ValueError("cannot normalise an empty PMF")
+        return PMF(self._origin, self._probs / self.total_mass)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw integer samples from the (normalised) distribution."""
+        if self.is_empty:
+            raise ValueError("cannot sample from an empty PMF")
+        times = self._origin + np.arange(self._probs.size)
+        p = self._probs / self.total_mass
+        out = rng.choice(times, size=size, p=p)
+        if size is None:
+            return int(out)
+        return out.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Comparison / representation
+    # ------------------------------------------------------------------
+    def approx_equal(self, other: "PMF", tol: float = 1e-9) -> bool:
+        """True when both PMFs assign (almost) identical mass to every value."""
+        if self.is_empty and other.is_empty:
+            return True
+        lo = min(self.min_time, other.min_time)
+        hi = max(self.max_time, other.max_time)
+        for t in range(lo, hi + 1):
+            if abs(self.prob_at(t) - other.prob_at(t)) > tol:
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - trivial
+        if not isinstance(other, PMF):
+            return NotImplemented
+        return self.approx_equal(other, tol=0.0)
+
+    def __hash__(self):  # pragma: no cover - PMFs are not meant to be hashed
+        return hash((self._origin, self._probs.tobytes()))
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "PMF(empty)"
+        return (f"PMF(origin={self._origin}, support={self.support_size}, "
+                f"mass={self.total_mass:.6f}, mean={self.mean():.2f})")
+
+
+#: Shared immutable empty PMF instance.
+EMPTY_PMF = PMF.empty()

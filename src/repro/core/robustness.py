@@ -1,0 +1,94 @@
+"""Instantaneous robustness of a machine queue (Eq. 3 and Eq. 7).
+
+The *instantaneous robustness* of machine ``j`` is the sum of the chances of
+success of its pending tasks.  The paper's hypothesis is that improving
+instantaneous robustness at every mapping event improves the overall system
+robustness (the fraction of tasks completed on time over a whole run).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .completion import (QueueEntry, chance_of_success, queue_completion_pmfs,
+                         queue_completion_with_drops)
+from .pmf import PMF
+
+__all__ = [
+    "queue_success_probabilities",
+    "queue_success_probabilities_with_drops",
+    "instantaneous_robustness",
+    "instantaneous_robustness_with_drops",
+    "windowed_robustness",
+    "windowed_robustness_with_drop",
+]
+
+
+def queue_success_probabilities(base: PMF, entries: Sequence[QueueEntry],
+                                prune_eps: float = 1e-12) -> List[float]:
+    """Chance of success ``p_{ij}`` of every pending task in queue order."""
+    completions = queue_completion_pmfs(base, entries, prune_eps)
+    return [chance_of_success(c, e.deadline) for c, e in zip(completions, entries)]
+
+
+def queue_success_probabilities_with_drops(base: PMF, entries: Sequence[QueueEntry],
+                                           dropped: Sequence[int],
+                                           prune_eps: float = 1e-12) -> List[float]:
+    """Chances of success when a subset of positions is provisionally dropped.
+
+    Dropped positions get a chance of success of ``0.0`` (a dropped task can
+    no longer complete), matching the accounting of Eq. 7 where the dropped
+    task is excluded from the sum.
+    """
+    completions = queue_completion_with_drops(base, entries, dropped, prune_eps)
+    probs: List[float] = []
+    for completion, entry in zip(completions, entries):
+        if completion is None:
+            probs.append(0.0)
+        else:
+            probs.append(chance_of_success(completion, entry.deadline))
+    return probs
+
+
+def instantaneous_robustness(base: PMF, entries: Sequence[QueueEntry],
+                             prune_eps: float = 1e-12) -> float:
+    """Instantaneous robustness ``R_j`` of a machine queue (Eq. 3)."""
+    return float(sum(queue_success_probabilities(base, entries, prune_eps)))
+
+
+def instantaneous_robustness_with_drops(base: PMF, entries: Sequence[QueueEntry],
+                                        dropped: Sequence[int],
+                                        prune_eps: float = 1e-12) -> float:
+    """Instantaneous robustness ``R_j^{(D)}`` after dropping positions ``D`` (Eq. 7)."""
+    return float(sum(queue_success_probabilities_with_drops(base, entries, dropped,
+                                                            prune_eps)))
+
+
+def windowed_robustness(success_probs: Sequence[float], start: int, eta: int) -> float:
+    """Sum of chances of success over ``positions [start, start+η]`` inclusive.
+
+    This is the right-hand side window of Eq. 8
+    (``Σ_{n=i}^{i+η} p_{nj}``) computed from pre-computed per-task chances.
+    """
+    if eta < 0:
+        raise ValueError("effective depth must be non-negative")
+    end = min(start + eta, len(success_probs) - 1)
+    return float(sum(success_probs[start:end + 1]))
+
+
+def windowed_robustness_with_drop(base: PMF, entries: Sequence[QueueEntry],
+                                  drop_index: int, eta: int,
+                                  prune_eps: float = 1e-12) -> float:
+    """Left-hand side window of Eq. 8: ``Σ_{n=i+1}^{i+η} p^{(i)}_{nj}``.
+
+    Chance-of-success sum of the first ``eta`` tasks of the influence zone of
+    ``drop_index`` when that task is provisionally dropped.
+    """
+    if eta < 0:
+        raise ValueError("effective depth must be non-negative")
+    end = min(drop_index + eta, len(entries) - 1)
+    if end <= drop_index:
+        return 0.0
+    probs = queue_success_probabilities_with_drops(base, entries[:end + 1],
+                                                   [drop_index], prune_eps)
+    return float(sum(probs[drop_index + 1:end + 1]))

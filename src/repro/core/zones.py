@@ -1,0 +1,50 @@
+"""Dependence and influence zones of a queued task.
+
+Section IV-B of the paper (Fig. 3) defines, for a task at position ``i`` of a
+machine queue:
+
+* the **dependence zone**: the tasks ahead of it (positions ``< i``), whose
+  completion times its own completion time depends on, and
+* the **influence zone**: the tasks behind it (positions ``> i``), whose
+  completion times it influences.
+
+The proactive dropping heuristic only needs to inspect a bounded prefix of
+the influence zone, called the *effective depth* (η).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["dependence_zone", "influence_zone", "effective_influence_zone"]
+
+
+def _check_index(index: int, queue_length: int) -> None:
+    if queue_length < 0:
+        raise ValueError("queue length cannot be negative")
+    if index < 0 or index >= queue_length:
+        raise IndexError(f"index {index} out of range for queue of length {queue_length}")
+
+
+def dependence_zone(index: int, queue_length: int) -> Tuple[int, ...]:
+    """Indices of the tasks the task at ``index`` depends on (those ahead)."""
+    _check_index(index, queue_length)
+    return tuple(range(0, index))
+
+
+def influence_zone(index: int, queue_length: int) -> Tuple[int, ...]:
+    """Indices of the tasks influenced by the task at ``index`` (those behind)."""
+    _check_index(index, queue_length)
+    return tuple(range(index + 1, queue_length))
+
+
+def effective_influence_zone(index: int, queue_length: int, eta: int) -> Tuple[int, ...]:
+    """First ``eta`` positions of the influence zone of the task at ``index``.
+
+    This is the window ``<i+1, ..., i+η>`` used by Eq. 8; it is clipped at
+    the end of the queue.
+    """
+    if eta < 0:
+        raise ValueError("effective depth must be non-negative")
+    zone = influence_zone(index, queue_length)
+    return zone[:eta]

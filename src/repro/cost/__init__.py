@@ -1,0 +1,6 @@
+"""Cost model: machine pricing and cost-per-completed-task accounting."""
+
+from .accounting import CostReport, compute_cost_report
+from .pricing import TIME_UNITS_PER_HOUR, PricingModel
+
+__all__ = ["PricingModel", "TIME_UNITS_PER_HOUR", "CostReport", "compute_cost_report"]

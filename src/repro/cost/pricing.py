@@ -1,0 +1,67 @@
+"""Pricing model for the cost analysis (Fig. 9).
+
+The paper maps Amazon EC2 on-demand prices onto the simulated machines and
+reports a normalised cost metric: the price incurred to process the tasks,
+divided by the percentage of tasks completed on time.  Only relative prices
+matter for that comparison, so the pricing model is a simple per-machine-type
+dollars-per-hour table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from ..sim.machine import MachineType
+
+__all__ = ["PricingModel", "TIME_UNITS_PER_HOUR"]
+
+#: Simulation time is in milliseconds; this converts busy time to hours.
+TIME_UNITS_PER_HOUR = 3_600_000
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Dollars-per-hour prices keyed by machine type id.
+
+    Attributes
+    ----------
+    price_per_hour:
+        Mapping from machine type id to its on-demand dollar-per-hour price.
+    time_units_per_hour:
+        Number of simulation time units in one hour of wall-clock time.
+    """
+
+    price_per_hour: Mapping[int, float]
+    time_units_per_hour: int = TIME_UNITS_PER_HOUR
+
+    def __post_init__(self):
+        object.__setattr__(self, "price_per_hour", dict(self.price_per_hour))
+        if not self.price_per_hour:
+            raise ValueError("pricing model needs at least one machine type")
+        if any(price < 0 for price in self.price_per_hour.values()):
+            raise ValueError("prices cannot be negative")
+        if self.time_units_per_hour <= 0:
+            raise ValueError("time_units_per_hour must be positive")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_machine_types(cls, machine_types: Sequence[MachineType],
+                           time_units_per_hour: int = TIME_UNITS_PER_HOUR) -> "PricingModel":
+        """Build a pricing model from machine-type declarations."""
+        return cls({mt.id: mt.price_per_hour for mt in machine_types},
+                   time_units_per_hour=time_units_per_hour)
+
+    def price_of(self, machine_type_id: int) -> float:
+        """Dollar-per-hour price of one machine type."""
+        try:
+            return self.price_per_hour[int(machine_type_id)]
+        except KeyError as exc:
+            raise KeyError(f"no price for machine type {machine_type_id}") from exc
+
+    def cost_of_busy_time(self, machine_type_id: int, busy_time: int) -> float:
+        """Dollar cost of ``busy_time`` simulation time units on a machine type."""
+        if busy_time < 0:
+            raise ValueError("busy time cannot be negative")
+        hours = busy_time / self.time_units_per_hour
+        return self.price_of(machine_type_id) * hours

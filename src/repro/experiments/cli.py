@@ -1,0 +1,93 @@
+"""Command-line interface of the experiment harness.
+
+``python -m repro <figure> [options]`` regenerates one of the paper's
+figures (or the §V-F drop-share analysis) and prints the corresponding table
+to stdout.  Example::
+
+    python -m repro fig7a --scale 0.02 --trials 3
+    python -m repro fig8 --levels 20k 30k --no-optimal
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .config import ExperimentConfig
+from .figures import (FigureResult, figure5_effective_depth, figure6_beta,
+                      figure7a_heterogeneous, figure7b_homogeneous,
+                      figure8_dropping_policies, figure9_cost,
+                      figure10_transcoding, reactive_share_analysis)
+from .reporting import format_figure_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the experiment CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of the autonomous "
+                    "task-dropping paper (Mokhtari et al., 2020).")
+    parser.add_argument("figure",
+                        choices=["fig5", "fig6", "fig7a", "fig7b", "fig8",
+                                 "fig9", "fig10", "drops"],
+                        help="which figure/analysis to regenerate")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="fraction of the paper's task counts (default 0.02)")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="workload trials per configuration (default 3)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="base random seed (default 42)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for trials (default 1)")
+    parser.add_argument("--levels", nargs="+", default=None,
+                        choices=["20k", "30k", "40k"],
+                        help="oversubscription levels to sweep (figures 5/6/8/9)")
+    parser.add_argument("--level", default=None, choices=["20k", "30k", "40k"],
+                        help="single oversubscription level (figures 7a/7b/10/drops)")
+    parser.add_argument("--no-optimal", action="store_true",
+                        help="skip the exhaustive-search policy in fig8")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(scale=args.scale, trials=args.trials,
+                            base_seed=args.seed, n_jobs=args.jobs)
+
+
+def _run_figure(args: argparse.Namespace, config: ExperimentConfig) -> FigureResult:
+    levels = tuple(args.levels) if args.levels else ("20k", "30k", "40k")
+    if args.figure == "fig5":
+        return figure5_effective_depth(config, levels=levels)
+    if args.figure == "fig6":
+        return figure6_beta(config, levels=levels)
+    if args.figure == "fig7a":
+        return figure7a_heterogeneous(config, level=args.level or "30k")
+    if args.figure == "fig7b":
+        return figure7b_homogeneous(config, level=args.level or "30k")
+    if args.figure == "fig8":
+        return figure8_dropping_policies(config, levels=levels,
+                                         include_optimal=not args.no_optimal)
+    if args.figure == "fig9":
+        return figure9_cost(config, levels=levels)
+    if args.figure == "fig10":
+        return figure10_transcoding(config, level=args.level or "20k")
+    if args.figure == "drops":
+        return reactive_share_analysis(config, level=args.level or "30k")
+    raise ValueError(f"unknown figure {args.figure!r}")  # pragma: no cover
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro`` / ``repro-experiments``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _config_from_args(args)
+    figure = _run_figure(args, config)
+    print(format_figure_table(figure))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

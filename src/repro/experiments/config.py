@@ -1,0 +1,83 @@
+"""Experiment configuration shared by all figure reproductions."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["ExperimentConfig", "bench_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs that apply to every experiment of the harness.
+
+    Attributes
+    ----------
+    scale:
+        Fraction of the paper's task counts to simulate (1.0 = 20k/30k/40k
+        tasks per trial).  Laptop-scale defaults keep the arrival *intensity*
+        of the paper while shrinking the number of tasks.
+    trials:
+        Number of workload trials per configuration (paper: 30).
+    base_seed:
+        Seed of the first trial; trial ``k`` uses ``base_seed + k`` so that
+        different configurations compare on identical workloads.
+    gamma:
+        Deadline slack coefficient of the paper's deadline formula.
+    queue_capacity:
+        Machine-queue capacity, including the running task (paper: 6).
+    batch_window:
+        Number of batch-queue tasks the mapper examines per mapping event.
+    confidence:
+        Confidence level of the reported intervals (paper: 95 %).
+    n_jobs:
+        Worker processes used to run trials in parallel (1 = sequential).
+    """
+
+    scale: float = 0.02
+    trials: int = 3
+    base_seed: int = 42
+    gamma: float = 1.0
+    queue_capacity: int = 6
+    batch_window: int = 32
+    confidence: float = 0.95
+    n_jobs: int = 1
+
+    def __post_init__(self):
+        if not 0 < self.scale <= 1.0:
+            raise ValueError("scale must be within (0, 1]")
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if self.batch_window < 1:
+            raise ValueError("batch window must be at least 1")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Copy of the configuration with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+def bench_config(scale: Optional[float] = None, trials: Optional[int] = None,
+                 n_jobs: Optional[int] = None) -> ExperimentConfig:
+    """Configuration used by the benchmark harness.
+
+    Defaults are intentionally small so the whole ``benchmarks/`` suite runs
+    on a laptop; they can be raised towards paper scale through the
+    ``REPRO_BENCH_SCALE``, ``REPRO_BENCH_TRIALS`` and ``REPRO_BENCH_JOBS``
+    environment variables without editing code.
+    """
+    env_scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.012"))
+    env_trials = int(os.environ.get("REPRO_BENCH_TRIALS", "2"))
+    env_jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return ExperimentConfig(
+        scale=scale if scale is not None else env_scale,
+        trials=trials if trials is not None else env_trials,
+        n_jobs=n_jobs if n_jobs is not None else env_jobs,
+    )

@@ -1,0 +1,278 @@
+"""Reproduction of every figure in the paper's evaluation section.
+
+Each ``figureN_*`` function sweeps the corresponding parameter space, runs
+the configured number of workload trials per point, and returns a
+:class:`FigureResult` whose rows mirror the series plotted in the paper:
+
+* Fig. 5  -- effective depth η sweep (PAM + heuristic dropping);
+* Fig. 6  -- robustness improvement factor β sweep (PAM + heuristic);
+* Fig. 7a -- heterogeneous mapping heuristics × {Heuristic, ReactDrop};
+* Fig. 7b -- homogeneous mapping heuristics × {Heuristic, ReactDrop};
+* Fig. 8  -- PAM+{Optimal, Heuristic, Threshold} across oversubscription;
+* Fig. 9  -- cost per completed-task percentage across oversubscription;
+* Fig. 10 -- mapping heuristics × dropping on the transcoding workload;
+* §V-F    -- reactive share of drops under proactive dropping.
+
+Absolute robustness values depend on the synthetic workloads (see DESIGN.md
+substitutions); what the benchmark harness asserts is the *shape* of these
+results, recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import ExperimentConfig
+from .runner import ConfigurationResult, run_configuration
+
+__all__ = [
+    "FigurePoint",
+    "FigureResult",
+    "figure5_effective_depth",
+    "figure6_beta",
+    "figure7a_heterogeneous",
+    "figure7b_homogeneous",
+    "figure8_dropping_policies",
+    "figure9_cost",
+    "figure10_transcoding",
+    "reactive_share_analysis",
+    "DEFAULT_LEVELS",
+]
+
+#: Oversubscription levels used throughout the evaluation.
+DEFAULT_LEVELS: Tuple[str, ...] = ("20k", "30k", "40k")
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One data point of a figure series.
+
+    Attributes
+    ----------
+    x:
+        Horizontal-axis value (η, β, oversubscription label, heuristic name).
+    value:
+        Mean of the plotted metric across trials.
+    lower / upper:
+        Confidence-interval bounds of the plotted metric.
+    result:
+        Full configuration result backing the point.
+    """
+
+    x: object
+    value: float
+    lower: float
+    upper: float
+    result: ConfigurationResult
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, List[FigurePoint]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_point(self, series_name: str, x: object,
+                  result: ConfigurationResult, metric: str = "robustness") -> None:
+        """Append one configuration result to a series."""
+        if metric == "robustness":
+            ci = result.aggregate.robustness_pct
+        elif metric == "cost":
+            ci = result.aggregate.cost_per_completed_pct
+            if ci is None:
+                raise ValueError("configuration carries no cost metric")
+        elif metric == "reactive_share":
+            ci = result.aggregate.reactive_share
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        point = FigurePoint(x=x, value=ci.mean, lower=ci.lower, upper=ci.upper,
+                            result=result)
+        self.series.setdefault(series_name, []).append(point)
+
+    def series_values(self, series_name: str) -> List[float]:
+        """Mean metric values of one series, in insertion order."""
+        return [p.value for p in self.series[series_name]]
+
+    def series_xs(self, series_name: str) -> List[object]:
+        """Horizontal-axis values of one series, in insertion order."""
+        return [p.x for p in self.series[series_name]]
+
+    def to_rows(self) -> List[Tuple[str, object, float, float, float]]:
+        """Flat ``(series, x, mean, lower, upper)`` rows for tabular output."""
+        rows = []
+        for name, points in self.series.items():
+            for p in points:
+                rows.append((name, p.x, p.value, p.lower, p.upper))
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 5: effective depth sweep
+# ----------------------------------------------------------------------
+
+def figure5_effective_depth(config: ExperimentConfig,
+                            etas: Sequence[int] = (1, 2, 3, 4, 5),
+                            levels: Sequence[str] = DEFAULT_LEVELS,
+                            mapper: str = "PAM") -> FigureResult:
+    """Impact of the effective depth η on robustness (Fig. 5)."""
+    fig = FigureResult(figure_id="fig5",
+                       title="Impact of effective depth on system robustness",
+                       x_label="Effective depth (eta)",
+                       y_label="Tasks completed on time (%)")
+    for level in levels:
+        series = f"{level} tasks"
+        for eta in etas:
+            result = run_configuration(config, "spec", level, mapper, "heuristic",
+                                       {"beta": 1.0, "eta": int(eta)},
+                                       label=f"{mapper}+Heuristic(eta={eta})")
+            fig.add_point(series, int(eta), result)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figure 6: robustness improvement factor sweep
+# ----------------------------------------------------------------------
+
+def figure6_beta(config: ExperimentConfig,
+                 betas: Sequence[float] = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+                 levels: Sequence[str] = DEFAULT_LEVELS,
+                 mapper: str = "PAM", eta: int = 2) -> FigureResult:
+    """Impact of the robustness improvement factor β on robustness (Fig. 6)."""
+    fig = FigureResult(figure_id="fig6",
+                       title="Impact of robustness improvement factor",
+                       x_label="Robustness improvement factor (beta)",
+                       y_label="Tasks completed on time (%)")
+    for level in levels:
+        series = f"{level} tasks"
+        for beta in betas:
+            result = run_configuration(config, "spec", level, mapper, "heuristic",
+                                       {"beta": float(beta), "eta": eta},
+                                       label=f"{mapper}+Heuristic(beta={beta})")
+            fig.add_point(series, float(beta), result)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figures 7a / 7b / 10: mapping heuristics with and without proactive dropping
+# ----------------------------------------------------------------------
+
+def _mapping_comparison(config: ExperimentConfig, scenario_name: str, level: str,
+                        mappers: Sequence[str], figure_id: str, title: str,
+                        eta: int = 2, beta: float = 1.0) -> FigureResult:
+    fig = FigureResult(figure_id=figure_id, title=title,
+                       x_label="Mapping heuristic",
+                       y_label="Tasks completed on time (%)")
+    for mapper in mappers:
+        with_drop = run_configuration(config, scenario_name, level, mapper,
+                                      "heuristic", {"beta": beta, "eta": eta})
+        without_drop = run_configuration(config, scenario_name, level, mapper,
+                                         "react")
+        fig.add_point(f"{mapper}+Heuristic", mapper, with_drop)
+        fig.add_point(f"{mapper}+ReactDrop", mapper, without_drop)
+    return fig
+
+
+def figure7a_heterogeneous(config: ExperimentConfig, level: str = "30k",
+                           mappers: Sequence[str] = ("MSD", "MM", "PAM")) -> FigureResult:
+    """Proactive dropping across heterogeneous mapping heuristics (Fig. 7a)."""
+    return _mapping_comparison(config, "spec", level, mappers, "fig7a",
+                               "Proactive dropping in a heterogeneous system")
+
+
+def figure7b_homogeneous(config: ExperimentConfig, level: str = "30k",
+                         mappers: Sequence[str] = ("FCFS", "EDF", "SJF", "PAM")
+                         ) -> FigureResult:
+    """Proactive dropping across homogeneous mapping heuristics (Fig. 7b)."""
+    return _mapping_comparison(config, "homogeneous", level, mappers, "fig7b",
+                               "Proactive dropping in a homogeneous system")
+
+
+def figure10_transcoding(config: ExperimentConfig, level: str = "20k",
+                         mappers: Sequence[str] = ("MSD", "MM", "PAM")) -> FigureResult:
+    """Validation on the video-transcoding workload (Fig. 10)."""
+    return _mapping_comparison(config, "transcoding", level, mappers, "fig10",
+                               "Proactive dropping on the video transcoding workload")
+
+
+# ----------------------------------------------------------------------
+# Figure 8: dropping-policy comparison
+# ----------------------------------------------------------------------
+
+def figure8_dropping_policies(config: ExperimentConfig,
+                              levels: Sequence[str] = DEFAULT_LEVELS,
+                              mapper: str = "PAM",
+                              include_optimal: bool = True) -> FigureResult:
+    """PAM+Optimal vs PAM+Heuristic vs PAM+Threshold across oversubscription (Fig. 8)."""
+    fig = FigureResult(figure_id="fig8",
+                       title="Proactive dropping vs threshold-based dropping",
+                       x_label="Oversubscription level",
+                       y_label="Tasks completed on time (%)")
+    policies: List[Tuple[str, str, Dict[str, float]]] = []
+    if include_optimal:
+        policies.append((f"{mapper}+Optimal", "optimal", {}))
+    policies.extend([
+        (f"{mapper}+Heuristic", "heuristic", {"beta": 1.0, "eta": 2}),
+        (f"{mapper}+Threshold", "threshold-adaptive", {}),
+    ])
+    for level in levels:
+        for label, dropper, params in policies:
+            result = run_configuration(config, "spec", level, mapper, dropper,
+                                       params, label=label)
+            fig.add_point(label, level, result)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figure 9: incurred cost
+# ----------------------------------------------------------------------
+
+def figure9_cost(config: ExperimentConfig,
+                 levels: Sequence[str] = DEFAULT_LEVELS) -> FigureResult:
+    """Normalised incurred cost of resources across oversubscription (Fig. 9)."""
+    fig = FigureResult(figure_id="fig9",
+                       title="Incurred cost of using resources",
+                       x_label="Oversubscription level",
+                       y_label="Cost / tasks completed on time (%)")
+    configurations = [
+        ("PAM+Threshold", "PAM", "threshold-adaptive", {}),
+        ("PAM+Heuristic", "PAM", "heuristic", {"beta": 1.0, "eta": 2}),
+        ("MM+ReactDrop", "MM", "react", {}),
+    ]
+    for level in levels:
+        for label, mapper, dropper, params in configurations:
+            result = run_configuration(config, "spec", level, mapper, dropper,
+                                       params, with_cost=True, label=label)
+            fig.add_point(label, level, result, metric="cost")
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Section V-F: reactive share of drops
+# ----------------------------------------------------------------------
+
+def reactive_share_analysis(config: ExperimentConfig, level: str = "30k",
+                            mapper: str = "PAM") -> FigureResult:
+    """Share of machine-queue drops that remain reactive (Section V-F).
+
+    The paper reports that with the proactive mechanism enabled only about
+    7 % of drops happen reactively; without it every drop is reactive by
+    definition.
+    """
+    fig = FigureResult(figure_id="vF-drops",
+                       title="Reactive share of machine-queue drops",
+                       x_label="Configuration",
+                       y_label="Reactive share of queue drops")
+    with_drop = run_configuration(config, "spec", level, mapper, "heuristic",
+                                  {"beta": 1.0, "eta": 2})
+    without_drop = run_configuration(config, "spec", level, mapper, "react")
+    fig.add_point(f"{mapper}+Heuristic", f"{mapper}+Heuristic", with_drop,
+                  metric="reactive_share")
+    fig.add_point(f"{mapper}+ReactDrop", f"{mapper}+ReactDrop", without_drop,
+                  metric="reactive_share")
+    return fig

@@ -1,0 +1,7 @@
+"""Extensions beyond the paper's evaluation (its stated future work)."""
+
+from .approximate import (ApproximateComputingPlanner, ApproximatePlan, TaskAction,
+                          scale_execution_pmf)
+
+__all__ = ["ApproximateComputingPlanner", "ApproximatePlan", "TaskAction",
+           "scale_execution_pmf"]

@@ -1,0 +1,49 @@
+"""Mapping heuristics for heterogeneous and homogeneous systems."""
+
+from .base import (Assignment, MachineState, MappingContext, MappingHeuristic,
+                   OrderedMappingHeuristic, TaskView, TwoPhaseMappingHeuristic)
+from .edf import EDF
+from .fcfs import FCFS
+from .minmin import MinMin
+from .msd import MSD
+from .pam import PAM
+from .sjf import SJF
+
+#: Registry of mapping heuristics by short name, used by the experiment CLI.
+HEURISTIC_REGISTRY = {
+    "MM": MinMin,
+    "MinMin": MinMin,
+    "MSD": MSD,
+    "PAM": PAM,
+    "FCFS": FCFS,
+    "SJF": SJF,
+    "EDF": EDF,
+}
+
+
+def make_heuristic(name: str) -> MappingHeuristic:
+    """Instantiate a mapping heuristic from its registry name."""
+    try:
+        return HEURISTIC_REGISTRY[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown mapping heuristic {name!r}; known: "
+                       f"{sorted(set(HEURISTIC_REGISTRY))}") from exc
+
+
+__all__ = [
+    "Assignment",
+    "MachineState",
+    "MappingContext",
+    "MappingHeuristic",
+    "TwoPhaseMappingHeuristic",
+    "OrderedMappingHeuristic",
+    "TaskView",
+    "MinMin",
+    "MSD",
+    "PAM",
+    "FCFS",
+    "SJF",
+    "EDF",
+    "HEURISTIC_REGISTRY",
+    "make_heuristic",
+]

@@ -1,0 +1,265 @@
+"""Shared infrastructure for batch-mode mapping heuristics.
+
+At every mapping event the simulator hands the mapping heuristic:
+
+* a *window* of unmapped tasks from the batch queue (oldest first),
+* one mutable :class:`MachineState` per machine, describing the free slots
+  of its queue and the completion-time PMF of its current tail, and
+* a :class:`MappingContext` giving access to the PET matrix and to cached
+  completion-time computations.
+
+The heuristic returns a list of :class:`Assignment` objects.  Two-phase
+heuristics (MinMin, MSD, PAM) are expressed on top of the shared
+:class:`TwoPhaseMappingHeuristic` skeleton; simpler ordering-based heuristics
+(FCFS, SJF, EDF) subclass :class:`OrderedMappingHeuristic`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.completion import completion_pmf
+from ..core.pet import PETMatrix
+from ..core.pmf import PMF
+
+__all__ = [
+    "TaskView",
+    "MachineState",
+    "Assignment",
+    "MappingContext",
+    "MappingHeuristic",
+    "TwoPhaseMappingHeuristic",
+    "OrderedMappingHeuristic",
+]
+
+
+@dataclass(frozen=True)
+class TaskView:
+    """Scheduler view of one unmapped task."""
+
+    task_id: int
+    type_id: int
+    arrival: int
+    deadline: int
+
+
+@dataclass
+class MachineState:
+    """Mutable, per-mapping-event working copy of a machine queue's state.
+
+    Attributes
+    ----------
+    machine_id / type_id:
+        Identity of the machine and its PET column.
+    free_slots:
+        Remaining queue slots; decremented as the heuristic assigns tasks.
+    tail_pmf:
+        Completion-time PMF of the last element of the queue (the running
+        task's conditioned PMF if the queue is otherwise empty, or a delta at
+        the current time for an idle machine).  Updated after each
+        provisional assignment so subsequent evaluations see the new tail.
+    version:
+        Monotonically increasing counter bumped on every tail update; used as
+        a cache key by :class:`MappingContext`.
+    """
+
+    machine_id: int
+    type_id: int
+    free_slots: int
+    tail_pmf: PMF
+    version: int = 0
+
+    @property
+    def has_free_slot(self) -> bool:
+        """True when at least one more task can be provisionally assigned."""
+        return self.free_slots > 0
+
+    def commit(self, new_tail: PMF) -> None:
+        """Record a provisional assignment: consume a slot, move the tail."""
+        if self.free_slots <= 0:
+            raise RuntimeError(f"machine {self.machine_id} has no free slot")
+        self.free_slots -= 1
+        self.tail_pmf = new_tail
+        self.version += 1
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A ``task -> machine`` decision produced by a mapping heuristic."""
+
+    task_id: int
+    machine_id: int
+
+
+class MappingContext:
+    """Completion-time calculator shared by all heuristics.
+
+    Completion PMFs appended to a machine tail are memoised per
+    ``(machine, tail-version, task)`` triple, because two-phase heuristics
+    re-evaluate the same pairs over several rounds of a single mapping event.
+    """
+
+    def __init__(self, pet: PETMatrix, now: int, prune_eps: float = 1e-12):
+        self.pet = pet
+        self.now = int(now)
+        self.prune_eps = float(prune_eps)
+        self._cache: Dict[Tuple[int, int, int], PMF] = {}
+
+    # ------------------------------------------------------------------
+    def exec_pmf(self, task: TaskView, machine: MachineState) -> PMF:
+        """Execution-time PMF of ``task`` on ``machine`` (a PET entry)."""
+        return self.pet.pmf(task.type_id, machine.type_id)
+
+    def mean_execution(self, task: TaskView, machine: MachineState) -> float:
+        """Expected execution time of ``task`` on ``machine``."""
+        return self.pet.mean_execution(task.type_id, machine.type_id)
+
+    def mean_execution_over_types(self, task: TaskView) -> float:
+        """Expected execution time of the task type averaged over machine types."""
+        return self.pet.task_type_mean(task.type_id)
+
+    def completion_if_appended(self, machine: MachineState, task: TaskView) -> PMF:
+        """Completion-time PMF of ``task`` appended at the tail of ``machine``."""
+        key = (machine.machine_id, machine.version, task.task_id)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        pmf = completion_pmf(machine.tail_pmf, self.exec_pmf(task, machine),
+                             task.deadline, self.prune_eps)
+        self._cache[key] = pmf
+        return pmf
+
+    def expected_completion(self, machine: MachineState, task: TaskView) -> float:
+        """Expected completion time of ``task`` appended to ``machine``."""
+        return self.completion_if_appended(machine, task).mean()
+
+    def chance_of_success(self, machine: MachineState, task: TaskView) -> float:
+        """Probability that ``task`` appended to ``machine`` meets its deadline."""
+        return self.completion_if_appended(machine, task).mass_before(task.deadline)
+
+
+class MappingHeuristic(abc.ABC):
+    """Base class of all mapping heuristics."""
+
+    #: Short name used in experiment reports ("MM", "MSD", "PAM", ...).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def map_tasks(self, tasks: Sequence[TaskView], machines: Sequence[MachineState],
+                  ctx: MappingContext) -> List[Assignment]:
+        """Assign tasks from the batch-queue window to free machine-queue slots.
+
+        Implementations mutate the provided :class:`MachineState` working
+        copies (via :meth:`MachineState.commit`) so that later decisions in
+        the same mapping event account for earlier provisional assignments.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class TwoPhaseMappingHeuristic(MappingHeuristic):
+    """Skeleton of the two-phase batch heuristics of Section V-B.
+
+    Phase 1 picks, for every unmapped task, its preferred machine according
+    to :meth:`phase1_score` (smaller is better).  Phase 2 resolves the
+    contention: among the task-machine pairs targeting each machine (or
+    globally, see :attr:`assign_per_machine`), the pair minimising
+    :meth:`phase2_score` is committed.  Rounds repeat until the queues are
+    full or the window is exhausted.
+    """
+
+    #: When True (MinMin/MSD behaviour), phase 2 commits one pair per machine
+    #: per round.  When False (PAM behaviour), only the single best pair in
+    #: the system is committed per round.
+    assign_per_machine: bool = True
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def phase1_score(self, ctx: MappingContext, machine: MachineState,
+                     task: TaskView) -> float:
+        """Score used to pick each task's candidate machine (minimised)."""
+
+    @abc.abstractmethod
+    def phase2_score(self, ctx: MappingContext, machine: MachineState,
+                     task: TaskView) -> Tuple[float, ...]:
+        """Score used to pick among pairs targeting a machine (minimised)."""
+
+    # ------------------------------------------------------------------
+    def map_tasks(self, tasks: Sequence[TaskView], machines: Sequence[MachineState],
+                  ctx: MappingContext) -> List[Assignment]:
+        unmapped: List[TaskView] = list(tasks)
+        assignments: List[Assignment] = []
+
+        while unmapped and any(m.has_free_slot for m in machines):
+            free_machines = [m for m in machines if m.has_free_slot]
+
+            # Phase 1: each task picks its best machine.
+            pairs: List[Tuple[TaskView, MachineState]] = []
+            for task in unmapped:
+                best_machine = min(
+                    free_machines,
+                    key=lambda m: (self.phase1_score(ctx, m, task), m.machine_id))
+                pairs.append((task, best_machine))
+
+            # Phase 2: resolve contention per machine (or globally).
+            committed = self._phase2(pairs, ctx)
+            if not committed:
+                break
+            for task, machine in committed:
+                new_tail = ctx.completion_if_appended(machine, task)
+                machine.commit(new_tail)
+                unmapped.remove(task)
+                assignments.append(Assignment(task.task_id, machine.machine_id))
+        return assignments
+
+    # ------------------------------------------------------------------
+    def _phase2(self, pairs: Sequence[Tuple[TaskView, MachineState]],
+                ctx: MappingContext) -> List[Tuple[TaskView, MachineState]]:
+        """Pick the pairs to commit this round."""
+        if not pairs:
+            return []
+        if self.assign_per_machine:
+            by_machine: Dict[int, List[Tuple[TaskView, MachineState]]] = {}
+            for task, machine in pairs:
+                by_machine.setdefault(machine.machine_id, []).append((task, machine))
+            committed = []
+            for machine_pairs in by_machine.values():
+                task, machine = min(
+                    machine_pairs,
+                    key=lambda tm: (self.phase2_score(ctx, tm[1], tm[0]), tm[0].task_id))
+                committed.append((task, machine))
+            return committed
+        # Single global winner per round (PAM).
+        task, machine = min(
+            pairs, key=lambda tm: (self.phase2_score(ctx, tm[1], tm[0]), tm[0].task_id))
+        return [(task, machine)]
+
+
+class OrderedMappingHeuristic(MappingHeuristic):
+    """Skeleton of ordering-based heuristics (FCFS, SJF, EDF).
+
+    Tasks are sorted by :meth:`task_priority` (ascending) and greedily
+    assigned, in that order, to the free machine minimising the expected
+    completion time.
+    """
+
+    @abc.abstractmethod
+    def task_priority(self, ctx: MappingContext, task: TaskView) -> Tuple[float, ...]:
+        """Ordering key of a task; smaller values are mapped first."""
+
+    def map_tasks(self, tasks: Sequence[TaskView], machines: Sequence[MachineState],
+                  ctx: MappingContext) -> List[Assignment]:
+        ordered = sorted(tasks, key=lambda t: (self.task_priority(ctx, t), t.task_id))
+        assignments: List[Assignment] = []
+        for task in ordered:
+            free_machines = [m for m in machines if m.has_free_slot]
+            if not free_machines:
+                break
+            machine = min(free_machines,
+                          key=lambda m: (ctx.expected_completion(m, task), m.machine_id))
+            machine.commit(ctx.completion_if_appended(machine, task))
+            assignments.append(Assignment(task.task_id, machine.machine_id))
+        return assignments

@@ -1,0 +1,24 @@
+"""Earliest-Deadline-First (EDF) mapping heuristic.
+
+Tasks with the soonest deadlines are mapped first; each goes to the free
+machine with the minimum expected completion time.  EDF is one of the
+homogeneous-system baselines of Fig. 7b.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import MappingContext, OrderedMappingHeuristic, TaskView
+
+__all__ = ["EDF"]
+
+
+class EDF(OrderedMappingHeuristic):
+    """Map the most urgent (soonest-deadline) tasks first."""
+
+    name = "EDF"
+
+    def task_priority(self, ctx: MappingContext, task: TaskView) -> Tuple[float, ...]:
+        """Sooner deadlines are mapped first."""
+        return (float(task.deadline), float(task.arrival))

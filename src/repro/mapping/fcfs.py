@@ -1,0 +1,25 @@
+"""First-Come-First-Serve (FCFS) mapping heuristic.
+
+Tasks are mapped strictly in arrival order; each task goes to the free
+machine with the minimum expected completion time (in a homogeneous system
+that is simply the machine that becomes available first).  FCFS is one of the
+homogeneous-system baselines of Fig. 7b.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import MappingContext, OrderedMappingHeuristic, TaskView
+
+__all__ = ["FCFS"]
+
+
+class FCFS(OrderedMappingHeuristic):
+    """Map tasks in arrival order."""
+
+    name = "FCFS"
+
+    def task_priority(self, ctx: MappingContext, task: TaskView) -> Tuple[float, ...]:
+        """Earlier arrivals are mapped first."""
+        return (float(task.arrival),)

@@ -1,0 +1,33 @@
+"""MinCompletion-MinCompletion (MinMin / MM) mapping heuristic.
+
+Phase 1 pairs every unmapped task with the machine offering its minimum
+expected completion time; phase 2 assigns, to every machine with a free
+slot, the provisionally paired task with the minimum expected completion
+time.  Rounds repeat until machine queues are full or the batch window is
+exhausted (Section V-B-1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import MachineState, MappingContext, TaskView, TwoPhaseMappingHeuristic
+
+__all__ = ["MinMin"]
+
+
+class MinMin(TwoPhaseMappingHeuristic):
+    """The MinMin (MM) batch-mode mapping heuristic."""
+
+    name = "MM"
+    assign_per_machine = True
+
+    def phase1_score(self, ctx: MappingContext, machine: MachineState,
+                     task: TaskView) -> float:
+        """Expected completion time of the task on the candidate machine."""
+        return ctx.expected_completion(machine, task)
+
+    def phase2_score(self, ctx: MappingContext, machine: MachineState,
+                     task: TaskView) -> Tuple[float, ...]:
+        """Minimum expected completion time among the machine's candidates."""
+        return (ctx.expected_completion(machine, task),)

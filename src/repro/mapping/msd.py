@@ -1,0 +1,32 @@
+"""MinCompletion-Soonest Deadline (MSD) mapping heuristic.
+
+Phase 1 is identical to MinMin (minimum expected completion time per task);
+phase 2 assigns, to every machine with a free slot, the provisionally paired
+task with the soonest deadline, breaking ties by the minimum expected
+completion time (Section V-B-2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import MachineState, MappingContext, TaskView, TwoPhaseMappingHeuristic
+
+__all__ = ["MSD"]
+
+
+class MSD(TwoPhaseMappingHeuristic):
+    """The MinCompletion-Soonest-Deadline batch-mode mapping heuristic."""
+
+    name = "MSD"
+    assign_per_machine = True
+
+    def phase1_score(self, ctx: MappingContext, machine: MachineState,
+                     task: TaskView) -> float:
+        """Expected completion time of the task on the candidate machine."""
+        return ctx.expected_completion(machine, task)
+
+    def phase2_score(self, ctx: MappingContext, machine: MachineState,
+                     task: TaskView) -> Tuple[float, ...]:
+        """Soonest deadline first, ties broken by expected completion time."""
+        return (float(task.deadline), ctx.expected_completion(machine, task))

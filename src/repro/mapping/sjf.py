@@ -1,0 +1,25 @@
+"""Shortest-Job-First (SJF) mapping heuristic.
+
+Tasks with the smallest expected execution time (averaged over machine
+types) are mapped first; each goes to the free machine with the minimum
+expected completion time.  SJF is one of the homogeneous-system baselines of
+Fig. 7b.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import MappingContext, OrderedMappingHeuristic, TaskView
+
+__all__ = ["SJF"]
+
+
+class SJF(OrderedMappingHeuristic):
+    """Map the shortest expected tasks first."""
+
+    name = "SJF"
+
+    def task_priority(self, ctx: MappingContext, task: TaskView) -> Tuple[float, ...]:
+        """Shorter expected execution times are mapped first."""
+        return (ctx.mean_execution_over_types(task), float(task.arrival))

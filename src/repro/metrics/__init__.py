@@ -1,0 +1,26 @@
+"""Metrics: robustness, drop breakdowns, statistics, per-trial collection."""
+
+from .collector import (AggregateMetrics, TrialMetrics, aggregate_trials,
+                        collect_trial_metrics)
+from .drops import DropBreakdown, drop_breakdown
+from .robustness import (RobustnessReport, default_exclusion, measured_tasks,
+                         robustness_report)
+from .stats import (MeanCI, bootstrap_confidence_interval,
+                    mean_confidence_interval, paired_difference)
+
+__all__ = [
+    "RobustnessReport",
+    "robustness_report",
+    "measured_tasks",
+    "default_exclusion",
+    "DropBreakdown",
+    "drop_breakdown",
+    "MeanCI",
+    "mean_confidence_interval",
+    "bootstrap_confidence_interval",
+    "paired_difference",
+    "TrialMetrics",
+    "AggregateMetrics",
+    "collect_trial_metrics",
+    "aggregate_trials",
+]

@@ -1,0 +1,114 @@
+"""Per-trial metric collection and cross-trial aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cost.accounting import CostReport, compute_cost_report
+from ..cost.pricing import PricingModel
+from ..sim.system import SimulationResult
+from .drops import DropBreakdown, drop_breakdown
+from .robustness import RobustnessReport, default_exclusion, robustness_report
+from .stats import MeanCI, mean_confidence_interval
+
+__all__ = ["TrialMetrics", "AggregateMetrics", "collect_trial_metrics",
+           "aggregate_trials"]
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """All metrics extracted from one simulation trial.
+
+    Attributes
+    ----------
+    robustness:
+        Robustness report (warm-up/cool-down excluded).
+    drops:
+        Drop-type breakdown over the whole run.
+    cost:
+        Cost report (``None`` when no pricing model was supplied).
+    num_mapping_events:
+        Number of mapping events the run triggered.
+    makespan:
+        Simulation time at which the system drained.
+    """
+
+    robustness: RobustnessReport
+    drops: DropBreakdown
+    cost: Optional[CostReport]
+    num_mapping_events: int
+    makespan: int
+
+    @property
+    def robustness_pct(self) -> float:
+        """Percentage of measured tasks completed on time."""
+        return self.robustness.robustness_pct
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Cross-trial aggregation of :class:`TrialMetrics`.
+
+    Attributes
+    ----------
+    robustness_pct:
+        Mean and confidence interval of the robustness percentage.
+    cost_per_completed_pct:
+        Mean and confidence interval of the normalised cost metric
+        (``None`` when trials carried no cost report).
+    reactive_share:
+        Mean and confidence interval of the reactive share of queue drops.
+    trials:
+        The underlying per-trial metrics, in trial order.
+    """
+
+    robustness_pct: MeanCI
+    cost_per_completed_pct: Optional[MeanCI]
+    reactive_share: MeanCI
+    trials: Sequence[TrialMetrics] = field(default_factory=tuple)
+
+    @property
+    def num_trials(self) -> int:
+        """Number of aggregated trials."""
+        return len(self.trials)
+
+
+def collect_trial_metrics(result: SimulationResult,
+                          pricing: Optional[PricingModel] = None,
+                          warmup: Optional[int] = None,
+                          cooldown: Optional[int] = None) -> TrialMetrics:
+    """Extract all standard metrics from one simulation result."""
+    total = len(result.tasks)
+    if warmup is None:
+        warmup = default_exclusion(total)
+    if cooldown is None:
+        cooldown = default_exclusion(total)
+    robustness = robustness_report(result, warmup=warmup, cooldown=cooldown)
+    drops = drop_breakdown(result)
+    cost = None
+    if pricing is not None:
+        cost = compute_cost_report(result, pricing, robustness=robustness)
+    return TrialMetrics(robustness=robustness, drops=drops, cost=cost,
+                        num_mapping_events=result.num_mapping_events,
+                        makespan=result.makespan)
+
+
+def aggregate_trials(trials: Sequence[TrialMetrics],
+                     confidence: float = 0.95) -> AggregateMetrics:
+    """Aggregate per-trial metrics into means with confidence intervals."""
+    if not trials:
+        raise ValueError("cannot aggregate zero trials")
+    robustness = mean_confidence_interval(
+        [t.robustness_pct for t in trials], confidence)
+    reactive = mean_confidence_interval(
+        [t.drops.reactive_share for t in trials], confidence)
+    cost_ci: Optional[MeanCI] = None
+    cost_values = [t.cost.cost_per_completed_pct for t in trials
+                   if t.cost is not None and t.cost.cost_per_completed_pct != float("inf")]
+    if cost_values:
+        cost_ci = mean_confidence_interval(cost_values, confidence)
+    return AggregateMetrics(robustness_pct=robustness,
+                            cost_per_completed_pct=cost_ci,
+                            reactive_share=reactive,
+                            trials=tuple(trials))

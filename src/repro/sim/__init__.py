@@ -1,0 +1,38 @@
+"""Discrete-event simulation of the batch-mode HC resource-allocation system."""
+
+from .batch_queue import BatchQueue
+from .engine import SimulationEngine, SimulationLimitError
+from .events import Event, SimulationEnd, TaskArrival, TaskCompletion
+from .faults import (ComposedUncertainty, MachineStallModel, NetworkLatencyModel,
+                     NoUncertainty, UncertaintyModel)
+from .machine import Machine, MachineType
+from .system import HCSystem, SimulationResult, SystemConfig
+from .task import Task, TaskStatus, TaskType
+from .trace import InMemoryTrace, NullTrace, Trace, TraceRecord
+
+__all__ = [
+    "UncertaintyModel",
+    "NoUncertainty",
+    "NetworkLatencyModel",
+    "MachineStallModel",
+    "ComposedUncertainty",
+    "BatchQueue",
+    "SimulationEngine",
+    "SimulationLimitError",
+    "Event",
+    "TaskArrival",
+    "TaskCompletion",
+    "SimulationEnd",
+    "Machine",
+    "MachineType",
+    "HCSystem",
+    "SimulationResult",
+    "SystemConfig",
+    "Task",
+    "TaskStatus",
+    "TaskType",
+    "InMemoryTrace",
+    "NullTrace",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,66 @@
+"""The batch queue of unmapped tasks.
+
+Arriving tasks wait in a single FIFO batch queue until the mapper assigns
+them to a machine queue (Fig. 1).  In an oversubscribed system the batch
+queue can grow arbitrarily; the mapper therefore only examines a bounded
+window of it per mapping event, and tasks whose deadlines expire while they
+are still unmapped can be discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["BatchQueue"]
+
+
+class BatchQueue:
+    """FIFO queue of unmapped task identifiers."""
+
+    def __init__(self) -> None:
+        self._tasks: List[int] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: int) -> bool:
+        return int(task_id) in self._tasks
+
+    def __iter__(self):
+        return iter(self._tasks)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no unmapped task is waiting."""
+        return not self._tasks
+
+    # ------------------------------------------------------------------
+    def push(self, task_id: int) -> None:
+        """Append a newly arrived task."""
+        task_id = int(task_id)
+        if task_id in self._tasks:
+            raise ValueError(f"task {task_id} is already in the batch queue")
+        self._tasks.append(task_id)
+
+    def remove(self, task_id: int) -> None:
+        """Remove a task (mapped or expired)."""
+        try:
+            self._tasks.remove(int(task_id))
+        except ValueError as exc:
+            raise ValueError(f"task {task_id} is not in the batch queue") from exc
+
+    def remove_many(self, task_ids: Iterable[int]) -> None:
+        """Remove several tasks, ignoring ordering of the input."""
+        for task_id in list(task_ids):
+            self.remove(task_id)
+
+    def window(self, size: int) -> List[int]:
+        """First ``size`` task ids in arrival order (the mapper's view)."""
+        if size < 0:
+            raise ValueError("window size cannot be negative")
+        return self._tasks[:size]
+
+    def snapshot(self) -> List[int]:
+        """Copy of the full queue contents in arrival order."""
+        return list(self._tasks)

@@ -1,0 +1,129 @@
+"""Minimal discrete-event simulation engine.
+
+The repository does not depend on any external simulation framework; this
+heap-based engine provides everything the HC-system simulator needs:
+
+* scheduling events at arbitrary future times,
+* deterministic tie-breaking (by event priority, then insertion order),
+* a monotonically advancing integer clock, and
+* a run loop that dispatches events to a handler until the event queue
+  drains or a step/time limit is reached.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Protocol, Tuple
+
+from .events import Event
+
+__all__ = ["EventHandler", "SimulationEngine", "SimulationLimitError"]
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when the run loop exceeds its configured step limit."""
+
+
+class EventHandler(Protocol):
+    """Anything able to consume simulation events."""
+
+    def handle(self, event: Event, engine: "SimulationEngine") -> None:
+        """Process ``event``; may schedule further events on ``engine``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class SimulationEngine:
+    """Heap-backed event loop with an integer clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock.
+    max_steps:
+        Hard bound on the number of dispatched events; exceeding it raises
+        :class:`SimulationLimitError`.  This is a guard against accidental
+        infinite event loops, not a normal termination mechanism.
+    """
+
+    def __init__(self, start_time: int = 0, max_steps: int = 50_000_000):
+        self._now = int(start_time)
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        self._sequence = 0
+        self._dispatched = 0
+        self._max_steps = int(max_steps)
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting to be dispatched."""
+        return len(self._heap)
+
+    @property
+    def dispatched_events(self) -> int:
+        """Number of events dispatched so far."""
+        return self._dispatched
+
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event) -> None:
+        """Enqueue ``event``; it must not be in the past."""
+        if event.time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at {event.time} before now={self._now}")
+        heapq.heappush(self._heap, (event.time, event.priority, self._sequence, event))
+        self._sequence += 1
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next event, or ``None`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self, handler: EventHandler) -> Optional[Event]:
+        """Dispatch the next event (if any) and return it."""
+        if not self._heap:
+            return None
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = time
+        self._dispatched += 1
+        if self._dispatched > self._max_steps:
+            raise SimulationLimitError(
+                f"simulation exceeded {self._max_steps} events; "
+                "likely an unbounded event loop")
+        handler.handle(event, self)
+        return event
+
+    def run(self, handler: EventHandler, until: Optional[int] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> int:
+        """Dispatch events until the queue drains (or a limit is hit).
+
+        Parameters
+        ----------
+        handler:
+            Receiver of every dispatched event.
+        until:
+            Optional inclusive time horizon; events scheduled after it are
+            left in the queue.
+        stop_when:
+            Optional predicate evaluated after each event; the loop stops as
+            soon as it returns ``True``.
+
+        Returns
+        -------
+        int
+            Number of events dispatched by this call.
+        """
+        dispatched_before = self._dispatched
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step(handler)
+            if stop_when is not None and stop_when():
+                break
+        return self._dispatched - dispatched_before
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SimulationEngine(now={self._now}, pending={self.pending_events}, "
+                f"dispatched={self._dispatched})")

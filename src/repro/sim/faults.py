@@ -1,0 +1,156 @@
+"""Unmodelled-uncertainty injection: network latency and resource failures.
+
+The paper's conclusion lists, as future work, extending the analysis to
+"other types of compound uncertainties, such as those resulted from network
+latency and resource failure".  This module provides that substrate: an
+:class:`UncertaintyModel` perturbs the *actual* execution times sampled by
+the simulator **without the scheduler's knowledge** -- the PET matrix, and
+therefore every mapping and dropping decision, stays oblivious to the extra
+delay.  This creates genuine model error, letting experiments measure how
+robust the dropping mechanism remains when its probabilistic model is
+imperfect.
+
+Models are optional (``HCSystem(..., uncertainty=...)``); the default
+behaviour of the simulator is unchanged when none is supplied.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["UncertaintyModel", "NoUncertainty", "NetworkLatencyModel",
+           "MachineStallModel", "ComposedUncertainty"]
+
+
+class UncertaintyModel(abc.ABC):
+    """Perturbs sampled execution times with unmodelled delay."""
+
+    @abc.abstractmethod
+    def perturb_execution(self, duration: int, task_type: int, machine_type: int,
+                          rng: np.random.Generator) -> int:
+        """Return the actual duration, given the PET-sampled ``duration``.
+
+        Implementations must return a positive integer; they may lengthen or
+        (rarely) shorten the duration but must never return less than one.
+        """
+
+    def describe(self) -> str:
+        """One-line human-readable description for experiment reports."""
+        return type(self).__name__
+
+
+class NoUncertainty(UncertaintyModel):
+    """Identity model: the PET sample is the actual execution time."""
+
+    def perturb_execution(self, duration: int, task_type: int, machine_type: int,
+                          rng: np.random.Generator) -> int:
+        """Return the duration unchanged."""
+        return max(int(duration), 1)
+
+
+@dataclass
+class NetworkLatencyModel(UncertaintyModel):
+    """Adds data-transfer latency ahead of every execution.
+
+    Latency is exponential with mean ``mean_latency`` and affects every task
+    (machine queues fetch input data -- e.g. video segments -- over the
+    network before execution).
+
+    Attributes
+    ----------
+    mean_latency:
+        Mean added latency in time units.
+    jitter_probability:
+        Fraction of tasks that additionally experience a long-tail jitter
+        spike of ``jitter_scale`` times the mean latency.
+    jitter_scale:
+        Multiplier of ``mean_latency`` for jitter spikes.
+    """
+
+    mean_latency: float = 5.0
+    jitter_probability: float = 0.05
+    jitter_scale: float = 10.0
+
+    def __post_init__(self):
+        if self.mean_latency < 0:
+            raise ValueError("mean latency cannot be negative")
+        if not 0.0 <= self.jitter_probability <= 1.0:
+            raise ValueError("jitter probability must be within [0, 1]")
+        if self.jitter_scale < 0:
+            raise ValueError("jitter scale cannot be negative")
+
+    def perturb_execution(self, duration: int, task_type: int, machine_type: int,
+                          rng: np.random.Generator) -> int:
+        """Add exponential latency, plus an occasional long-tail spike."""
+        latency = rng.exponential(self.mean_latency) if self.mean_latency > 0 else 0.0
+        if self.jitter_probability > 0 and rng.random() < self.jitter_probability:
+            latency += self.jitter_scale * self.mean_latency
+        return max(int(round(duration + latency)), 1)
+
+    def describe(self) -> str:
+        return (f"network latency (mean={self.mean_latency}, "
+                f"jitter p={self.jitter_probability})")
+
+
+@dataclass
+class MachineStallModel(UncertaintyModel):
+    """Transient machine stalls (resource failure / recovery).
+
+    With probability ``stall_probability`` per executed task, the machine
+    stalls mid-execution and the task takes an additional repair delay drawn
+    uniformly from ``[min_stall, max_stall]``.  This approximates fail-stop
+    failures with fast recovery where the task is re-run locally (the common
+    behaviour of container restarts).
+
+    Attributes
+    ----------
+    stall_probability:
+        Per-task probability of experiencing a stall.
+    min_stall / max_stall:
+        Uniform bounds of the stall duration, in time units.
+    """
+
+    stall_probability: float = 0.02
+    min_stall: int = 50
+    max_stall: int = 200
+
+    def __post_init__(self):
+        if not 0.0 <= self.stall_probability <= 1.0:
+            raise ValueError("stall probability must be within [0, 1]")
+        if self.min_stall < 0 or self.max_stall < self.min_stall:
+            raise ValueError("need 0 <= min_stall <= max_stall")
+
+    def perturb_execution(self, duration: int, task_type: int, machine_type: int,
+                          rng: np.random.Generator) -> int:
+        """Add a repair delay to a random subset of executions."""
+        if self.stall_probability > 0 and rng.random() < self.stall_probability:
+            stall = int(rng.integers(self.min_stall, self.max_stall + 1))
+            duration = duration + stall
+        return max(int(duration), 1)
+
+    def describe(self) -> str:
+        return (f"machine stalls (p={self.stall_probability}, "
+                f"{self.min_stall}-{self.max_stall})")
+
+
+class ComposedUncertainty(UncertaintyModel):
+    """Applies several uncertainty models in sequence."""
+
+    def __init__(self, models: Sequence[UncertaintyModel]):
+        if not models:
+            raise ValueError("need at least one model to compose")
+        self.models = list(models)
+
+    def perturb_execution(self, duration: int, task_type: int, machine_type: int,
+                          rng: np.random.Generator) -> int:
+        """Apply every component model in order."""
+        for model in self.models:
+            duration = model.perturb_execution(duration, task_type, machine_type, rng)
+        return max(int(duration), 1)
+
+    def describe(self) -> str:
+        return " + ".join(model.describe() for model in self.models)

@@ -1,0 +1,138 @@
+"""Machines and their bounded FCFS local queues.
+
+Each machine owns a *machine queue* (Fig. 1) with a limited capacity that
+counts the currently executing task plus the pending tasks waiting behind it
+(the paper uses a capacity of six).  Queues are first-come-first-serve,
+mapped tasks are never remapped, and running tasks are never preempted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+__all__ = ["MachineType", "Machine"]
+
+
+@dataclass(frozen=True)
+class MachineType:
+    """A category of machines with a common performance/price profile.
+
+    Attributes
+    ----------
+    id:
+        Column index of the type in the PET matrix.
+    name:
+        Human-readable name (e.g. an EC2 instance type or SPEC machine).
+    price_per_hour:
+        On-demand price of one machine of this type, in dollars per hour of
+        busy time.  Only used by the cost analysis (Fig. 9).
+    """
+
+    id: int
+    name: str
+    price_per_hour: float = 0.0
+
+    def __post_init__(self):
+        if self.id < 0:
+            raise ValueError("machine type id must be non-negative")
+        if not self.name:
+            raise ValueError("machine type needs a name")
+        if self.price_per_hour < 0:
+            raise ValueError("price cannot be negative")
+
+
+class Machine:
+    """One machine instance with a bounded local queue.
+
+    Parameters
+    ----------
+    machine_id:
+        Unique identifier of the machine.
+    type_id:
+        Machine type (column of the PET matrix).
+    queue_capacity:
+        Maximum number of tasks held by the machine, *including* the one
+        currently executing.
+    """
+
+    def __init__(self, machine_id: int, type_id: int, queue_capacity: int = 6):
+        if queue_capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.id = int(machine_id)
+        self.type_id = int(type_id)
+        self.queue_capacity = int(queue_capacity)
+        self.running_task: Optional[int] = None
+        self._pending: Deque[int] = deque()
+        #: Accumulated busy time (time spent executing tasks), for costing.
+        self.busy_time: int = 0
+        #: Number of tasks this machine has started executing.
+        self.started_tasks: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_tasks(self) -> List[int]:
+        """Identifiers of the pending (not yet running) tasks, head first."""
+        return list(self._pending)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of tasks currently held (running + pending)."""
+        return (1 if self.running_task is not None else 0) + len(self._pending)
+
+    @property
+    def free_slots(self) -> int:
+        """Number of additional tasks the queue can accept."""
+        return self.queue_capacity - self.occupancy
+
+    @property
+    def has_free_slot(self) -> bool:
+        """True when at least one more task can be enqueued."""
+        return self.free_slots > 0
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no task is executing."""
+        return self.running_task is None
+
+    # ------------------------------------------------------------------
+    def enqueue(self, task_id: int) -> None:
+        """Append a task to the pending queue (mapper assignment)."""
+        if not self.has_free_slot:
+            raise RuntimeError(f"machine {self.id} has no free slot")
+        if task_id == self.running_task or task_id in self._pending:
+            raise ValueError(f"task {task_id} is already on machine {self.id}")
+        self._pending.append(int(task_id))
+
+    def remove_pending(self, task_id: int) -> None:
+        """Remove a pending task (dropping); running tasks cannot be removed."""
+        try:
+            self._pending.remove(int(task_id))
+        except ValueError as exc:
+            raise ValueError(f"task {task_id} is not pending on machine {self.id}") from exc
+
+    def start_next(self) -> Optional[int]:
+        """Promote the head pending task to running; return its id (or None)."""
+        if self.running_task is not None:
+            raise RuntimeError(f"machine {self.id} is already running task "
+                               f"{self.running_task}")
+        if not self._pending:
+            return None
+        task_id = self._pending.popleft()
+        self.running_task = task_id
+        self.started_tasks += 1
+        return task_id
+
+    def finish_running(self, task_id: int, busy: int) -> None:
+        """Clear the running slot after the given task completes."""
+        if self.running_task != task_id:
+            raise ValueError(f"task {task_id} is not running on machine {self.id}")
+        if busy < 0:
+            raise ValueError("busy time cannot be negative")
+        self.running_task = None
+        self.busy_time += int(busy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Machine(id={self.id}, type={self.type_id}, "
+                f"running={self.running_task}, pending={list(self._pending)})")

@@ -1,0 +1,435 @@
+"""The batch-mode heterogeneous-computing system simulator.
+
+This module wires together every substrate of the reproduction into the
+resource-allocation loop of Fig. 1:
+
+1. arriving tasks are batched in a single queue;
+2. every arrival or completion triggers a *mapping event*;
+3. a mapping event first drops expired tasks reactively, then lets the
+   configured proactive dropping policy prune machine queues, then lets the
+   mapping heuristic fill free machine-queue slots from the batch queue, and
+   finally dispatches tasks on idle machines;
+4. machine queues are bounded, FCFS, non-preemptive; mapped tasks are never
+   remapped.
+
+Actual execution times are sampled from the same PET matrix the scheduler
+uses, matching the paper's simulation methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.completion import QueueEntry, completion_pmf
+from ..core.dropping import DroppingPolicy, MachineQueueView, NoProactiveDropping
+from ..core.pet import PETMatrix
+from ..core.pmf import PMF
+from ..mapping.base import (Assignment, MachineState, MappingContext,
+                            MappingHeuristic, TaskView)
+from .batch_queue import BatchQueue
+from .engine import SimulationEngine
+from .events import Event, TaskArrival, TaskCompletion
+from .machine import Machine, MachineType
+from .task import Task, TaskStatus, TaskType
+from .trace import NullTrace, Trace, TraceRecord
+
+__all__ = ["SystemConfig", "SimulationResult", "HCSystem"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Tunable parameters of the simulated resource-allocation system.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Machine-queue capacity including the running task (paper: 6).
+    batch_window:
+        Maximum number of batch-queue tasks the mapper examines per mapping
+        event.
+    drop_expired_batch:
+        When True, tasks whose deadlines pass while they are still unmapped
+        are discarded from the batch queue at the next mapping event.
+    prune_eps:
+        Probability-mass pruning threshold used in all PMF chaining.
+    max_steps:
+        Safety bound forwarded to the event engine.
+    """
+
+    queue_capacity: int = 6
+    batch_window: int = 32
+    drop_expired_batch: bool = True
+    prune_eps: float = 1e-12
+    max_steps: int = 50_000_000
+
+    def __post_init__(self):
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if self.batch_window < 1:
+            raise ValueError("batch window must be at least 1")
+        if self.prune_eps < 0:
+            raise ValueError("prune_eps cannot be negative")
+
+
+@dataclass
+class SimulationResult:
+    """Raw outcome of one simulation run.
+
+    The metrics layer (``repro.metrics``) consumes this structure to compute
+    robustness, drop breakdowns and costs; it intentionally exposes the full
+    per-task record rather than pre-aggregated numbers.
+    """
+
+    tasks: Dict[int, Task]
+    machines: List[Machine]
+    machine_types: List[MachineType]
+    task_types: List[TaskType]
+    makespan: int
+    num_mapping_events: int
+    num_proactive_drops: int
+    num_reactive_queue_drops: int
+    num_batch_expired_drops: int
+    num_dispatched_events: int
+
+    # ------------------------------------------------------------------
+    def tasks_by_status(self) -> Dict[TaskStatus, int]:
+        """Histogram of final task statuses."""
+        counts: Dict[TaskStatus, int] = {}
+        for task in self.tasks.values():
+            counts[task.status] = counts.get(task.status, 0) + 1
+        return counts
+
+    def tasks_in_arrival_order(self) -> List[Task]:
+        """All tasks sorted by arrival time (ties by id)."""
+        return sorted(self.tasks.values(), key=lambda t: (t.arrival, t.id))
+
+    @property
+    def total_drops(self) -> int:
+        """Total number of dropped tasks (all drop kinds)."""
+        return (self.num_proactive_drops + self.num_reactive_queue_drops
+                + self.num_batch_expired_drops)
+
+    def busy_time_by_machine(self) -> Dict[int, int]:
+        """Busy time (time units spent executing) per machine id."""
+        return {m.id: m.busy_time for m in self.machines}
+
+
+class HCSystem:
+    """Simulated heterogeneous computing system (Fig. 1).
+
+    Parameters
+    ----------
+    machine_types / machines / task_types / pet:
+        Static description of the platform and its probabilistic execution
+        time model.  Machine ``type_id``s must index ``machine_types`` and
+        PET columns; task ``type_id``s must index ``task_types`` and PET
+        rows.
+    mapper:
+        Batch-mode mapping heuristic invoked at every mapping event.
+    dropper:
+        Proactive dropping policy (defaults to reactive-only behaviour).
+    config:
+        System parameters (queue capacity, batch window, ...).
+    rng:
+        Source of randomness for sampling actual execution times.
+    trace:
+        Optional trace sink.
+    """
+
+    def __init__(self, machine_types: Sequence[MachineType],
+                 machines: Sequence[Machine],
+                 task_types: Sequence[TaskType],
+                 pet: PETMatrix,
+                 mapper: MappingHeuristic,
+                 dropper: Optional[DroppingPolicy] = None,
+                 config: Optional[SystemConfig] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 trace: Optional[Trace] = None,
+                 uncertainty: Optional["UncertaintyModel"] = None):
+        self.machine_types = list(machine_types)
+        self.machines = list(machines)
+        self.task_types = list(task_types)
+        self.pet = pet
+        self.mapper = mapper
+        self.dropper: DroppingPolicy = dropper if dropper is not None else NoProactiveDropping()
+        self.config = config or SystemConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.trace = trace if trace is not None else NullTrace()
+        #: Optional unmodelled-uncertainty injector (network latency, machine
+        #: stalls); the scheduler's PET-based view never sees its effect.
+        self.uncertainty = uncertainty
+
+        self._validate_platform()
+
+        self.batch_queue = BatchQueue()
+        self.tasks: Dict[int, Task] = {}
+        self._machine_by_id: Dict[int, Machine] = {m.id: m for m in self.machines}
+        self._sampled_exec: Dict[int, int] = {}
+
+        self.engine = SimulationEngine(max_steps=self.config.max_steps)
+
+        # Counters.
+        self.num_mapping_events = 0
+        self.num_proactive_drops = 0
+        self.num_reactive_queue_drops = 0
+        self.num_batch_expired_drops = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _validate_platform(self) -> None:
+        if not self.machines:
+            raise ValueError("the system needs at least one machine")
+        if len({m.id for m in self.machines}) != len(self.machines):
+            raise ValueError("machine ids must be unique")
+        n_machine_types = len(self.machine_types)
+        n_task_types = len(self.task_types)
+        if self.pet.num_machine_types != n_machine_types:
+            raise ValueError("PET matrix machine-type count does not match the platform")
+        if self.pet.num_task_types != n_task_types:
+            raise ValueError("PET matrix task-type count does not match the platform")
+        for idx, mtype in enumerate(self.machine_types):
+            if mtype.id != idx:
+                raise ValueError("machine type ids must be 0..n-1 in order")
+        for idx, ttype in enumerate(self.task_types):
+            if ttype.id != idx:
+                raise ValueError("task type ids must be 0..n-1 in order")
+        for machine in self.machines:
+            if not 0 <= machine.type_id < n_machine_types:
+                raise ValueError(f"machine {machine.id} references unknown type "
+                                 f"{machine.type_id}")
+            if machine.queue_capacity != self.config.queue_capacity:
+                # Machines are normally constructed by the workload layer with
+                # the same capacity; enforce consistency to avoid surprises.
+                machine.queue_capacity = self.config.queue_capacity
+
+    def submit(self, tasks: Iterable[Task]) -> None:
+        """Register tasks and schedule their arrival events."""
+        for task in tasks:
+            if task.id in self.tasks:
+                raise ValueError(f"duplicate task id {task.id}")
+            if not 0 <= task.type_id < len(self.task_types):
+                raise ValueError(f"task {task.id} references unknown type {task.type_id}")
+            if task.status is not TaskStatus.CREATED:
+                raise ValueError(f"task {task.id} was already submitted")
+            self.tasks[task.id] = task
+            self.engine.schedule(TaskArrival(time=task.arrival, task_id=task.id))
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def handle(self, event: Event, engine: SimulationEngine) -> None:
+        """Dispatch one simulation event (EventHandler protocol)."""
+        if isinstance(event, TaskArrival):
+            self._on_arrival(event)
+        elif isinstance(event, TaskCompletion):
+            self._on_completion(event)
+        else:  # pragma: no cover - no other event kinds are scheduled
+            raise TypeError(f"unexpected event {event!r}")
+
+    def _on_arrival(self, event: TaskArrival) -> None:
+        task = self.tasks[event.task_id]
+        task.mark_in_batch()
+        self.batch_queue.push(task.id)
+        self._trace(event.time, "arrival", task_id=task.id)
+        self._mapping_event(event.time)
+
+    def _on_completion(self, event: TaskCompletion) -> None:
+        task = self.tasks[event.task_id]
+        machine = self._machine_by_id[event.machine_id]
+        busy = event.time - (task.start_time if task.start_time is not None else event.time)
+        machine.finish_running(task.id, busy)
+        task.mark_completed(event.time)
+        self._trace(event.time, "completed", task_id=task.id, machine_id=machine.id,
+                    detail=f"on_time={task.succeeded}")
+        self._mapping_event(event.time)
+
+    # ------------------------------------------------------------------
+    # Mapping event
+    # ------------------------------------------------------------------
+    def _mapping_event(self, now: int) -> None:
+        self.num_mapping_events += 1
+        self._trace(now, "mapping_event")
+        self._reactive_drop_queues(now)
+        if self.config.drop_expired_batch:
+            self._expire_batch_tasks(now)
+        self._proactive_drop(now)
+        self._map_tasks(now)
+        self._dispatch(now)
+
+    # -- step 1: reactive dropping ------------------------------------
+    def _reactive_drop_queues(self, now: int) -> None:
+        for machine in self.machines:
+            for task_id in machine.pending_tasks:
+                task = self.tasks[task_id]
+                if task.deadline <= now:
+                    machine.remove_pending(task_id)
+                    task.mark_dropped(TaskStatus.DROPPED_REACTIVE, now)
+                    self.num_reactive_queue_drops += 1
+                    self._trace(now, "dropped_reactive", task_id=task_id,
+                                machine_id=machine.id)
+
+    def _expire_batch_tasks(self, now: int) -> None:
+        expired = [task_id for task_id in self.batch_queue
+                   if self.tasks[task_id].deadline <= now]
+        for task_id in expired:
+            self.batch_queue.remove(task_id)
+            self.tasks[task_id].mark_dropped(TaskStatus.DROPPED_EXPIRED_BATCH, now)
+            self.num_batch_expired_drops += 1
+            self._trace(now, "expired_batch", task_id=task_id)
+
+    # -- step 2: proactive dropping ------------------------------------
+    def _proactive_drop(self, now: int) -> None:
+        if isinstance(self.dropper, NoProactiveDropping):
+            return
+        pressure = self._pressure()
+        for machine in self.machines:
+            pending = machine.pending_tasks
+            if not pending:
+                continue
+            view = MachineQueueView(
+                machine_id=machine.id,
+                now=now,
+                base_pmf=self._machine_base_pmf(machine, now),
+                entries=tuple(self._queue_entry(task_id, machine) for task_id in pending),
+                pressure=pressure,
+            )
+            decision = self.dropper.evaluate_queue(view)
+            for idx in decision.drop_indices:
+                task_id = pending[idx]
+                machine.remove_pending(task_id)
+                self.tasks[task_id].mark_dropped(TaskStatus.DROPPED_PROACTIVE, now)
+                self.num_proactive_drops += 1
+                self._trace(now, "dropped_proactive", task_id=task_id,
+                            machine_id=machine.id)
+
+    # -- step 3: mapping -------------------------------------------------
+    def _map_tasks(self, now: int) -> None:
+        if self.batch_queue.is_empty:
+            return
+        machine_states = [self._machine_state(machine, now) for machine in self.machines]
+        if not any(state.has_free_slot for state in machine_states):
+            return
+        window_ids = self.batch_queue.window(self.config.batch_window)
+        task_views = [self._task_view(task_id) for task_id in window_ids]
+        ctx = MappingContext(self.pet, now, self.config.prune_eps)
+        assignments = self.mapper.map_tasks(task_views, machine_states, ctx)
+        self._apply_assignments(assignments, now)
+
+    def _apply_assignments(self, assignments: Sequence[Assignment], now: int) -> None:
+        for assignment in assignments:
+            task = self.tasks[assignment.task_id]
+            machine = self._machine_by_id[assignment.machine_id]
+            self.batch_queue.remove(task.id)
+            machine.enqueue(task.id)
+            task.mark_queued(machine.id, now)
+            self._trace(now, "mapped", task_id=task.id, machine_id=machine.id)
+
+    # -- step 4: dispatch -------------------------------------------------
+    def _dispatch(self, now: int) -> None:
+        for machine in self.machines:
+            if not machine.is_idle:
+                continue
+            while machine.pending_tasks:
+                head_id = machine.pending_tasks[0]
+                head = self.tasks[head_id]
+                if head.deadline <= now:
+                    # The deadline passed since mapping; drop reactively
+                    # rather than wasting the machine on a hopeless task.
+                    machine.remove_pending(head_id)
+                    head.mark_dropped(TaskStatus.DROPPED_REACTIVE, now)
+                    self.num_reactive_queue_drops += 1
+                    self._trace(now, "dropped_reactive", task_id=head_id,
+                                machine_id=machine.id)
+                    continue
+                task_id = machine.start_next()
+                task = self.tasks[task_id]
+                task.mark_running(now)
+                duration = self._sample_execution(task, machine)
+                finish = now + duration
+                self.engine.schedule(TaskCompletion(time=finish, task_id=task.id,
+                                                    machine_id=machine.id))
+                self._trace(now, "started", task_id=task.id, machine_id=machine.id,
+                            detail=f"duration={duration}")
+                break  # the machine is now busy
+
+    # ------------------------------------------------------------------
+    # Scheduler views
+    # ------------------------------------------------------------------
+    def _machine_base_pmf(self, machine: Machine, now: int) -> PMF:
+        """Completion PMF of whatever precedes the machine's pending queue."""
+        if machine.running_task is None:
+            return PMF.delta(now)
+        task = self.tasks[machine.running_task]
+        exec_pmf = self.pet.pmf(task.type_id, machine.type_id)
+        started = task.start_time if task.start_time is not None else now
+        return exec_pmf.shift(started).conditional_at_least(now)
+
+    def _queue_entry(self, task_id: int, machine: Machine) -> QueueEntry:
+        task = self.tasks[task_id]
+        return QueueEntry(task_id=task.id,
+                          exec_pmf=self.pet.pmf(task.type_id, machine.type_id),
+                          deadline=task.deadline)
+
+    def _machine_state(self, machine: Machine, now: int) -> MachineState:
+        tail = self._machine_base_pmf(machine, now)
+        for task_id in machine.pending_tasks:
+            entry = self._queue_entry(task_id, machine)
+            tail = completion_pmf(tail, entry.exec_pmf, entry.deadline,
+                                  self.config.prune_eps)
+        return MachineState(machine_id=machine.id, type_id=machine.type_id,
+                            free_slots=machine.free_slots, tail_pmf=tail)
+
+    def _task_view(self, task_id: int) -> TaskView:
+        task = self.tasks[task_id]
+        return TaskView(task_id=task.id, type_id=task.type_id,
+                        arrival=task.arrival, deadline=task.deadline)
+
+    def _pressure(self) -> float:
+        """Unmapped work relative to total machine-queue capacity, in [0, 1]."""
+        capacity = sum(m.queue_capacity for m in self.machines)
+        if capacity <= 0:
+            return 1.0
+        return min(1.0, len(self.batch_queue) / capacity)
+
+    def _sample_execution(self, task: Task, machine: Machine) -> int:
+        duration = int(self.pet.pmf(task.type_id, machine.type_id).sample(self.rng))
+        duration = max(duration, 1)
+        if self.uncertainty is not None:
+            duration = self.uncertainty.perturb_execution(
+                duration, task.type_id, machine.type_id, self.rng)
+        self._sampled_exec[task.id] = duration
+        return duration
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> SimulationResult:
+        """Run until the event queue drains (system back to idle)."""
+        self.engine.run(self, until=until)
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Snapshot of the current simulation outcome."""
+        return SimulationResult(
+            tasks=self.tasks,
+            machines=self.machines,
+            machine_types=self.machine_types,
+            task_types=self.task_types,
+            makespan=self.engine.now,
+            num_mapping_events=self.num_mapping_events,
+            num_proactive_drops=self.num_proactive_drops,
+            num_reactive_queue_drops=self.num_reactive_queue_drops,
+            num_batch_expired_drops=self.num_batch_expired_drops,
+            num_dispatched_events=self.engine.dispatched_events,
+        )
+
+    # ------------------------------------------------------------------
+    def _trace(self, time: int, kind: str, task_id: Optional[int] = None,
+               machine_id: Optional[int] = None, detail: str = "") -> None:
+        if self.trace.enabled:
+            self.trace.record(TraceRecord(time=time, kind=kind, task_id=task_id,
+                                          machine_id=machine_id, detail=detail))

@@ -1,0 +1,99 @@
+"""Lightweight event tracing for the HC-system simulator.
+
+A trace records every interesting transition (arrival, mapping, start,
+completion, drop) as a structured record.  Tracing is optional -- the
+simulator works with a ``NullTrace`` by default so that large experiment
+sweeps pay no recording cost -- but it is invaluable for debugging and for
+the worked examples in ``examples/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Trace", "NullTrace", "InMemoryTrace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced transition.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the transition.
+    kind:
+        One of ``arrival``, ``mapped``, ``started``, ``completed``,
+        ``dropped_reactive``, ``dropped_proactive``, ``expired_batch``,
+        ``mapping_event``.
+    task_id:
+        Task involved (``None`` for aggregate records such as
+        ``mapping_event``).
+    machine_id:
+        Machine involved (``None`` when not applicable).
+    detail:
+        Free-form human-readable detail string.
+    """
+
+    time: int
+    kind: str
+    task_id: Optional[int] = None
+    machine_id: Optional[int] = None
+    detail: str = ""
+
+
+class Trace:
+    """Interface of trace sinks."""
+
+    enabled: bool = True
+
+    def record(self, record: TraceRecord) -> None:  # pragma: no cover - interface
+        """Store one record."""
+        raise NotImplementedError
+
+
+class NullTrace(Trace):
+    """Trace sink that discards everything (the default)."""
+
+    enabled = False
+
+    def record(self, record: TraceRecord) -> None:
+        """Drop the record."""
+        return None
+
+
+class InMemoryTrace(Trace):
+    """Trace sink that accumulates records in a list."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def record(self, record: TraceRecord) -> None:
+        """Append the record to the in-memory list."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in chronological order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def for_task(self, task_id: int) -> List[TraceRecord]:
+        """All records about one task, in chronological order."""
+        return [r for r in self.records if r.task_id == task_id]
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of (a prefix of) the trace."""
+        rows = self.records if limit is None else self.records[:limit]
+        lines = []
+        for r in rows:
+            task = f"task={r.task_id}" if r.task_id is not None else ""
+            machine = f"machine={r.machine_id}" if r.machine_id is not None else ""
+            parts = [p for p in (task, machine, r.detail) if p]
+            lines.append(f"[{r.time:>10}] {r.kind:<18} {' '.join(parts)}")
+        return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Dependency-free ASCII visualisation of experiment results."""
+
+from .ascii_charts import (figure_to_bar_chart, figure_to_line_chart,
+                           horizontal_bar_chart, line_chart)
+
+__all__ = ["horizontal_bar_chart", "line_chart", "figure_to_bar_chart",
+           "figure_to_line_chart"]

@@ -1,0 +1,136 @@
+"""Terminal-friendly ASCII charts for experiment results.
+
+The experiment harness reports every figure as a table; these helpers render
+the same data as quick ASCII bar and line charts so the shape of a result
+(the only thing the reproduction asserts) can be eyeballed directly in a
+terminal or a CI log, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["horizontal_bar_chart", "line_chart", "figure_to_bar_chart",
+           "figure_to_line_chart"]
+
+
+def _scale(value: float, vmin: float, vmax: float, width: int) -> int:
+    """Map ``value`` in ``[vmin, vmax]`` to a bar length in ``[0, width]``."""
+    if vmax <= vmin:
+        return width
+    ratio = (value - vmin) / (vmax - vmin)
+    return int(round(ratio * width))
+
+
+def horizontal_bar_chart(values: Mapping[str, float], width: int = 48,
+                         title: str = "", unit: str = "",
+                         baseline_at_zero: bool = True) -> str:
+    """Render a label → value mapping as a horizontal bar chart.
+
+    Parameters
+    ----------
+    values:
+        Ordered mapping of bar label to value.
+    width:
+        Number of character cells of the longest bar.
+    title:
+        Optional chart heading.
+    unit:
+        Suffix appended to the numeric value of each bar (e.g. ``"%"``).
+    baseline_at_zero:
+        When True bars start at zero; otherwise at the minimum value, which
+        emphasises differences between close values.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    if not values:
+        return title or ""
+    vmax = max(values.values())
+    vmin = 0.0 if baseline_at_zero else min(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * _scale(value, vmin, vmax, width)
+        lines.append(f"{str(label).ljust(label_width)} | {bar:<{width}} "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(series: Mapping[str, Sequence[float]],
+               x_values: Sequence[object], height: int = 12, width: int = 60,
+               title: str = "", y_label: str = "") -> str:
+    """Render one or more numeric series as a character-grid line chart.
+
+    Each series is drawn with its own marker character; markers overwrite
+    each other when series overlap.  The x axis is divided evenly between the
+    provided ``x_values``.
+    """
+    if height < 3 or width < 10:
+        raise ValueError("chart area too small")
+    if not series:
+        return title or ""
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_values)}:
+        raise ValueError("every series must have one value per x position")
+
+    all_values = [v for vs in series.values() for v in vs]
+    vmin, vmax = min(all_values), max(all_values)
+    if vmax == vmin:
+        vmax = vmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x@%&"
+    n_points = len(x_values)
+    for s_idx, (name, values) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        for p_idx, value in enumerate(values):
+            col = (0 if n_points == 1
+                   else int(round(p_idx * (width - 1) / (n_points - 1))))
+            row = height - 1 - _scale(value, vmin, vmax, height - 1)
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{vmax:.1f}"
+    bottom_label = f"{vmin:.1f}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_idx == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    axis = " " * gutter + "+" + "-" * width
+    lines.append(axis)
+    x_axis = (" " * (gutter + 1)
+              + str(x_values[0])
+              + str(x_values[-1]).rjust(max(width - len(str(x_values[0])), 1)))
+    lines.append(x_axis)
+    legend = "  ".join(f"{markers[i % len(markers)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def figure_to_bar_chart(figure, width: int = 48) -> str:
+    """Bar chart of a single-point-per-series figure (Figs. 7a/7b/10)."""
+    values: Dict[str, float] = {}
+    for name, points in figure.series.items():
+        if len(points) == 1:
+            values[name] = points[0].value
+        else:
+            values[name] = sum(p.value for p in points) / len(points)
+    unit = "%" if "%" in figure.y_label else ""
+    return horizontal_bar_chart(values, width=width, title=figure.title, unit=unit)
+
+
+def figure_to_line_chart(figure, height: int = 12, width: int = 60) -> str:
+    """Line chart of a multi-point-per-series figure (Figs. 5/6/8/9)."""
+    series = {name: [p.value for p in points] for name, points in figure.series.items()}
+    first_series = next(iter(figure.series.values()))
+    x_values = [p.x for p in first_series]
+    return line_chart(series, x_values, height=height, width=width,
+                      title=figure.title, y_label=figure.y_label)

@@ -1,0 +1,47 @@
+"""Workload generation: platforms, PET matrices, arrivals, deadlines, scenarios."""
+
+from .arrivals import (ArrivalProcess, PoissonArrivals, rate_for_oversubscription,
+                       system_capacity)
+from .deadlines import DeadlinePolicy, PaperDeadlinePolicy
+from .homogeneous import HomogeneousWorkloadFactory
+from .pet_builder import GammaPETBuilder, build_pet_from_means
+from .platforms import Platform
+from .scenario import (OVERSUBSCRIPTION_LEVELS, PAPER_TASK_COUNTS, Scenario,
+                       ScenarioSpec, build_scenario, homogeneous_scenario,
+                       spec_scenario, transcoding_scenario)
+from .spec import (SPEC_MACHINE_NAMES, SPEC_MACHINE_PRICES, SPEC_TASK_TYPE_NAMES,
+                   SpecWorkloadFactory, spec_mean_matrix)
+from .transcoding import (TRANSCODING_MACHINE_NAMES, TRANSCODING_MACHINE_PRICES,
+                          TRANSCODING_TASK_TYPE_NAMES, TranscodingWorkloadFactory,
+                          transcoding_mean_matrix)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "system_capacity",
+    "rate_for_oversubscription",
+    "DeadlinePolicy",
+    "PaperDeadlinePolicy",
+    "GammaPETBuilder",
+    "build_pet_from_means",
+    "Platform",
+    "Scenario",
+    "ScenarioSpec",
+    "OVERSUBSCRIPTION_LEVELS",
+    "PAPER_TASK_COUNTS",
+    "build_scenario",
+    "spec_scenario",
+    "homogeneous_scenario",
+    "transcoding_scenario",
+    "SpecWorkloadFactory",
+    "spec_mean_matrix",
+    "SPEC_MACHINE_NAMES",
+    "SPEC_MACHINE_PRICES",
+    "SPEC_TASK_TYPE_NAMES",
+    "HomogeneousWorkloadFactory",
+    "TranscodingWorkloadFactory",
+    "transcoding_mean_matrix",
+    "TRANSCODING_MACHINE_NAMES",
+    "TRANSCODING_MACHINE_PRICES",
+    "TRANSCODING_TASK_TYPE_NAMES",
+]

@@ -1,0 +1,77 @@
+"""Homogeneous-system workload (Fig. 7b).
+
+The paper shows that the dropping mechanism also improves homogeneous
+systems.  The homogeneous scenario keeps the twelve SPEC task types but runs
+them on eight identical machines: a single machine type whose mean execution
+time per task type is the row average of the heterogeneous SPEC matrix, so
+the total processing capacity is comparable with the heterogeneous scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.pet import PETMatrix
+from ..sim.machine import MachineType
+from ..sim.task import TaskType
+from .pet_builder import GammaPETBuilder
+from .platforms import Platform
+from .spec import SPEC_TASK_TYPE_NAMES, spec_mean_matrix
+
+__all__ = ["HomogeneousWorkloadFactory", "HOMOGENEOUS_MACHINE_NAME"]
+
+#: Name of the single machine type of the homogeneous platform.
+HOMOGENEOUS_MACHINE_NAME = "uniform-node"
+
+#: Price (dollars per hour) of the uniform machine type.
+HOMOGENEOUS_MACHINE_PRICE = 0.45
+
+
+@dataclass(frozen=True)
+class HomogeneousWorkloadFactory:
+    """Builds a single-machine-type platform with the SPEC task types.
+
+    Attributes
+    ----------
+    num_machines:
+        Number of identical machines (paper scenario: 8).
+    queue_capacity:
+        Machine-queue capacity (paper: 6).
+    pet_builder:
+        Configuration of the Gamma sampling + histogram PET construction.
+    """
+
+    num_machines: int = 8
+    queue_capacity: int = 6
+    pet_builder: GammaPETBuilder = GammaPETBuilder()
+
+    def __post_init__(self):
+        if self.num_machines < 1:
+            raise ValueError("need at least one machine")
+
+    # ------------------------------------------------------------------
+    def platform(self) -> Platform:
+        """Eight identical machines of one type."""
+        machine_type = MachineType(id=0, name=HOMOGENEOUS_MACHINE_NAME,
+                                   price_per_hour=HOMOGENEOUS_MACHINE_PRICE)
+        return Platform(machine_types=(machine_type,),
+                        machines_per_type=(self.num_machines,),
+                        queue_capacity=self.queue_capacity)
+
+    def task_types(self) -> Tuple[TaskType, ...]:
+        """The twelve SPEC task types."""
+        return tuple(TaskType(id=i, name=name)
+                     for i, name in enumerate(SPEC_TASK_TYPE_NAMES))
+
+    def mean_matrix(self) -> np.ndarray:
+        """Column vector of per-task-type means (row averages of the SPEC matrix)."""
+        return spec_mean_matrix().mean(axis=1, keepdims=True)
+
+    def build_pet(self, rng: Optional[np.random.Generator] = None) -> PETMatrix:
+        """Sample the 12×1 PET matrix of the homogeneous platform."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return self.pet_builder.build(self.mean_matrix(), SPEC_TASK_TYPE_NAMES,
+                                      (HOMOGENEOUS_MACHINE_NAME,), rng)

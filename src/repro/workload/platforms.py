@@ -1,0 +1,82 @@
+"""Platform descriptions: machine types, machine instances and prices.
+
+A :class:`Platform` bundles everything static about the computing system:
+the machine types (PET columns), the machine instances of each type, and
+per-type pricing used by the cost analysis.  Workload modules
+(:mod:`repro.workload.spec`, :mod:`repro.workload.transcoding`,
+:mod:`repro.workload.homogeneous`) construct platforms together with a
+matching PET matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..sim.machine import Machine, MachineType
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Static description of the simulated machines.
+
+    Attributes
+    ----------
+    machine_types:
+        One entry per machine type, ids ``0..n-1`` in order.
+    machines_per_type:
+        How many machine instances of each type the platform contains.
+    queue_capacity:
+        Machine-queue capacity applied to every instantiated machine.
+    """
+
+    machine_types: Tuple[MachineType, ...]
+    machines_per_type: Tuple[int, ...]
+    queue_capacity: int = 6
+
+    def __post_init__(self):
+        object.__setattr__(self, "machine_types", tuple(self.machine_types))
+        object.__setattr__(self, "machines_per_type", tuple(int(c) for c in self.machines_per_type))
+        if len(self.machine_types) != len(self.machines_per_type):
+            raise ValueError("machines_per_type must match machine_types")
+        if not self.machine_types:
+            raise ValueError("platform needs at least one machine type")
+        for idx, mtype in enumerate(self.machine_types):
+            if mtype.id != idx:
+                raise ValueError("machine type ids must be 0..n-1 in order")
+        if any(count < 1 for count in self.machines_per_type):
+            raise ValueError("each machine type needs at least one instance")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        """Total number of machine instances."""
+        return sum(self.machines_per_type)
+
+    @property
+    def machine_type_names(self) -> Tuple[str, ...]:
+        """Names of the machine types in id order."""
+        return tuple(mt.name for mt in self.machine_types)
+
+    def build_machines(self) -> List[Machine]:
+        """Instantiate fresh :class:`Machine` objects for one simulation run."""
+        machines: List[Machine] = []
+        next_id = 0
+        for mtype, count in zip(self.machine_types, self.machines_per_type):
+            for _ in range(count):
+                machines.append(Machine(machine_id=next_id, type_id=mtype.id,
+                                        queue_capacity=self.queue_capacity))
+                next_id += 1
+        return machines
+
+    def price_of_type(self, type_id: int) -> float:
+        """Dollar-per-hour price of a machine type."""
+        return self.machine_types[int(type_id)].price_per_hour
+
+    def is_homogeneous(self) -> bool:
+        """True when the platform has a single machine type."""
+        return len(self.machine_types) == 1

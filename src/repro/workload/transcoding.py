@@ -1,0 +1,105 @@
+"""Video-transcoding validation workload (Fig. 10).
+
+The paper validates its findings on a live video-transcoding workload with
+four task types (changing resolution, bit rate, compression format, and
+packaging/container) on four heterogeneous AWS VM types, two machines of each
+type (eight machines total).  Execution-time variation *across* task types is
+high -- some transcoding operations are much cheaper than others -- and the
+system is only moderately oversubscribed.
+
+The original execution traces are not available, so the mean matrix is
+synthetic with the stated properties (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.pet import PETMatrix
+from ..sim.machine import MachineType
+from ..sim.task import TaskType
+from .pet_builder import GammaPETBuilder
+from .platforms import Platform
+
+__all__ = ["TRANSCODING_TASK_TYPE_NAMES", "TRANSCODING_MACHINE_NAMES",
+           "TRANSCODING_MACHINE_PRICES", "transcoding_mean_matrix",
+           "TranscodingWorkloadFactory"]
+
+#: Four video-transcoding operations used as task types.
+TRANSCODING_TASK_TYPE_NAMES: Tuple[str, ...] = (
+    "change-resolution", "change-bitrate", "change-codec", "change-container",
+)
+
+#: Four AWS-like VM types; two machines of each type are instantiated.
+TRANSCODING_MACHINE_NAMES: Tuple[str, ...] = (
+    "general-purpose", "cpu-optimized", "memory-optimized", "gpu",
+)
+
+#: On-demand prices (dollars per hour) of the VM types.
+TRANSCODING_MACHINE_PRICES: Tuple[float, ...] = (0.19, 0.34, 0.38, 0.90)
+
+
+def transcoding_mean_matrix() -> np.ndarray:
+    """Deterministic 4×4 mean execution-time matrix (ms).
+
+    Codec transcoding is by far the most expensive operation while container
+    re-packaging is nearly free, producing the "high execution-time variation
+    across task types" the paper describes; the GPU VM is only advantageous
+    for codec/resolution work, which makes the heterogeneity inconsistent.
+    """
+    return np.array([
+        #  general  cpu-opt  mem-opt   gpu
+        [   95.0,    70.0,    88.0,    45.0],   # change-resolution
+        [   60.0,    42.0,    55.0,    50.0],   # change-bitrate
+        [  240.0,   170.0,   200.0,    80.0],   # change-codec
+        [   22.0,    18.0,    16.0,    30.0],   # change-container
+    ], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class TranscodingWorkloadFactory:
+    """Builds the transcoding platform, task types and PET matrix.
+
+    Attributes
+    ----------
+    machines_per_type:
+        Number of VM instances per type (paper: two).
+    queue_capacity:
+        Machine-queue capacity (paper: 6).
+    pet_builder:
+        Configuration of the Gamma sampling + histogram PET construction.
+    """
+
+    machines_per_type: int = 2
+    queue_capacity: int = 6
+    pet_builder: GammaPETBuilder = GammaPETBuilder()
+
+    def __post_init__(self):
+        if self.machines_per_type < 1:
+            raise ValueError("need at least one machine per type")
+
+    # ------------------------------------------------------------------
+    def platform(self) -> Platform:
+        """The 4-type × ``machines_per_type`` heterogeneous platform."""
+        machine_types = tuple(
+            MachineType(id=j, name=name, price_per_hour=TRANSCODING_MACHINE_PRICES[j])
+            for j, name in enumerate(TRANSCODING_MACHINE_NAMES))
+        return Platform(machine_types=machine_types,
+                        machines_per_type=tuple(self.machines_per_type
+                                                for _ in machine_types),
+                        queue_capacity=self.queue_capacity)
+
+    def task_types(self) -> Tuple[TaskType, ...]:
+        """The four transcoding task types."""
+        return tuple(TaskType(id=i, name=name)
+                     for i, name in enumerate(TRANSCODING_TASK_TYPE_NAMES))
+
+    def build_pet(self, rng: Optional[np.random.Generator] = None) -> PETMatrix:
+        """Sample a PET matrix from the deterministic mean matrix."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return self.pet_builder.build(transcoding_mean_matrix(),
+                                      TRANSCODING_TASK_TYPE_NAMES,
+                                      TRANSCODING_MACHINE_NAMES, rng)

@@ -1,0 +1,150 @@
+"""Unit tests for completion-time propagation (Eq. 1/4/5)."""
+
+import pytest
+
+from repro.core.completion import (QueueEntry, chance_of_success, completion_pmf,
+                                   queue_completion_pmfs, queue_completion_with_drops)
+from repro.core.pmf import PMF
+
+
+def exec_pmf_simple():
+    return PMF.from_impulses([1, 2], [0.6, 0.4])
+
+
+class TestCompletionPMF:
+    def test_paper_figure2_example(self):
+        """Reproduce the worked example of Fig. 2 exactly."""
+        exec_pmf = exec_pmf_simple()
+        prev = PMF.from_impulses([10, 11, 12, 13], [0.6, 0.3, 0.05, 0.05])
+        deadline = 13
+        completion = completion_pmf(prev, exec_pmf, deadline)
+        assert completion.prob_at(11) == pytest.approx(0.36)
+        assert completion.prob_at(12) == pytest.approx(0.42)
+        # chance of success printed in the figure is P(< 13) = 0.78
+        assert chance_of_success(completion, deadline) == pytest.approx(0.78)
+        # total mass is preserved
+        assert completion.total_mass == pytest.approx(1.0)
+
+    def test_no_truncation_when_deadline_far(self):
+        exec_pmf = exec_pmf_simple()
+        prev = PMF.delta(10)
+        completion = completion_pmf(prev, exec_pmf, deadline=1000)
+        assert completion.approx_equal(prev.convolve(exec_pmf))
+
+    def test_full_truncation_when_deadline_passed(self):
+        """If the predecessor always finishes after the deadline, the task is
+        dropped in every branch and the completion PMF equals the
+        predecessor's."""
+        exec_pmf = exec_pmf_simple()
+        prev = PMF.from_impulses([50, 60], [0.5, 0.5])
+        completion = completion_pmf(prev, exec_pmf, deadline=40)
+        assert completion.approx_equal(prev)
+        assert chance_of_success(completion, 40) == 0.0
+
+    def test_partial_truncation_mass_conservation(self):
+        exec_pmf = exec_pmf_simple()
+        prev = PMF.from_impulses([10, 20, 30], [0.4, 0.3, 0.3])
+        completion = completion_pmf(prev, exec_pmf, deadline=25)
+        assert completion.total_mass == pytest.approx(1.0)
+        # The 0.3 mass at 30 passes through unchanged (dropped branch).
+        assert completion.prob_at(30) == pytest.approx(0.3)
+
+    def test_dropped_branch_mass_never_counts_as_success(self):
+        exec_pmf = exec_pmf_simple()
+        prev = PMF.from_impulses([10, 100], [0.5, 0.5])
+        deadline = 50
+        completion = completion_pmf(prev, exec_pmf, deadline)
+        # Only the 0.5 mass that starts at 10 can succeed.
+        assert chance_of_success(completion, deadline) == pytest.approx(0.5)
+
+    def test_sub_probability_prev(self):
+        exec_pmf = exec_pmf_simple()
+        prev = PMF.from_impulses([10], [0.25])
+        completion = completion_pmf(prev, exec_pmf, deadline=100)
+        assert completion.total_mass == pytest.approx(0.25)
+
+
+class TestQueueEntry:
+    def test_requires_non_empty_pmf(self):
+        with pytest.raises(ValueError):
+            QueueEntry(task_id=0, exec_pmf=PMF.empty(), deadline=10)
+
+
+class TestQueuePropagation:
+    def make_entries(self, deadlines=(20, 30, 40)):
+        return [QueueEntry(task_id=i, exec_pmf=exec_pmf_simple(), deadline=d)
+                for i, d in enumerate(deadlines)]
+
+    def test_chain_length(self):
+        base = PMF.delta(0)
+        entries = self.make_entries()
+        completions = queue_completion_pmfs(base, entries)
+        assert len(completions) == 3
+
+    def test_chain_matches_manual_computation(self):
+        base = PMF.delta(0)
+        entries = self.make_entries()
+        completions = queue_completion_pmfs(base, entries)
+        manual = completion_pmf(base, entries[0].exec_pmf, entries[0].deadline)
+        assert completions[0].approx_equal(manual)
+        manual2 = completion_pmf(manual, entries[1].exec_pmf, entries[1].deadline)
+        assert completions[1].approx_equal(manual2)
+
+    def test_means_are_non_decreasing(self):
+        base = PMF.delta(5)
+        entries = self.make_entries(deadlines=(100, 200, 300))
+        completions = queue_completion_pmfs(base, entries)
+        means = [c.mean() for c in completions]
+        assert means == sorted(means)
+
+    def test_total_mass_preserved_along_chain(self):
+        base = PMF.delta(0)
+        entries = self.make_entries(deadlines=(3, 4, 5))
+        for completion in queue_completion_pmfs(base, entries):
+            assert completion.total_mass == pytest.approx(1.0)
+
+    def test_empty_queue(self):
+        assert queue_completion_pmfs(PMF.delta(0), []) == []
+
+
+class TestQueueWithDrops:
+    def make_entries(self):
+        return [QueueEntry(task_id=i, exec_pmf=exec_pmf_simple(), deadline=100 + i)
+                for i in range(4)]
+
+    def test_dropped_positions_are_none(self):
+        base = PMF.delta(0)
+        entries = self.make_entries()
+        completions = queue_completion_with_drops(base, entries, dropped=[1, 2])
+        assert completions[1] is None and completions[2] is None
+        assert completions[0] is not None and completions[3] is not None
+
+    def test_drop_shifts_successors_earlier(self):
+        base = PMF.delta(0)
+        entries = self.make_entries()
+        with_drop = queue_completion_with_drops(base, entries, dropped=[0])
+        without_drop = queue_completion_with_drops(base, entries, dropped=[])
+        assert with_drop[1].mean() < without_drop[1].mean()
+
+    def test_drop_of_everything_ahead(self):
+        base = PMF.delta(0)
+        entries = self.make_entries()
+        completions = queue_completion_with_drops(base, entries, dropped=[0, 1, 2])
+        expected = completion_pmf(base, entries[3].exec_pmf, entries[3].deadline)
+        assert completions[3].approx_equal(expected)
+
+    def test_no_drops_matches_plain_chain(self):
+        base = PMF.delta(0)
+        entries = self.make_entries()
+        a = queue_completion_with_drops(base, entries, dropped=[])
+        b = queue_completion_pmfs(base, entries)
+        for x, y in zip(a, b):
+            assert x.approx_equal(y)
+
+    def test_out_of_range_drop_index(self):
+        base = PMF.delta(0)
+        entries = self.make_entries()
+        with pytest.raises(IndexError):
+            queue_completion_with_drops(base, entries, dropped=[7])
+        with pytest.raises(IndexError):
+            queue_completion_with_drops(base, entries, dropped=[-1])

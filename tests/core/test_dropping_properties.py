@@ -1,0 +1,108 @@
+"""Property-based tests for the dropping policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.completion import QueueEntry
+from repro.core.dropping import (MachineQueueView, OptimalProactiveDropping,
+                                 ProactiveHeuristicDropping, ThresholdDropping,
+                                 enumerate_droppable_subsets)
+from repro.core.pmf import PMF
+from repro.core.robustness import (instantaneous_robustness,
+                                   instantaneous_robustness_with_drops)
+
+
+@st.composite
+def queue_views(draw, max_len=5):
+    """Random machine-queue views with plausible execution times/deadlines."""
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    entries = []
+    backlog = 0
+    for task_id in range(length):
+        support = draw(st.integers(min_value=1, max_value=3))
+        times = draw(st.lists(st.integers(min_value=5, max_value=120),
+                              min_size=support, max_size=support, unique=True))
+        weights = draw(st.lists(st.floats(min_value=0.05, max_value=1.0),
+                                min_size=support, max_size=support))
+        total = sum(weights)
+        exec_pmf = PMF.from_impulses(times, [w / total for w in weights])
+        backlog += int(exec_pmf.mean())
+        slack = draw(st.floats(min_value=0.3, max_value=2.5))
+        deadline = max(int(slack * backlog), 1)
+        entries.append(QueueEntry(task_id=task_id, exec_pmf=exec_pmf,
+                                  deadline=deadline))
+    return MachineQueueView(machine_id=0, now=0, base_pmf=PMF.delta(0),
+                            entries=tuple(entries))
+
+
+@settings(max_examples=40, deadline=None)
+@given(queue_views())
+def test_heuristic_drop_indices_are_valid(view):
+    decision = ProactiveHeuristicDropping().evaluate_queue(view)
+    drops = decision.drop_indices
+    assert list(drops) == sorted(set(drops))
+    assert all(0 <= d < view.queue_length for d in drops)
+    # The last position is never selected by the robustness-based policies.
+    assert (view.queue_length - 1) not in drops
+
+
+@settings(max_examples=40, deadline=None)
+@given(queue_views())
+def test_heuristic_reported_robustness_is_consistent(view):
+    decision = ProactiveHeuristicDropping().evaluate_queue(view)
+    assert decision.robustness_before == pytest.approx(
+        instantaneous_robustness(view.base_pmf, view.entries), abs=1e-9)
+    assert decision.robustness_after == pytest.approx(
+        instantaneous_robustness_with_drops(view.base_pmf, view.entries,
+                                            decision.drop_indices), abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(queue_views(max_len=4))
+def test_optimal_dominates_every_subset(view):
+    decision = OptimalProactiveDropping().evaluate_queue(view)
+    achieved = instantaneous_robustness_with_drops(view.base_pmf, view.entries,
+                                                   decision.drop_indices)
+    for subset in enumerate_droppable_subsets(view.queue_length):
+        value = instantaneous_robustness_with_drops(view.base_pmf, view.entries, subset)
+        assert achieved >= value - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(queue_views(max_len=4))
+def test_optimal_dominates_heuristic(view):
+    opt = OptimalProactiveDropping().evaluate_queue(view)
+    heu = ProactiveHeuristicDropping().evaluate_queue(view)
+    opt_value = instantaneous_robustness_with_drops(view.base_pmf, view.entries,
+                                                    opt.drop_indices)
+    heu_value = instantaneous_robustness_with_drops(view.base_pmf, view.entries,
+                                                    heu.drop_indices)
+    assert opt_value >= heu_value - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(queue_views(), st.floats(min_value=0.0, max_value=1.0))
+def test_threshold_drops_exactly_the_below_threshold_tasks(view, threshold):
+    """Every surviving task has chance >= threshold on the surviving chain."""
+    from repro.core.completion import completion_pmf
+
+    decision = ThresholdDropping(threshold=threshold).evaluate_queue(view)
+    dropped = set(decision.drop_indices)
+    prefix = view.base_pmf
+    for idx, entry in enumerate(view.entries):
+        candidate = completion_pmf(prefix, entry.exec_pmf, entry.deadline)
+        p = candidate.mass_before(entry.deadline)
+        if idx in dropped:
+            assert p < threshold
+        else:
+            assert p >= threshold
+            prefix = candidate
+
+
+@settings(max_examples=40, deadline=None)
+@given(queue_views(), st.floats(min_value=1.0, max_value=4.0),
+       st.integers(min_value=1, max_value=4))
+def test_heuristic_parameters_never_crash(view, beta, eta):
+    decision = ProactiveHeuristicDropping(beta=beta, eta=eta).evaluate_queue(view)
+    assert decision.num_drops <= view.queue_length

@@ -1,0 +1,98 @@
+"""Unit tests for the threshold-based dropping baseline."""
+
+import pytest
+
+from repro.core.completion import QueueEntry
+from repro.core.dropping import (AdaptiveThresholdDropping, MachineQueueView,
+                                 ThresholdDropping)
+from repro.core.pmf import PMF
+
+
+def entry(task_id, exec_time, deadline):
+    return QueueEntry(task_id=task_id, exec_pmf=PMF.delta(exec_time), deadline=deadline)
+
+
+def view(entries, now=0, pressure=0.0):
+    return MachineQueueView(machine_id=0, now=now, base_pmf=PMF.delta(now),
+                            entries=tuple(entries), pressure=pressure)
+
+
+class TestStaticThreshold:
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            ThresholdDropping(threshold=-0.1)
+        with pytest.raises(ValueError):
+            ThresholdDropping(threshold=1.2)
+
+    def test_empty_queue(self):
+        assert ThresholdDropping().evaluate_queue(view([])).drop_indices == ()
+
+    def test_drops_tasks_below_threshold(self):
+        # Head is hopeless (chance 0), second task is certain.
+        entries = [entry(0, 90, 50), entry(1, 10, 200)]
+        decision = ThresholdDropping(threshold=0.5).evaluate_queue(view(entries))
+        assert decision.drop_indices == (0,)
+
+    def test_zero_threshold_never_drops(self):
+        entries = [entry(0, 90, 50), entry(1, 10, 60)]
+        decision = ThresholdDropping(threshold=0.0).evaluate_queue(view(entries))
+        assert decision.drop_indices == ()
+
+    def test_threshold_one_drops_every_uncertain_task(self):
+        exec_pmf = PMF.from_impulses([10, 100], [0.9, 0.1])
+        entries = [QueueEntry(task_id=0, exec_pmf=exec_pmf, deadline=50),
+                   QueueEntry(task_id=1, exec_pmf=exec_pmf, deadline=80)]
+        decision = ThresholdDropping(threshold=1.0).evaluate_queue(view(entries))
+        assert decision.drop_indices == (0, 1)
+
+    def test_later_tasks_evaluated_on_surviving_chain(self):
+        # Head hopeless; once dropped, the tail becomes certain and survives
+        # even a fairly high threshold.
+        entries = [entry(0, 90, 50), entry(1, 20, 80), entry(2, 20, 120)]
+        decision = ThresholdDropping(threshold=0.6).evaluate_queue(view(entries))
+        assert decision.drop_indices == (0,)
+
+    def test_can_drop_last_position(self):
+        """Unlike the robustness-based policies, threshold pruning may drop
+        the final task of a queue when its own chance is too low."""
+        entries = [entry(0, 10, 100), entry(1, 90, 50)]
+        decision = ThresholdDropping(threshold=0.5).evaluate_queue(view(entries))
+        assert decision.drop_indices == (1,)
+
+    def test_reports_robustness_bookkeeping(self):
+        entries = [entry(0, 90, 50), entry(1, 10, 60), entry(2, 10, 70)]
+        decision = ThresholdDropping(threshold=0.5).evaluate_queue(view(entries))
+        assert decision.robustness_after >= decision.robustness_before
+
+
+class TestAdaptiveThreshold:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdDropping(base_threshold=0.7, max_threshold=0.3)
+
+    def test_threshold_scales_with_pressure(self):
+        policy = AdaptiveThresholdDropping(base_threshold=0.1, max_threshold=0.9)
+        low = policy.current_threshold(view([], pressure=0.0))
+        high = policy.current_threshold(view([], pressure=1.0))
+        mid = policy.current_threshold(view([], pressure=0.5))
+        assert low == pytest.approx(0.1)
+        assert high == pytest.approx(0.9)
+        assert mid == pytest.approx(0.5)
+
+    def test_pressure_clamped(self):
+        policy = AdaptiveThresholdDropping(base_threshold=0.1, max_threshold=0.9)
+        assert policy.current_threshold(view([], pressure=5.0)) == pytest.approx(0.9)
+        assert policy.current_threshold(view([], pressure=-1.0)) == pytest.approx(0.1)
+
+    def test_more_pressure_drops_more(self):
+        exec_pmf = PMF.from_impulses([10, 40], [0.5, 0.5])
+        entries = [QueueEntry(task_id=i, exec_pmf=exec_pmf, deadline=30 + 20 * i)
+                   for i in range(4)]
+        policy = AdaptiveThresholdDropping(base_threshold=0.05, max_threshold=0.95)
+        relaxed = policy.evaluate_queue(view(entries, pressure=0.0))
+        stressed = policy.evaluate_queue(view(entries, pressure=1.0))
+        assert stressed.num_drops >= relaxed.num_drops
+
+    def test_name_attributes(self):
+        assert ThresholdDropping().name == "threshold"
+        assert AdaptiveThresholdDropping().name == "threshold-adaptive"

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the PMF type and completion chaining."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.completion import QueueEntry, completion_pmf, queue_completion_pmfs
+from repro.core.pmf import PMF
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def pmfs(draw, max_support=8, min_time=0, max_time=200, normalised=True):
+    """Random small PMFs with distinct integer support points."""
+    size = draw(st.integers(min_value=1, max_value=max_support))
+    times = draw(st.lists(st.integers(min_value=min_time, max_value=max_time),
+                          min_size=size, max_size=size, unique=True))
+    weights = draw(st.lists(st.floats(min_value=0.01, max_value=1.0,
+                                      allow_nan=False, allow_infinity=False),
+                            min_size=size, max_size=size))
+    total = sum(weights)
+    probs = [w / total for w in weights]
+    if not normalised:
+        scale = draw(st.floats(min_value=0.1, max_value=1.0))
+        probs = [p * scale for p in probs]
+    return PMF.from_impulses(times, probs)
+
+
+@st.composite
+def exec_pmfs(draw):
+    """Execution-time PMFs: strictly positive support."""
+    return draw(pmfs(min_time=1, max_time=120))
+
+
+# ----------------------------------------------------------------------
+# PMF algebra properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs())
+def test_total_mass_close_to_one(pmf):
+    assert pmf.total_mass == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), pmfs())
+def test_convolution_mass_is_product_of_masses(a, b):
+    conv = a.convolve(b)
+    assert conv.total_mass == pytest.approx(a.total_mass * b.total_mass, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), pmfs())
+def test_convolution_mean_is_sum_of_means(a, b):
+    conv = a.convolve(b)
+    assert conv.mean() == pytest.approx(a.mean() + b.mean(), rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pmfs(), pmfs())
+def test_convolution_commutes(a, b):
+    assert a.convolve(b).approx_equal(b.convolve(a), tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pmfs(), pmfs(), pmfs())
+def test_convolution_associates(a, b, c):
+    left = a.convolve(b).convolve(c)
+    right = a.convolve(b.convolve(c))
+    assert left.approx_equal(right, tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), st.integers(min_value=-10, max_value=250))
+def test_split_preserves_mass_and_support(pmf, t):
+    before, after = pmf.split_at(t)
+    assert before.total_mass + after.total_mass == pytest.approx(pmf.total_mass, abs=1e-9)
+    if not before.is_empty:
+        assert before.max_time < t
+    if not after.is_empty:
+        assert after.min_time >= t
+    assert before.add(after).approx_equal(pmf, tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), st.integers(min_value=-10, max_value=250))
+def test_mass_before_matches_split(pmf, t):
+    before, _after = pmf.split_at(t)
+    assert pmf.mass_before(t) == pytest.approx(before.total_mass, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), st.integers(min_value=-50, max_value=50))
+def test_shift_translates_mean(pmf, dt):
+    shifted = pmf.shift(dt)
+    assert shifted.mean() == pytest.approx(pmf.mean() + dt, abs=1e-9)
+    assert shifted.total_mass == pytest.approx(pmf.total_mass, abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs())
+def test_mass_before_is_monotone_in_t(pmf):
+    values = [pmf.mass_before(t) for t in range(pmf.min_time - 1, pmf.max_time + 2)]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    assert values[0] == 0.0
+    assert values[-1] == pytest.approx(pmf.total_mass)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), st.integers(min_value=0, max_value=220))
+def test_conditional_at_least_keeps_mass_and_moves_support(pmf, t):
+    cond = pmf.conditional_at_least(t)
+    assert cond.total_mass == pytest.approx(pmf.total_mass, abs=1e-9)
+    assert cond.min_time >= min(t, pmf.max_time) or cond.min_time >= t
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs())
+def test_sampling_stays_in_support(pmf):
+    rng = np.random.default_rng(0)
+    samples = pmf.sample(rng, size=64)
+    support = set(pmf.impulses()[0].tolist())
+    assert set(samples.tolist()).issubset(support)
+
+
+# ----------------------------------------------------------------------
+# Completion chaining properties (Eq. 1)
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), exec_pmfs(), st.integers(min_value=1, max_value=400))
+def test_completion_preserves_total_mass(prev, exec_pmf, deadline):
+    completion = completion_pmf(prev, exec_pmf, deadline)
+    assert completion.total_mass == pytest.approx(prev.total_mass, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), exec_pmfs(), st.integers(min_value=1, max_value=400))
+def test_completion_never_earlier_than_predecessor_start(prev, exec_pmf, deadline):
+    completion = completion_pmf(prev, exec_pmf, deadline)
+    assert completion.min_time >= prev.min_time
+
+
+@settings(max_examples=60, deadline=None)
+@given(pmfs(), exec_pmfs(), st.integers(min_value=1, max_value=400))
+def test_chance_of_success_bounded_by_start_chance(prev, exec_pmf, deadline):
+    """A task can only succeed in branches where it starts before its deadline."""
+    completion = completion_pmf(prev, exec_pmf, deadline)
+    assert completion.mass_before(deadline) <= prev.mass_before(deadline) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(exec_pmfs(), min_size=1, max_size=4),
+       st.lists(st.integers(min_value=10, max_value=500), min_size=4, max_size=4))
+def test_queue_chain_masses_and_monotone_means(exec_list, deadlines):
+    base = PMF.delta(0)
+    entries = [QueueEntry(task_id=i, exec_pmf=e, deadline=deadlines[i])
+               for i, e in enumerate(exec_list)]
+    completions = queue_completion_pmfs(base, entries)
+    assert len(completions) == len(entries)
+    for completion in completions:
+        assert completion.total_mass == pytest.approx(1.0, abs=1e-9)
+    means = [c.mean() for c in completions]
+    assert all(b >= a - 1e-9 for a, b in zip(means, means[1:]))

@@ -1,0 +1,62 @@
+"""Unit tests for dependence/influence zone helpers."""
+
+import pytest
+
+from repro.core.zones import (dependence_zone, effective_influence_zone,
+                              influence_zone)
+
+
+class TestDependenceZone:
+    def test_first_task_has_empty_dependence_zone(self):
+        assert dependence_zone(0, 5) == ()
+
+    def test_middle_task(self):
+        assert dependence_zone(3, 6) == (0, 1, 2)
+
+    def test_last_task(self):
+        assert dependence_zone(5, 6) == (0, 1, 2, 3, 4)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            dependence_zone(5, 5)
+        with pytest.raises(IndexError):
+            dependence_zone(-1, 5)
+
+
+class TestInfluenceZone:
+    def test_last_task_has_empty_influence_zone(self):
+        assert influence_zone(4, 5) == ()
+
+    def test_first_task(self):
+        assert influence_zone(0, 4) == (1, 2, 3)
+
+    def test_middle_task(self):
+        assert influence_zone(2, 6) == (3, 4, 5)
+
+    def test_zones_partition_queue(self):
+        q = 7
+        for i in range(q):
+            combined = set(dependence_zone(i, q)) | {i} | set(influence_zone(i, q))
+            assert combined == set(range(q))
+
+    def test_negative_queue_length(self):
+        with pytest.raises(ValueError):
+            influence_zone(0, -1)
+
+
+class TestEffectiveInfluenceZone:
+    def test_clipped_at_queue_end(self):
+        assert effective_influence_zone(3, 5, eta=10) == (4,)
+
+    def test_eta_limits_window(self):
+        assert effective_influence_zone(0, 10, eta=2) == (1, 2)
+
+    def test_eta_zero(self):
+        assert effective_influence_zone(0, 10, eta=0) == ()
+
+    def test_negative_eta(self):
+        with pytest.raises(ValueError):
+            effective_influence_zone(0, 10, eta=-1)
+
+    def test_last_task(self):
+        assert effective_influence_zone(9, 10, eta=3) == ()

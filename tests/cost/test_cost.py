@@ -1,0 +1,93 @@
+"""Unit tests for the pricing model and cost accounting."""
+
+import pytest
+
+from repro.cost.accounting import compute_cost_report
+from repro.cost.pricing import TIME_UNITS_PER_HOUR, PricingModel
+from repro.sim.machine import Machine, MachineType
+from repro.sim.system import SimulationResult
+from repro.sim.task import Task, TaskStatus, TaskType
+
+
+class TestPricingModel:
+    def test_from_machine_types(self):
+        types = [MachineType(id=0, name="cheap", price_per_hour=0.1),
+                 MachineType(id=1, name="fast", price_per_hour=0.9)]
+        pricing = PricingModel.from_machine_types(types)
+        assert pricing.price_of(0) == pytest.approx(0.1)
+        assert pricing.price_of(1) == pytest.approx(0.9)
+
+    def test_unknown_type(self):
+        pricing = PricingModel({0: 0.5})
+        with pytest.raises(KeyError):
+            pricing.price_of(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PricingModel({})
+        with pytest.raises(ValueError):
+            PricingModel({0: -1.0})
+        with pytest.raises(ValueError):
+            PricingModel({0: 1.0}, time_units_per_hour=0)
+
+    def test_cost_of_busy_time(self):
+        pricing = PricingModel({0: 2.0})
+        assert pricing.cost_of_busy_time(0, TIME_UNITS_PER_HOUR) == pytest.approx(2.0)
+        assert pricing.cost_of_busy_time(0, TIME_UNITS_PER_HOUR // 2) == pytest.approx(1.0)
+        assert pricing.cost_of_busy_time(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            pricing.cost_of_busy_time(0, -1)
+
+
+def make_result(on_time, late, busy_by_machine):
+    tasks = {}
+    task_id = 0
+    for _ in range(on_time):
+        t = Task(id=task_id, type_id=0, arrival=0, deadline=100)
+        t.status = TaskStatus.COMPLETED_ON_TIME
+        tasks[task_id] = t
+        task_id += 1
+    for _ in range(late):
+        t = Task(id=task_id, type_id=0, arrival=0, deadline=100)
+        t.status = TaskStatus.COMPLETED_LATE
+        tasks[task_id] = t
+        task_id += 1
+    machines = []
+    for idx, busy in enumerate(busy_by_machine):
+        m = Machine(idx, idx % 2)
+        m.busy_time = busy
+        machines.append(m)
+    machine_types = [MachineType(id=0, name="a", price_per_hour=1.0),
+                     MachineType(id=1, name="b", price_per_hour=2.0)]
+    return SimulationResult(tasks=tasks, machines=machines,
+                            machine_types=machine_types,
+                            task_types=[TaskType(id=0, name="t0")],
+                            makespan=100, num_mapping_events=1,
+                            num_proactive_drops=0, num_reactive_queue_drops=0,
+                            num_batch_expired_drops=0, num_dispatched_events=1)
+
+
+class TestCostReport:
+    def test_total_and_per_type_costs(self):
+        result = make_result(on_time=1, late=1,
+                             busy_by_machine=[TIME_UNITS_PER_HOUR, TIME_UNITS_PER_HOUR])
+        pricing = PricingModel.from_machine_types(result.machine_types)
+        report = compute_cost_report(result, pricing, warmup=0, cooldown=0)
+        assert report.total_cost == pytest.approx(3.0)  # 1*$1 + 1*$2
+        assert report.cost_by_machine_type[0] == pytest.approx(1.0)
+        assert report.cost_by_machine_type[1] == pytest.approx(2.0)
+        assert report.robustness_pct == pytest.approx(50.0)
+        assert report.cost_per_completed_pct == pytest.approx(3.0 / 50.0)
+
+    def test_zero_robustness_gives_infinite_normalised_cost(self):
+        result = make_result(on_time=0, late=2, busy_by_machine=[TIME_UNITS_PER_HOUR])
+        pricing = PricingModel.from_machine_types(result.machine_types)
+        report = compute_cost_report(result, pricing, warmup=0, cooldown=0)
+        assert report.cost_per_completed_pct == float("inf")
+
+    def test_idle_machines_cost_nothing(self):
+        result = make_result(on_time=2, late=0, busy_by_machine=[0, 0])
+        pricing = PricingModel.from_machine_types(result.machine_types)
+        report = compute_cost_report(result, pricing, warmup=0, cooldown=0)
+        assert report.total_cost == 0.0
+        assert report.cost_per_completed_pct == 0.0

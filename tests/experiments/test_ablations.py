@@ -1,0 +1,54 @@
+"""Tests for the ablation studies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (ablation_optimal_vs_heuristic,
+                                         ablation_pmf_resolution,
+                                         random_queue_view)
+from repro.experiments.config import ExperimentConfig
+
+
+class TestRandomQueueView:
+    def test_structure(self):
+        rng = np.random.default_rng(0)
+        view = random_queue_view(rng, queue_length=4)
+        assert view.queue_length == 4
+        assert all(e.deadline > 0 for e in view.entries)
+        assert all(not e.exec_pmf.is_empty for e in view.entries)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            random_queue_view(np.random.default_rng(0), queue_length=0)
+
+    def test_reproducible(self):
+        a = random_queue_view(np.random.default_rng(5), queue_length=3)
+        b = random_queue_view(np.random.default_rng(5), queue_length=3)
+        assert [e.deadline for e in a.entries] == [e.deadline for e in b.entries]
+
+
+class TestOptimalVsHeuristicAblation:
+    def test_report_fields(self):
+        report = ablation_optimal_vs_heuristic(num_queues=20, queue_length=4, seed=1)
+        assert report.num_queues == 20
+        assert 0 <= report.identical_decisions <= 20
+        assert 0.0 <= report.agreement_rate <= 1.0
+        # The optimal search never does worse than the heuristic.
+        assert report.mean_robustness_gap >= 0.0
+        assert report.max_robustness_gap >= report.mean_robustness_gap
+
+    def test_high_agreement_expected(self):
+        """Section V-F: the heuristic tracks the optimal decision closely."""
+        report = ablation_optimal_vs_heuristic(num_queues=60, queue_length=5, seed=3)
+        assert report.agreement_rate >= 0.5
+        assert report.mean_robustness_gap < 0.5
+
+
+class TestPMFResolutionAblation:
+    def test_sweep_runs(self):
+        config = ExperimentConfig(scale=0.002, trials=1, base_seed=2)
+        points = ablation_pmf_resolution(config, impulse_budgets=(8, 16), level="20k")
+        assert len(points) == 2
+        assert points[0].max_impulses == 8
+        assert all(0.0 <= p.robustness_pct <= 100.0 for p in points)
+        assert all(p.runtime_seconds > 0 for p in points)

@@ -1,0 +1,129 @@
+"""Tests for the figure harness, reporting and the CLI (tiny scales)."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (FigureResult, figure5_effective_depth,
+                                       figure7a_heterogeneous,
+                                       figure8_dropping_policies, figure9_cost,
+                                       reactive_share_analysis)
+from repro.experiments.reporting import (format_comparison, format_figure_table,
+                                         format_series_summary)
+from repro.experiments.runner import run_configuration
+
+TINY = ExperimentConfig(scale=0.002, trials=1, base_seed=11)
+
+
+@pytest.fixture(scope="module")
+def tiny_fig7a():
+    return figure7a_heterogeneous(TINY, level="30k", mappers=("MM", "PAM"))
+
+
+class TestFigureResult:
+    def test_add_point_and_rows(self):
+        config = TINY
+        result = run_configuration(config, "spec", "20k", "PAM", "react")
+        fig = FigureResult(figure_id="x", title="t", x_label="x", y_label="y")
+        fig.add_point("series-a", 1, result)
+        fig.add_point("series-a", 2, result)
+        assert fig.series_xs("series-a") == [1, 2]
+        assert len(fig.series_values("series-a")) == 2
+        assert len(fig.to_rows()) == 2
+
+    def test_unknown_metric(self):
+        config = TINY
+        result = run_configuration(config, "spec", "20k", "PAM", "react")
+        fig = FigureResult(figure_id="x", title="t", x_label="x", y_label="y")
+        with pytest.raises(ValueError):
+            fig.add_point("s", 1, result, metric="nope")
+
+    def test_cost_metric_requires_cost(self):
+        config = TINY
+        result = run_configuration(config, "spec", "20k", "PAM", "react")
+        fig = FigureResult(figure_id="x", title="t", x_label="x", y_label="y")
+        with pytest.raises(ValueError):
+            fig.add_point("s", 1, result, metric="cost")
+
+
+class TestFigureHarness:
+    def test_fig7a_structure(self, tiny_fig7a):
+        fig = tiny_fig7a
+        assert set(fig.series) == {"MM+Heuristic", "MM+ReactDrop",
+                                   "PAM+Heuristic", "PAM+ReactDrop"}
+        for points in fig.series.values():
+            assert len(points) == 1
+            assert 0.0 <= points[0].value <= 100.0
+
+    def test_fig5_structure(self):
+        fig = figure5_effective_depth(TINY, etas=(1, 2), levels=("30k",))
+        assert list(fig.series) == ["30k tasks"]
+        assert fig.series_xs("30k tasks") == [1, 2]
+
+    def test_fig8_structure_without_optimal(self):
+        fig = figure8_dropping_policies(TINY, levels=("20k",), include_optimal=False)
+        assert set(fig.series) == {"PAM+Heuristic", "PAM+Threshold"}
+
+    def test_fig9_reports_cost_metric(self):
+        fig = figure9_cost(TINY, levels=("20k",))
+        for points in fig.series.values():
+            assert points[0].value >= 0.0
+
+    def test_reactive_share_analysis(self):
+        fig = reactive_share_analysis(TINY, level="30k")
+        react_only = fig.series["PAM+ReactDrop"][0].value
+        with_heuristic = fig.series["PAM+Heuristic"][0].value
+        assert 0.0 <= with_heuristic <= 1.0
+        # Without proactive dropping every queue drop is reactive.
+        assert react_only == pytest.approx(1.0) or react_only == 0.0
+
+
+class TestReporting:
+    def test_format_figure_table(self, tiny_fig7a):
+        text = format_figure_table(tiny_fig7a)
+        assert "MM+Heuristic" in text
+        assert "Tasks completed on time" in text
+        assert "[" in text and "]" in text  # confidence bounds
+
+    def test_format_series_summary(self, tiny_fig7a):
+        text = format_series_summary(tiny_fig7a)
+        assert "fig7a" in text
+        assert "mean=" in text
+
+    def test_format_comparison(self):
+        text = format_comparison(["a", "bb"], [1.0, 2.5], title="demo")
+        assert "demo" in text and "bb" in text
+        with pytest.raises(ValueError):
+            format_comparison(["a"], [1.0, 2.0])
+
+    def test_small_metric_values_keep_significant_digits(self):
+        """Normalised cost values far below one must not render as 0.00."""
+        from repro.experiments.figures import FigurePoint
+
+        fig = FigureResult(figure_id="cost", title="cost", x_label="x",
+                           y_label="cost")
+        fig.series["s"] = [FigurePoint(x="20k", value=2.3e-5, lower=1.9e-5,
+                                       upper=2.7e-5, result=None)]
+        text = format_figure_table(fig)
+        assert "0.000023" in text
+
+
+class TestCLI:
+    def test_parser_accepts_all_figures(self):
+        parser = build_parser()
+        for figure in ("fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9",
+                       "fig10", "drops"):
+            args = parser.parse_args([figure])
+            assert args.figure == figure
+
+    def test_main_runs_tiny_figure(self, capsys):
+        exit_code = main(["fig7a", "--scale", "0.002", "--trials", "1",
+                          "--level", "30k"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "PAM" in captured.out
+
+    def test_main_drops_analysis(self, capsys):
+        exit_code = main(["drops", "--scale", "0.002", "--trials", "1"])
+        assert exit_code == 0
+        assert "Reactive share" in capsys.readouterr().out

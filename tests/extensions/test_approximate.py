@@ -1,0 +1,153 @@
+"""Tests for the approximate-computing (keep / degrade / drop) extension."""
+
+import pytest
+
+from repro.core.completion import QueueEntry
+from repro.core.dropping import MachineQueueView, ProactiveHeuristicDropping
+from repro.core.pmf import PMF
+from repro.extensions.approximate import (ApproximateComputingPlanner, TaskAction,
+                                          scale_execution_pmf)
+
+
+def entry(task_id, exec_time, deadline):
+    return QueueEntry(task_id=task_id, exec_pmf=PMF.delta(exec_time), deadline=deadline)
+
+
+def view(entries, now=0):
+    return MachineQueueView(machine_id=0, now=now, base_pmf=PMF.delta(now),
+                            entries=tuple(entries))
+
+
+class TestScaleExecutionPMF:
+    def test_deterministic_scaling(self):
+        pmf = scale_execution_pmf(PMF.delta(100), 0.5)
+        assert pmf.approx_equal(PMF.delta(50))
+
+    def test_probabilities_preserved(self):
+        base = PMF.from_impulses([40, 80], [0.25, 0.75])
+        scaled = scale_execution_pmf(base, 0.5)
+        assert scaled.prob_at(20) == pytest.approx(0.25)
+        assert scaled.prob_at(40) == pytest.approx(0.75)
+
+    def test_never_below_one_unit(self):
+        scaled = scale_execution_pmf(PMF.delta(1), 0.1)
+        assert scaled.min_time == 1
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            scale_execution_pmf(PMF.delta(10), 0.0)
+        with pytest.raises(ValueError):
+            scale_execution_pmf(PMF.delta(10), 1.5)
+        with pytest.raises(ValueError):
+            scale_execution_pmf(PMF.empty(), 0.5)
+
+    def test_factor_one_is_identity(self):
+        base = PMF.from_impulses([10, 20], [0.5, 0.5])
+        assert scale_execution_pmf(base, 1.0).approx_equal(base)
+
+
+class TestPlannerParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateComputingPlanner(beta=0.5)
+        with pytest.raises(ValueError):
+            ApproximateComputingPlanner(eta=0)
+        with pytest.raises(ValueError):
+            ApproximateComputingPlanner(degradation_factor=0.0)
+        with pytest.raises(ValueError):
+            ApproximateComputingPlanner(quality_penalty=1.5)
+
+
+class TestPlanning:
+    def test_empty_queue(self):
+        plan = ApproximateComputingPlanner().plan_queue(view([]))
+        assert plan.actions == ()
+        assert plan.robustness_after == 0.0
+
+    def test_healthy_queue_untouched(self):
+        entries = [entry(i, 10, 1000) for i in range(3)]
+        plan = ApproximateComputingPlanner().plan_queue(view(entries))
+        assert all(a is TaskAction.KEEP for a in plan.actions)
+        assert plan.robustness_after == pytest.approx(plan.robustness_before)
+        assert plan.expected_quality_loss == 0.0
+
+    def test_marginal_task_degraded_instead_of_dropped(self):
+        # A single task that misses its deadline at full quality (60 > 50)
+        # but makes it comfortably at half time (30 < 50).
+        entries = [entry(0, 60, 50)]
+        planner = ApproximateComputingPlanner(degradation_factor=0.5,
+                                              quality_penalty=0.25)
+        plan = planner.plan_queue(view(entries))
+        assert plan.actions == (TaskAction.DEGRADE,)
+        assert plan.robustness_after > plan.robustness_before
+        assert plan.expected_quality_loss == pytest.approx(0.25)
+
+    def test_hopeless_task_still_dropped(self):
+        # Even at half time the head cannot meet its deadline, and it starves
+        # two easy successors: dropping remains the right call.
+        entries = [entry(0, 200, 50), entry(1, 10, 60), entry(2, 10, 70)]
+        planner = ApproximateComputingPlanner(degradation_factor=0.5)
+        plan = planner.plan_queue(view(entries))
+        assert plan.actions[0] is TaskAction.DROP
+        assert plan.robustness_after >= 2.0 - 1e-9
+
+    def test_degradation_can_rescue_whole_queue(self):
+        # The head fits only in degraded mode; once degraded, the successors
+        # also meet their deadlines, so nothing needs to be dropped.
+        entries = [entry(0, 60, 50), entry(1, 20, 80), entry(2, 20, 110)]
+        planner = ApproximateComputingPlanner(degradation_factor=0.5,
+                                              quality_penalty=0.1)
+        plan = planner.plan_queue(view(entries))
+        assert plan.actions[0] is TaskAction.DEGRADE
+        assert TaskAction.DROP not in plan.actions
+        assert plan.robustness_after > plan.robustness_before
+
+    def test_full_quality_preferred_when_penalty_high(self):
+        # With a prohibitive quality penalty, degrading is never worth it for
+        # a task that already has a decent chance at full quality.
+        head = QueueEntry(task_id=0, exec_pmf=PMF.from_impulses([40, 60], [0.8, 0.2]),
+                          deadline=50)
+        planner = ApproximateComputingPlanner(degradation_factor=0.5,
+                                              quality_penalty=0.9)
+        plan = planner.plan_queue(view([head]))
+        assert plan.actions == (TaskAction.KEEP,)
+
+    def test_custom_degraded_pmfs_used(self):
+        entries = [entry(0, 60, 50)]
+        custom = {0: PMF.delta(5)}
+        planner = ApproximateComputingPlanner(quality_penalty=0.0)
+        plan = planner.plan_queue(view(entries), degraded_pmfs=custom)
+        assert plan.actions == (TaskAction.DEGRADE,)
+
+    def test_last_task_never_dropped_but_may_degrade(self):
+        entries = [entry(0, 10, 1000), entry(1, 60, 55)]
+        planner = ApproximateComputingPlanner(degradation_factor=0.5,
+                                              quality_penalty=0.1)
+        plan = planner.plan_queue(view(entries))
+        assert plan.actions[1] in (TaskAction.DEGRADE, TaskAction.KEEP)
+        assert plan.actions[1] is TaskAction.DEGRADE
+
+    def test_plan_summaries(self):
+        entries = [entry(0, 200, 50), entry(1, 60, 70), entry(2, 10, 90)]
+        planner = ApproximateComputingPlanner(degradation_factor=0.5,
+                                              quality_penalty=0.2)
+        plan = planner.plan_queue(view(entries))
+        assert plan.num_dropped == len(plan.drop_indices())
+        assert plan.num_degraded == len(plan.degrade_indices())
+        assert len(plan.actions) == 3
+
+
+class TestComparisonWithDroppingOnly:
+    def test_degradation_beats_pure_dropping_on_marginal_queues(self):
+        """A marginal head task (too slow at full quality, fine at half
+        quality) followed by short feasible tasks: drop-only pruning can at
+        best sacrifice the head, while the keep/degrade/drop planner keeps a
+        degraded version of it and retains more instantaneous robustness."""
+        entries = [entry(0, 60, 55), entry(1, 10, 90), entry(2, 10, 125)]
+        v = view(entries)
+        planner = ApproximateComputingPlanner(degradation_factor=0.5,
+                                              quality_penalty=0.0)
+        plan = planner.plan_queue(v)
+        dropping = ProactiveHeuristicDropping(beta=1.0, eta=2)
+        decision = dropping.evaluate_queue(v)
+        assert plan.robustness_after > decision.robustness_after

@@ -1,0 +1,99 @@
+"""Property-based tests shared by every mapping heuristic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pet import PETMatrix
+from repro.core.pmf import PMF
+from repro.mapping import make_heuristic
+from repro.mapping.base import MachineState, MappingContext, TaskView
+
+HEURISTICS = ("MM", "MSD", "PAM", "FCFS", "SJF", "EDF")
+
+
+@st.composite
+def mapping_problems(draw):
+    """Random small mapping problems (PET, machines with slots, task window)."""
+    n_task_types = draw(st.integers(min_value=1, max_value=3))
+    n_machine_types = draw(st.integers(min_value=1, max_value=3))
+    means = [[draw(st.integers(min_value=5, max_value=200))
+              for _ in range(n_machine_types)] for _ in range(n_task_types)]
+    entries = {(i, j): PMF.delta(means[i][j])
+               for i in range(n_task_types) for j in range(n_machine_types)}
+    pet = PETMatrix(tuple(f"t{i}" for i in range(n_task_types)),
+                    tuple(f"m{j}" for j in range(n_machine_types)),
+                    entries)
+
+    n_machines = draw(st.integers(min_value=1, max_value=4))
+    machines = []
+    for machine_id in range(n_machines):
+        machines.append(MachineState(
+            machine_id=machine_id,
+            type_id=draw(st.integers(min_value=0, max_value=n_machine_types - 1)),
+            free_slots=draw(st.integers(min_value=0, max_value=3)),
+            tail_pmf=PMF.delta(draw(st.integers(min_value=0, max_value=100)))))
+
+    n_tasks = draw(st.integers(min_value=0, max_value=6))
+    tasks = []
+    for task_id in range(n_tasks):
+        arrival = draw(st.integers(min_value=0, max_value=50))
+        tasks.append(TaskView(
+            task_id=task_id,
+            type_id=draw(st.integers(min_value=0, max_value=n_task_types - 1)),
+            arrival=arrival,
+            deadline=arrival + draw(st.integers(min_value=10, max_value=500))))
+    return pet, machines, tasks
+
+
+@settings(max_examples=30, deadline=None)
+@given(mapping_problems(), st.sampled_from(HEURISTICS))
+def test_assignments_respect_capacity_and_uniqueness(problem, name):
+    pet, machines, tasks = problem
+    original_slots = {m.machine_id: m.free_slots for m in machines}
+    heuristic = make_heuristic(name)
+    ctx = MappingContext(pet, now=0)
+    assignments = heuristic.map_tasks(tasks, machines, ctx)
+
+    # Each task assigned at most once, to an existing machine.
+    task_ids = [a.task_id for a in assignments]
+    assert len(task_ids) == len(set(task_ids))
+    assert set(task_ids).issubset({t.task_id for t in tasks})
+    machine_ids = {m.machine_id for m in machines}
+    assert all(a.machine_id in machine_ids for a in assignments)
+
+    # No machine exceeds its initial free-slot budget, and the mutable state
+    # is consistent with the returned assignments.
+    per_machine = {}
+    for a in assignments:
+        per_machine[a.machine_id] = per_machine.get(a.machine_id, 0) + 1
+    for machine in machines:
+        used = per_machine.get(machine.machine_id, 0)
+        assert used <= original_slots[machine.machine_id]
+        assert machine.free_slots == original_slots[machine.machine_id] - used
+
+
+@settings(max_examples=30, deadline=None)
+@given(mapping_problems(), st.sampled_from(HEURISTICS))
+def test_everything_mapped_when_capacity_suffices(problem, name):
+    pet, machines, tasks = problem
+    total_slots = sum(m.free_slots for m in machines)
+    heuristic = make_heuristic(name)
+    ctx = MappingContext(pet, now=0)
+    assignments = heuristic.map_tasks(tasks, machines, ctx)
+    expected = min(len(tasks), total_slots)
+    assert len(assignments) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(mapping_problems(), st.sampled_from(HEURISTICS))
+def test_mapping_is_deterministic(problem, name):
+    pet, machines, tasks = problem
+    ctx = MappingContext(pet, now=0)
+    snapshot = [MachineState(machine_id=m.machine_id, type_id=m.type_id,
+                             free_slots=m.free_slots, tail_pmf=m.tail_pmf)
+                for m in machines]
+    first = make_heuristic(name).map_tasks(tasks, machines, ctx)
+    second = make_heuristic(name).map_tasks(tasks, snapshot,
+                                            MappingContext(pet, now=0))
+    assert first == second

@@ -1,0 +1,141 @@
+"""Tests for the unmodelled-uncertainty injection models (future-work substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.faults import (ComposedUncertainty, MachineStallModel,
+                              NetworkLatencyModel, NoUncertainty)
+
+
+class TestNoUncertainty:
+    def test_identity(self):
+        model = NoUncertainty()
+        rng = np.random.default_rng(0)
+        assert model.perturb_execution(42, 0, 0, rng) == 42
+        assert model.perturb_execution(0, 0, 0, rng) == 1  # clamped to >= 1
+
+    def test_describe(self):
+        assert "NoUncertainty" in NoUncertainty().describe()
+
+
+class TestNetworkLatencyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLatencyModel(mean_latency=-1.0)
+        with pytest.raises(ValueError):
+            NetworkLatencyModel(jitter_probability=1.5)
+        with pytest.raises(ValueError):
+            NetworkLatencyModel(jitter_scale=-1.0)
+
+    def test_latency_only_lengthens(self):
+        model = NetworkLatencyModel(mean_latency=5.0, jitter_probability=0.2)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            assert model.perturb_execution(30, 0, 0, rng) >= 30
+
+    def test_mean_shift_close_to_configured_latency(self):
+        model = NetworkLatencyModel(mean_latency=20.0, jitter_probability=0.0)
+        rng = np.random.default_rng(2)
+        samples = [model.perturb_execution(100, 0, 0, rng) for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(120.0, rel=0.05)
+
+    def test_zero_latency_is_identity(self):
+        model = NetworkLatencyModel(mean_latency=0.0, jitter_probability=0.0)
+        rng = np.random.default_rng(3)
+        assert model.perturb_execution(55, 0, 0, rng) == 55
+
+    def test_jitter_spikes_present(self):
+        model = NetworkLatencyModel(mean_latency=10.0, jitter_probability=0.5,
+                                    jitter_scale=10.0)
+        rng = np.random.default_rng(4)
+        samples = [model.perturb_execution(10, 0, 0, rng) for _ in range(500)]
+        assert max(samples) > 100  # 10 + ~100 spike
+
+    def test_describe(self):
+        assert "latency" in NetworkLatencyModel().describe()
+
+
+class TestMachineStallModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineStallModel(stall_probability=-0.1)
+        with pytest.raises(ValueError):
+            MachineStallModel(min_stall=10, max_stall=5)
+
+    def test_never_shortens(self):
+        model = MachineStallModel(stall_probability=0.5, min_stall=10, max_stall=20)
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            assert model.perturb_execution(40, 0, 0, rng) >= 40
+
+    def test_stall_magnitude_within_bounds(self):
+        model = MachineStallModel(stall_probability=1.0, min_stall=10, max_stall=20)
+        rng = np.random.default_rng(6)
+        for _ in range(100):
+            value = model.perturb_execution(40, 0, 0, rng)
+            assert 50 <= value <= 60
+
+    def test_zero_probability_is_identity(self):
+        model = MachineStallModel(stall_probability=0.0)
+        rng = np.random.default_rng(7)
+        assert model.perturb_execution(33, 0, 0, rng) == 33
+
+
+class TestComposedUncertainty:
+    def test_requires_models(self):
+        with pytest.raises(ValueError):
+            ComposedUncertainty([])
+
+    def test_applies_all_components(self):
+        model = ComposedUncertainty([
+            NetworkLatencyModel(mean_latency=10.0, jitter_probability=0.0),
+            MachineStallModel(stall_probability=1.0, min_stall=5, max_stall=5),
+        ])
+        rng = np.random.default_rng(8)
+        value = model.perturb_execution(100, 0, 0, rng)
+        assert value >= 105  # latency >= 0 plus a deterministic 5-unit stall
+
+    def test_describe_mentions_components(self):
+        model = ComposedUncertainty([NoUncertainty(), MachineStallModel()])
+        text = model.describe()
+        assert "NoUncertainty" in text and "stalls" in text
+
+
+class TestSystemIntegration:
+    def build(self, uncertainty):
+        from repro.core.pet import PETMatrix
+        from repro.core.pmf import PMF
+        from repro.mapping import FCFS
+        from repro.sim.machine import Machine, MachineType
+        from repro.sim.system import HCSystem, SystemConfig
+        from repro.sim.task import Task, TaskType
+
+        pet = PETMatrix(("t0",), ("m0",), {(0, 0): PMF.delta(10)})
+        system = HCSystem(machine_types=[MachineType(id=0, name="m0")],
+                          machines=[Machine(0, 0)],
+                          task_types=[TaskType(id=0, name="t0")],
+                          pet=pet, mapper=FCFS(), config=SystemConfig(),
+                          rng=np.random.default_rng(0),
+                          uncertainty=uncertainty)
+        system.submit([Task(id=i, type_id=0, arrival=0, deadline=200)
+                       for i in range(3)])
+        return system.run()
+
+    def test_without_uncertainty_durations_match_pet(self):
+        result = self.build(uncertainty=None)
+        durations = [t.finish_time - t.start_time for t in result.tasks.values()]
+        assert durations == [10, 10, 10]
+
+    def test_latency_lengthens_executions_behind_schedulers_back(self):
+        model = NetworkLatencyModel(mean_latency=15.0, jitter_probability=0.0)
+        result = self.build(uncertainty=model)
+        durations = [t.finish_time - t.start_time for t in result.tasks.values()
+                     if t.completed]
+        assert all(d >= 10 for d in durations)
+        assert sum(durations) > 30  # strictly longer than the PET total
+
+    def test_uncertainty_can_cause_deadline_misses(self):
+        model = MachineStallModel(stall_probability=1.0, min_stall=500, max_stall=600)
+        result = self.build(uncertainty=model)
+        outcomes = [t.succeeded for t in result.tasks.values()]
+        assert not all(outcomes)

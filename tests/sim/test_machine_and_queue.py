@@ -1,0 +1,144 @@
+"""Unit tests for machines, machine queues and the batch queue."""
+
+import pytest
+
+from repro.sim.batch_queue import BatchQueue
+from repro.sim.machine import Machine, MachineType
+
+
+class TestMachineType:
+    def test_valid(self):
+        mt = MachineType(id=0, name="gpu", price_per_hour=0.9)
+        assert mt.price_per_hour == 0.9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MachineType(id=-1, name="x")
+        with pytest.raises(ValueError):
+            MachineType(id=0, name="")
+        with pytest.raises(ValueError):
+            MachineType(id=0, name="x", price_per_hour=-1.0)
+
+
+class TestMachine:
+    def test_capacity_accounting(self):
+        m = Machine(machine_id=0, type_id=0, queue_capacity=3)
+        assert m.is_idle and m.has_free_slot and m.free_slots == 3
+        m.enqueue(10)
+        m.enqueue(11)
+        assert m.occupancy == 2 and m.free_slots == 1
+        started = m.start_next()
+        assert started == 10
+        assert not m.is_idle
+        assert m.occupancy == 2  # running + 1 pending
+        m.enqueue(12)
+        assert not m.has_free_slot
+        with pytest.raises(RuntimeError):
+            m.enqueue(13)
+
+    def test_queue_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Machine(machine_id=0, type_id=0, queue_capacity=0)
+
+    def test_duplicate_enqueue_rejected(self):
+        m = Machine(0, 0, queue_capacity=4)
+        m.enqueue(1)
+        with pytest.raises(ValueError):
+            m.enqueue(1)
+
+    def test_fcfs_order(self):
+        m = Machine(0, 0, queue_capacity=4)
+        for task_id in (5, 6, 7):
+            m.enqueue(task_id)
+        assert m.start_next() == 5
+        m.finish_running(5, busy=10)
+        assert m.start_next() == 6
+
+    def test_remove_pending(self):
+        m = Machine(0, 0, queue_capacity=4)
+        m.enqueue(1)
+        m.enqueue(2)
+        m.remove_pending(1)
+        assert m.pending_tasks == [2]
+        with pytest.raises(ValueError):
+            m.remove_pending(99)
+
+    def test_start_next_when_running_raises(self):
+        m = Machine(0, 0, queue_capacity=4)
+        m.enqueue(1)
+        m.enqueue(2)
+        m.start_next()
+        with pytest.raises(RuntimeError):
+            m.start_next()
+
+    def test_start_next_empty_returns_none(self):
+        m = Machine(0, 0)
+        assert m.start_next() is None
+
+    def test_finish_running_validation(self):
+        m = Machine(0, 0)
+        m.enqueue(1)
+        m.start_next()
+        with pytest.raises(ValueError):
+            m.finish_running(2, busy=5)
+        with pytest.raises(ValueError):
+            m.finish_running(1, busy=-1)
+
+    def test_busy_time_accumulates(self):
+        m = Machine(0, 0)
+        m.enqueue(1)
+        m.start_next()
+        m.finish_running(1, busy=25)
+        m.enqueue(2)
+        m.start_next()
+        m.finish_running(2, busy=15)
+        assert m.busy_time == 40
+        assert m.started_tasks == 2
+
+
+class TestBatchQueue:
+    def test_fifo_window(self):
+        q = BatchQueue()
+        for task_id in (3, 1, 2):
+            q.push(task_id)
+        assert q.window(2) == [3, 1]
+        assert q.window(10) == [3, 1, 2]
+        assert len(q) == 3
+
+    def test_duplicate_push_rejected(self):
+        q = BatchQueue()
+        q.push(1)
+        with pytest.raises(ValueError):
+            q.push(1)
+
+    def test_remove(self):
+        q = BatchQueue()
+        q.push(1)
+        q.push(2)
+        q.remove(1)
+        assert q.snapshot() == [2]
+        with pytest.raises(ValueError):
+            q.remove(42)
+
+    def test_remove_many(self):
+        q = BatchQueue()
+        for i in range(5):
+            q.push(i)
+        q.remove_many([0, 3])
+        assert q.snapshot() == [1, 2, 4]
+
+    def test_contains_and_iter(self):
+        q = BatchQueue()
+        q.push(7)
+        assert 7 in q
+        assert list(q) == [7]
+        assert not q.is_empty
+
+    def test_window_negative(self):
+        with pytest.raises(ValueError):
+            BatchQueue().window(-1)
+
+    def test_empty(self):
+        q = BatchQueue()
+        assert q.is_empty
+        assert q.window(5) == []

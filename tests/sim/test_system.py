@@ -1,0 +1,283 @@
+"""Integration tests of the HC-system simulator with controlled workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.dropping import (NoProactiveDropping, ProactiveHeuristicDropping,
+                                 ThresholdDropping)
+from repro.core.pet import PETMatrix
+from repro.core.pmf import PMF
+from repro.mapping import FCFS, MinMin, PAM
+from repro.sim.machine import Machine, MachineType
+from repro.sim.system import HCSystem, SimulationResult, SystemConfig
+from repro.sim.task import Task, TaskStatus, TaskType
+from repro.sim.trace import InMemoryTrace
+
+
+def deterministic_pet(exec_time=10, n_task_types=1, n_machine_types=1):
+    """PET matrix of delta PMFs (fully deterministic execution)."""
+    entries = {(i, j): PMF.delta(exec_time)
+               for i in range(n_task_types) for j in range(n_machine_types)}
+    return PETMatrix(tuple(f"t{i}" for i in range(n_task_types)),
+                     tuple(f"m{j}" for j in range(n_machine_types)),
+                     entries)
+
+
+def build_simple_system(pet=None, n_machines=1, mapper=None, dropper=None,
+                        queue_capacity=6, trace=None):
+    pet = pet if pet is not None else deterministic_pet()
+    machine_types = [MachineType(id=j, name=f"m{j}", price_per_hour=1.0)
+                     for j in range(pet.num_machine_types)]
+    machines = [Machine(machine_id=k, type_id=k % pet.num_machine_types,
+                        queue_capacity=queue_capacity)
+                for k in range(n_machines)]
+    task_types = [TaskType(id=i, name=f"t{i}") for i in range(pet.num_task_types)]
+    return HCSystem(machine_types=machine_types, machines=machines,
+                    task_types=task_types, pet=pet,
+                    mapper=mapper if mapper is not None else FCFS(),
+                    dropper=dropper,
+                    config=SystemConfig(queue_capacity=queue_capacity),
+                    rng=np.random.default_rng(0),
+                    trace=trace)
+
+
+class TestBasicExecution:
+    def test_single_task_completes_on_time(self):
+        system = build_simple_system()
+        system.submit([Task(id=0, type_id=0, arrival=0, deadline=100)])
+        result = system.run()
+        task = result.tasks[0]
+        assert task.status is TaskStatus.COMPLETED_ON_TIME
+        assert task.start_time == 0
+        assert task.finish_time == 10
+        assert result.makespan == 10
+
+    def test_task_finishing_exactly_at_deadline_is_late(self):
+        system = build_simple_system()
+        system.submit([Task(id=0, type_id=0, arrival=0, deadline=10)])
+        result = system.run()
+        assert result.tasks[0].status is TaskStatus.COMPLETED_LATE
+
+    def test_tasks_execute_fcfs_on_one_machine(self):
+        system = build_simple_system()
+        system.submit([Task(id=i, type_id=0, arrival=0, deadline=1000)
+                       for i in range(3)])
+        result = system.run()
+        finishes = [result.tasks[i].finish_time for i in range(3)]
+        assert finishes == [10, 20, 30]
+        assert all(result.tasks[i].succeeded for i in range(3))
+
+    def test_busy_time_matches_executed_work(self):
+        system = build_simple_system()
+        system.submit([Task(id=i, type_id=0, arrival=0, deadline=1000)
+                       for i in range(4)])
+        result = system.run()
+        assert result.machines[0].busy_time == 40
+
+    def test_parallel_machines_share_load(self):
+        system = build_simple_system(n_machines=2)
+        system.submit([Task(id=i, type_id=0, arrival=0, deadline=1000)
+                       for i in range(4)])
+        result = system.run()
+        assert result.makespan == 20
+        started = [m.started_tasks for m in result.machines]
+        assert sorted(started) == [2, 2]
+
+    def test_duplicate_task_ids_rejected(self):
+        system = build_simple_system()
+        system.submit([Task(id=0, type_id=0, arrival=0, deadline=100)])
+        with pytest.raises(ValueError):
+            system.submit([Task(id=0, type_id=0, arrival=5, deadline=100)])
+
+    def test_unknown_task_type_rejected(self):
+        system = build_simple_system()
+        with pytest.raises(ValueError):
+            system.submit([Task(id=0, type_id=5, arrival=0, deadline=100)])
+
+
+class TestReactiveDropping:
+    def test_pending_task_dropped_after_deadline_passes(self):
+        # One machine, two tasks: the first runs 10 units; the second's
+        # deadline (5) passes while it waits, so it is dropped reactively.
+        system = build_simple_system()
+        system.submit([
+            Task(id=0, type_id=0, arrival=0, deadline=100),
+            Task(id=1, type_id=0, arrival=0, deadline=5),
+        ])
+        result = system.run()
+        assert result.tasks[0].succeeded
+        assert result.tasks[1].status in (TaskStatus.DROPPED_REACTIVE,
+                                          TaskStatus.DROPPED_EXPIRED_BATCH)
+        assert result.total_drops == 1
+
+    def test_batch_expiry_when_queues_full(self):
+        # Queue capacity 1 forces later tasks to wait unmapped; their
+        # deadlines expire in the batch queue.
+        system = build_simple_system(queue_capacity=1)
+        tasks = [Task(id=0, type_id=0, arrival=0, deadline=100)]
+        tasks += [Task(id=i, type_id=0, arrival=0, deadline=8) for i in range(1, 4)]
+        system.submit(tasks)
+        result = system.run()
+        statuses = [result.tasks[i].status for i in range(1, 4)]
+        assert all(s is TaskStatus.DROPPED_EXPIRED_BATCH for s in statuses)
+        assert result.num_batch_expired_drops == 3
+
+    def test_no_batch_expiry_when_disabled(self):
+        machine_types = [MachineType(id=0, name="m0")]
+        machines = [Machine(machine_id=0, type_id=0, queue_capacity=1)]
+        task_types = [TaskType(id=0, name="t0")]
+        system = HCSystem(machine_types=machine_types, machines=machines,
+                          task_types=task_types, pet=deterministic_pet(),
+                          mapper=FCFS(),
+                          config=SystemConfig(queue_capacity=1,
+                                              drop_expired_batch=False),
+                          rng=np.random.default_rng(0))
+        system.submit([Task(id=0, type_id=0, arrival=0, deadline=100),
+                       Task(id=1, type_id=0, arrival=0, deadline=5)])
+        result = system.run()
+        # The expired task is eventually mapped and dropped reactively (or
+        # completes late); it is never counted as a batch expiry.
+        assert result.num_batch_expired_drops == 0
+
+
+class TestProactiveDropping:
+    def test_heuristic_drops_hopeless_pending_task(self):
+        # Machine runs task 0 (10 units).  Task 1 is long (10) with a tight
+        # deadline; task 2 is feasible only if task 1 is dropped.
+        pet = PETMatrix(("short", "long"), ("m0",),
+                        {(0, 0): PMF.delta(10), (1, 0): PMF.delta(30)})
+        machine_types = [MachineType(id=0, name="m0")]
+        machines = [Machine(machine_id=0, type_id=0, queue_capacity=6)]
+        task_types = [TaskType(id=0, name="short"), TaskType(id=1, name="long")]
+        system = HCSystem(machine_types=machine_types, machines=machines,
+                          task_types=task_types, pet=pet, mapper=FCFS(),
+                          dropper=ProactiveHeuristicDropping(beta=1.0, eta=2),
+                          config=SystemConfig(),
+                          rng=np.random.default_rng(0))
+        system.submit([
+            Task(id=0, type_id=0, arrival=0, deadline=1000),   # runs first
+            Task(id=1, type_id=1, arrival=1, deadline=35),      # hopeless (10+30)
+            Task(id=2, type_id=0, arrival=2, deadline=30),      # needs task 1 gone
+        ])
+        result = system.run()
+        assert result.tasks[1].status is TaskStatus.DROPPED_PROACTIVE
+        assert result.tasks[2].succeeded
+        assert result.num_proactive_drops == 1
+
+    def test_proactive_dropping_never_touches_running_tasks(self):
+        system = build_simple_system(dropper=ProactiveHeuristicDropping())
+        system.submit([Task(id=i, type_id=0, arrival=0, deadline=2000)
+                       for i in range(5)])
+        result = system.run()
+        assert all(result.tasks[i].completed for i in range(5))
+
+    def test_threshold_dropper_works_in_system(self):
+        system = build_simple_system(dropper=ThresholdDropping(threshold=0.5))
+        system.submit([Task(id=i, type_id=0, arrival=0, deadline=15 + 10 * i)
+                       for i in range(4)])
+        result = system.run()
+        assert len(result.tasks) == 4
+        assert result.makespan > 0
+
+
+class TestAccountingInvariants:
+    def run_oversubscribed(self, dropper=None, seed=3):
+        exec_pmf = PMF.from_impulses([8, 16], [0.5, 0.5])
+        pet = PETMatrix(("t0",), ("m0", "m1"),
+                        {(0, 0): exec_pmf, (0, 1): PMF.from_impulses([10, 20], [0.5, 0.5])})
+        machine_types = [MachineType(id=0, name="m0"), MachineType(id=1, name="m1")]
+        machines = [Machine(0, 0, 3), Machine(1, 1, 3)]
+        task_types = [TaskType(id=0, name="t0")]
+        system = HCSystem(machine_types=machine_types, machines=machines,
+                          task_types=task_types, pet=pet, mapper=MinMin(),
+                          dropper=dropper, config=SystemConfig(queue_capacity=3),
+                          rng=np.random.default_rng(seed))
+        rng = np.random.default_rng(seed)
+        arrivals = np.sort(rng.integers(0, 150, size=60))
+        system.submit([Task(id=i, type_id=0, arrival=int(a), deadline=int(a) + 30)
+                       for i, a in enumerate(arrivals)])
+        return system.run()
+
+    def test_every_task_reaches_a_terminal_state(self):
+        result = self.run_oversubscribed(dropper=ProactiveHeuristicDropping())
+        for task in result.tasks.values():
+            assert task.status.is_terminal, f"task {task.id} ended as {task.status}"
+
+    def test_status_counts_are_consistent(self):
+        result = self.run_oversubscribed(dropper=ProactiveHeuristicDropping())
+        counts = result.tasks_by_status()
+        assert sum(counts.values()) == len(result.tasks)
+        assert counts.get(TaskStatus.DROPPED_PROACTIVE, 0) == result.num_proactive_drops
+        assert counts.get(TaskStatus.DROPPED_REACTIVE, 0) == result.num_reactive_queue_drops
+        assert counts.get(TaskStatus.DROPPED_EXPIRED_BATCH, 0) == result.num_batch_expired_drops
+
+    def test_completed_tasks_have_consistent_timestamps(self):
+        result = self.run_oversubscribed(dropper=ProactiveHeuristicDropping())
+        for task in result.tasks.values():
+            if task.completed:
+                assert task.arrival <= task.queued_time <= task.start_time
+                assert task.start_time < task.finish_time <= result.makespan
+            if task.succeeded:
+                assert task.finish_time < task.deadline
+
+    def test_busy_time_equals_sum_of_executed_durations(self):
+        result = self.run_oversubscribed(dropper=ProactiveHeuristicDropping())
+        executed = sum(t.finish_time - t.start_time for t in result.tasks.values()
+                       if t.completed)
+        assert sum(m.busy_time for m in result.machines) == executed
+
+    def test_reactive_only_baseline_never_proactively_drops(self):
+        result = self.run_oversubscribed(dropper=NoProactiveDropping())
+        assert result.num_proactive_drops == 0
+
+    def test_proactive_dropping_does_not_reduce_on_time_count(self):
+        """On this oversubscribed workload the dropping mechanism should help
+        (or at least not hurt) the number of on-time completions."""
+        baseline = self.run_oversubscribed(dropper=NoProactiveDropping())
+        improved = self.run_oversubscribed(dropper=ProactiveHeuristicDropping())
+        count = lambda r: sum(1 for t in r.tasks.values() if t.succeeded)
+        assert count(improved) >= count(baseline)
+
+
+class TestTracing:
+    def test_trace_records_lifecycle(self):
+        trace = InMemoryTrace()
+        system = build_simple_system(trace=trace)
+        system.submit([Task(id=0, type_id=0, arrival=0, deadline=100)])
+        system.run()
+        kinds = [r.kind for r in trace.records]
+        assert "arrival" in kinds and "mapped" in kinds
+        assert "started" in kinds and "completed" in kinds
+
+    def test_mapping_events_counted(self):
+        system = build_simple_system()
+        system.submit([Task(id=i, type_id=0, arrival=i, deadline=1000)
+                       for i in range(3)])
+        result = system.run()
+        # One mapping event per arrival and one per completion.
+        assert result.num_mapping_events == 6
+
+
+class TestPlatformValidation:
+    def test_machine_type_count_mismatch(self):
+        pet = deterministic_pet(n_machine_types=2)
+        machine_types = [MachineType(id=0, name="only")]
+        with pytest.raises(ValueError):
+            HCSystem(machine_types=machine_types,
+                     machines=[Machine(0, 0)],
+                     task_types=[TaskType(id=0, name="t0")],
+                     pet=pet, mapper=FCFS())
+
+    def test_duplicate_machine_ids(self):
+        pet = deterministic_pet()
+        with pytest.raises(ValueError):
+            HCSystem(machine_types=[MachineType(id=0, name="m0")],
+                     machines=[Machine(0, 0), Machine(0, 0)],
+                     task_types=[TaskType(id=0, name="t0")],
+                     pet=pet, mapper=FCFS())
+
+    def test_no_machines(self):
+        pet = deterministic_pet()
+        with pytest.raises(ValueError):
+            HCSystem(machine_types=[MachineType(id=0, name="m0")], machines=[],
+                     task_types=[TaskType(id=0, name="t0")], pet=pet, mapper=FCFS())

@@ -1,0 +1,133 @@
+"""Unit tests for the task model and its lifecycle transitions."""
+
+import pytest
+
+from repro.sim.task import Task, TaskStatus, TaskType
+
+
+class TestTaskType:
+    def test_valid(self):
+        t = TaskType(id=3, name="bzip2")
+        assert t.id == 3 and t.name == "bzip2"
+
+    def test_invalid_id(self):
+        with pytest.raises(ValueError):
+            TaskType(id=-1, name="x")
+
+    def test_missing_name(self):
+        with pytest.raises(ValueError):
+            TaskType(id=0, name="")
+
+
+class TestTaskConstruction:
+    def test_valid_task(self):
+        task = Task(id=0, type_id=1, arrival=10, deadline=50)
+        assert task.slack == 40
+        assert task.status is TaskStatus.CREATED
+
+    def test_deadline_must_follow_arrival(self):
+        with pytest.raises(ValueError):
+            Task(id=0, type_id=0, arrival=10, deadline=10)
+
+    def test_negative_ids_and_times(self):
+        with pytest.raises(ValueError):
+            Task(id=-1, type_id=0, arrival=0, deadline=10)
+        with pytest.raises(ValueError):
+            Task(id=0, type_id=0, arrival=-5, deadline=10)
+
+
+class TestLifecycle:
+    def make(self):
+        return Task(id=1, type_id=0, arrival=0, deadline=100)
+
+    def test_happy_path_on_time(self):
+        task = self.make()
+        task.mark_in_batch()
+        task.mark_queued(machine_id=2, now=5)
+        task.mark_running(now=10)
+        task.mark_completed(now=60)
+        assert task.status is TaskStatus.COMPLETED_ON_TIME
+        assert task.succeeded and task.completed and not task.dropped
+        assert task.machine_id == 2
+        assert task.response_time == 60
+
+    def test_late_completion(self):
+        task = self.make()
+        task.mark_in_batch()
+        task.mark_queued(0, 5)
+        task.mark_running(10)
+        task.mark_completed(now=100)  # deadline is 100; finishing at it is late
+        assert task.status is TaskStatus.COMPLETED_LATE
+        assert not task.succeeded and task.completed
+
+    def test_reactive_drop_from_queue(self):
+        task = self.make()
+        task.mark_in_batch()
+        task.mark_queued(0, 5)
+        task.mark_dropped(TaskStatus.DROPPED_REACTIVE, now=120)
+        assert task.dropped
+        assert task.drop_time == 120
+
+    def test_proactive_drop(self):
+        task = self.make()
+        task.mark_in_batch()
+        task.mark_queued(0, 5)
+        task.mark_dropped(TaskStatus.DROPPED_PROACTIVE, now=30)
+        assert task.status is TaskStatus.DROPPED_PROACTIVE
+
+    def test_batch_expiry(self):
+        task = self.make()
+        task.mark_in_batch()
+        task.mark_dropped(TaskStatus.DROPPED_EXPIRED_BATCH, now=150)
+        assert task.status is TaskStatus.DROPPED_EXPIRED_BATCH
+
+    def test_invalid_transition_skipping_states(self):
+        task = self.make()
+        with pytest.raises(ValueError):
+            task.mark_running(5)
+        with pytest.raises(ValueError):
+            task.mark_completed(5)
+
+    def test_cannot_drop_running_task(self):
+        task = self.make()
+        task.mark_in_batch()
+        task.mark_queued(0, 1)
+        task.mark_running(2)
+        with pytest.raises(ValueError):
+            task.mark_dropped(TaskStatus.DROPPED_REACTIVE, 3)
+
+    def test_cannot_drop_terminal_task(self):
+        task = self.make()
+        task.mark_in_batch()
+        task.mark_queued(0, 1)
+        task.mark_running(2)
+        task.mark_completed(50)
+        with pytest.raises(ValueError):
+            task.mark_dropped(TaskStatus.DROPPED_PROACTIVE, 60)
+
+    def test_drop_requires_drop_status(self):
+        task = self.make()
+        task.mark_in_batch()
+        with pytest.raises(ValueError):
+            task.mark_dropped(TaskStatus.COMPLETED_ON_TIME, 5)
+
+    def test_response_time_none_until_completion(self):
+        task = self.make()
+        assert task.response_time is None
+
+
+class TestStatusFlags:
+    def test_terminal_states(self):
+        assert TaskStatus.COMPLETED_ON_TIME.is_terminal
+        assert TaskStatus.DROPPED_PROACTIVE.is_terminal
+        assert not TaskStatus.RUNNING.is_terminal
+        assert not TaskStatus.IN_BATCH.is_terminal
+
+    def test_drop_states(self):
+        assert TaskStatus.DROPPED_REACTIVE.is_drop
+        assert TaskStatus.DROPPED_EXPIRED_BATCH.is_drop
+        assert not TaskStatus.COMPLETED_LATE.is_drop
+
+    def test_success_state(self):
+        assert TaskStatus.COMPLETED_ON_TIME.is_success
+        assert not TaskStatus.COMPLETED_LATE.is_success

@@ -1,0 +1,47 @@
+"""Unit tests for the trace sinks."""
+
+from repro.sim.trace import InMemoryTrace, NullTrace, TraceRecord
+
+
+class TestNullTrace:
+    def test_disabled_and_silent(self):
+        trace = NullTrace()
+        assert not trace.enabled
+        assert trace.record(TraceRecord(time=1, kind="arrival")) is None
+
+
+class TestInMemoryTrace:
+    def make_trace(self):
+        trace = InMemoryTrace()
+        trace.record(TraceRecord(time=1, kind="arrival", task_id=0))
+        trace.record(TraceRecord(time=2, kind="mapped", task_id=0, machine_id=3))
+        trace.record(TraceRecord(time=3, kind="arrival", task_id=1))
+        trace.record(TraceRecord(time=4, kind="started", task_id=0, machine_id=3,
+                                 detail="duration=10"))
+        return trace
+
+    def test_records_accumulate(self):
+        trace = self.make_trace()
+        assert len(trace) == 4
+        assert trace.enabled
+
+    def test_of_kind(self):
+        trace = self.make_trace()
+        arrivals = trace.of_kind("arrival")
+        assert len(arrivals) == 2
+        assert all(r.kind == "arrival" for r in arrivals)
+
+    def test_for_task(self):
+        trace = self.make_trace()
+        records = trace.for_task(0)
+        assert [r.kind for r in records] == ["arrival", "mapped", "started"]
+
+    def test_format(self):
+        trace = self.make_trace()
+        text = trace.format()
+        assert "arrival" in text and "machine=3" in text and "duration=10" in text
+        assert len(trace.format(limit=2).splitlines()) == 2
+
+    def test_iteration(self):
+        trace = self.make_trace()
+        assert len(list(iter(trace))) == 4

@@ -1,0 +1,82 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.viz.ascii_charts import (figure_to_bar_chart, figure_to_line_chart,
+                                    horizontal_bar_chart, line_chart)
+
+
+class TestHorizontalBarChart:
+    def test_basic_rendering(self):
+        chart = horizontal_bar_chart({"a": 10.0, "bb": 20.0}, width=10,
+                                     title="demo", unit="%")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "a " in lines[1] and "bb" in lines[2]
+        assert lines[2].count("#") == 10          # max value fills the width
+        assert lines[1].count("#") == 5           # half of the max
+        assert "20.00%" in lines[2]
+
+    def test_empty_values(self):
+        assert horizontal_bar_chart({}, title="t") == "t"
+        assert horizontal_bar_chart({}) == ""
+
+    def test_zero_values(self):
+        chart = horizontal_bar_chart({"a": 0.0, "b": 0.0}, width=8)
+        assert "0.00" in chart
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            horizontal_bar_chart({"a": 1.0}, width=0)
+
+    def test_baseline_at_min(self):
+        chart = horizontal_bar_chart({"a": 90.0, "b": 100.0}, width=10,
+                                     baseline_at_zero=False)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 0
+        assert lines[1].count("#") == 10
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        chart = line_chart({"s1": [1.0, 2.0, 3.0], "s2": [3.0, 2.0, 1.0]},
+                           x_values=[1, 2, 3], height=6, width=20, title="lines")
+        assert "lines" in chart
+        assert "*" in chart and "o" in chart
+        assert "*=s1" in chart and "o=s2" in chart
+
+    def test_constant_series(self):
+        chart = line_chart({"flat": [5.0, 5.0]}, x_values=["a", "b"],
+                           height=5, width=12)
+        assert "*" in chart
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [1.0, 2.0]}, x_values=[1], height=5, width=12)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [1.0]}, x_values=[1], height=1, width=12)
+        with pytest.raises(ValueError):
+            line_chart({"s": [1.0]}, x_values=[1], height=5, width=2)
+
+    def test_empty_series(self):
+        assert line_chart({}, x_values=[], title="t") == "t"
+
+
+class TestFigureAdapters:
+    @pytest.fixture(scope="class")
+    def tiny_figure(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.figures import figure7a_heterogeneous
+        config = ExperimentConfig(scale=0.002, trials=1, base_seed=21)
+        return figure7a_heterogeneous(config, level="20k", mappers=("MM",))
+
+    def test_bar_chart_from_figure(self, tiny_figure):
+        chart = figure_to_bar_chart(tiny_figure)
+        assert "MM+Heuristic" in chart and "MM+ReactDrop" in chart
+        assert "#" in chart
+
+    def test_line_chart_from_figure(self, tiny_figure):
+        chart = figure_to_line_chart(tiny_figure, height=8, width=30)
+        assert "MM+Heuristic" in chart

@@ -1,0 +1,66 @@
+"""Unit tests for the Gamma-sampling PET construction."""
+
+import numpy as np
+import pytest
+
+from repro.workload.pet_builder import GammaPETBuilder, build_pet_from_means
+
+
+class TestGammaPETBuilder:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GammaPETBuilder(samples_per_pair=1)
+        with pytest.raises(ValueError):
+            GammaPETBuilder(scale_range=(0.0, 5.0))
+        with pytest.raises(ValueError):
+            GammaPETBuilder(scale_range=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            GammaPETBuilder(max_impulses=1)
+        with pytest.raises(ValueError):
+            GammaPETBuilder(min_execution=0)
+
+    def test_sample_pair_mean_close_to_target(self):
+        builder = GammaPETBuilder(samples_per_pair=4000, max_impulses=48)
+        rng = np.random.default_rng(0)
+        pmf = builder.sample_pair(120.0, rng)
+        assert pmf.mean() == pytest.approx(120.0, rel=0.15)
+        assert pmf.total_mass == pytest.approx(1.0)
+        assert pmf.min_time >= 1
+
+    def test_sample_pair_respects_impulse_budget(self):
+        builder = GammaPETBuilder(max_impulses=12)
+        rng = np.random.default_rng(1)
+        pmf = builder.sample_pair(80.0, rng)
+        assert pmf.support_size <= 12
+
+    def test_sample_pair_rejects_nonpositive_mean(self):
+        builder = GammaPETBuilder()
+        with pytest.raises(ValueError):
+            builder.sample_pair(0.0, np.random.default_rng(0))
+
+    def test_build_full_matrix(self):
+        means = np.array([[50.0, 100.0], [150.0, 200.0]])
+        pet = build_pet_from_means(means, ("a", "b"), ("x", "y"),
+                                   rng=np.random.default_rng(2),
+                                   samples_per_pair=300)
+        assert pet.shape == (2, 2)
+        # sampled means should be within a loose factor of the targets
+        for i in range(2):
+            for j in range(2):
+                assert pet.mean_execution(i, j) == pytest.approx(means[i, j], rel=0.35)
+
+    def test_build_shape_mismatch(self):
+        builder = GammaPETBuilder()
+        with pytest.raises(ValueError):
+            builder.build(np.ones((2, 2)), ("a",), ("x", "y"))
+
+    def test_build_rejects_nonpositive_means(self):
+        builder = GammaPETBuilder()
+        with pytest.raises(ValueError):
+            builder.build(np.array([[10.0, -5.0]]), ("a",), ("x", "y"))
+
+    def test_reproducible_with_seed(self):
+        means = np.array([[75.0]])
+        pet1 = build_pet_from_means(means, ("a",), ("x",), np.random.default_rng(7))
+        pet2 = build_pet_from_means(means, ("a",), ("x",), np.random.default_rng(7))
+        assert pet1.pmf(0, 0).approx_equal(pet2.pmf(0, 0))

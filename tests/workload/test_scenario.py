@@ -1,0 +1,103 @@
+"""Unit tests for scenario presets."""
+
+import pytest
+
+from repro.workload.scenario import (OVERSUBSCRIPTION_LEVELS, PAPER_TASK_COUNTS,
+                                     ScenarioSpec, build_scenario,
+                                     homogeneous_scenario, spec_scenario,
+                                     transcoding_scenario)
+
+
+class TestScenarioSpec:
+    def test_task_count_scaling(self):
+        spec = ScenarioSpec(level="30k", scale=0.01)
+        assert spec.num_tasks == 300
+        assert spec.oversubscription == OVERSUBSCRIPTION_LEVELS["30k"]
+
+    def test_minimum_task_count(self):
+        spec = ScenarioSpec(level="20k", scale=1e-6)
+        assert spec.num_tasks == 10
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(level="50k")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(scale=0.0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(scale=1.5)
+
+    def test_paper_levels_are_increasingly_oversubscribed(self):
+        assert (OVERSUBSCRIPTION_LEVELS["20k"] < OVERSUBSCRIPTION_LEVELS["30k"]
+                < OVERSUBSCRIPTION_LEVELS["40k"])
+        assert PAPER_TASK_COUNTS == {"20k": 20_000, "30k": 30_000, "40k": 40_000}
+
+
+class TestScenarioPresets:
+    def test_spec_scenario_structure(self):
+        scenario = spec_scenario(level="30k", scale=0.005, seed=1)
+        assert scenario.platform.num_machines == 8
+        assert scenario.pet.shape == (12, 8)
+        assert scenario.num_tasks == 150
+        assert scenario.arrival_rate > 0
+        # Tasks are sorted by arrival and have feasible deadlines.
+        arrivals = [t.arrival for t in scenario.tasks]
+        assert arrivals == sorted(arrivals)
+        assert all(t.deadline > t.arrival for t in scenario.tasks)
+        assert all(0 <= t.type_id < 12 for t in scenario.tasks)
+
+    def test_homogeneous_scenario_structure(self):
+        scenario = homogeneous_scenario(level="20k", scale=0.003, seed=0)
+        assert scenario.platform.is_homogeneous()
+        assert scenario.pet.shape == (12, 1)
+
+    def test_transcoding_scenario_structure(self):
+        scenario = transcoding_scenario(level="20k", scale=0.003, seed=0)
+        assert scenario.platform.num_machines == 8
+        assert scenario.pet.shape == (4, 4)
+
+    def test_fresh_tasks_are_independent_copies(self):
+        scenario = spec_scenario(level="20k", scale=0.002, seed=3)
+        first = scenario.fresh_tasks()
+        second = scenario.fresh_tasks()
+        assert first[0] is not second[0]
+        first[0].mark_in_batch()
+        assert second[0].status.name == "CREATED"
+
+    def test_same_seed_reproducible(self):
+        a = spec_scenario(level="30k", scale=0.003, seed=9)
+        b = spec_scenario(level="30k", scale=0.003, seed=9)
+        assert [t.arrival for t in a.tasks] == [t.arrival for t in b.tasks]
+        assert [t.type_id for t in a.tasks] == [t.type_id for t in b.tasks]
+        assert [t.deadline for t in a.tasks] == [t.deadline for t in b.tasks]
+
+    def test_different_seed_differs(self):
+        a = spec_scenario(level="30k", scale=0.003, seed=1)
+        b = spec_scenario(level="30k", scale=0.003, seed=2)
+        assert [t.arrival for t in a.tasks] != [t.arrival for t in b.tasks]
+
+    def test_higher_level_means_denser_arrivals(self):
+        low = spec_scenario(level="20k", scale=0.005, seed=5)
+        high = spec_scenario(level="40k", scale=0.0025, seed=5)
+        # Same number of tasks (100), but the 40k level packs them into a
+        # shorter horizon.
+        assert low.num_tasks == high.num_tasks == 100
+        assert high.tasks[-1].arrival < low.tasks[-1].arrival
+
+    def test_build_scenario_registry(self):
+        scenario = build_scenario("transcoding", level="20k", scale=0.002, seed=0)
+        assert scenario.spec.name == "transcoding"
+        with pytest.raises(KeyError):
+            build_scenario("unknown")
+
+    def test_build_machines_fresh_instances(self):
+        scenario = spec_scenario(level="20k", scale=0.002, seed=0)
+        machines_a = scenario.build_machines()
+        machines_b = scenario.build_machines()
+        assert machines_a[0] is not machines_b[0]
+        assert len(machines_a) == 8
+
+    def test_describe(self):
+        scenario = spec_scenario(level="20k", scale=0.002, seed=0)
+        assert "spec" in scenario.describe()

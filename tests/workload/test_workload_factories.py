@@ -1,0 +1,133 @@
+"""Unit tests for platforms, SPEC / transcoding / homogeneous workload factories."""
+
+import numpy as np
+import pytest
+
+from repro.sim.machine import MachineType
+from repro.workload.homogeneous import HomogeneousWorkloadFactory
+from repro.workload.platforms import Platform
+from repro.workload.spec import (SPEC_MACHINE_NAMES, SPEC_TASK_TYPE_NAMES,
+                                 SpecWorkloadFactory, spec_mean_matrix)
+from repro.workload.transcoding import (TranscodingWorkloadFactory,
+                                        transcoding_mean_matrix)
+
+
+class TestPlatform:
+    def make(self):
+        types = (MachineType(id=0, name="a", price_per_hour=0.2),
+                 MachineType(id=1, name="b", price_per_hour=0.4))
+        return Platform(machine_types=types, machines_per_type=(2, 3),
+                        queue_capacity=4)
+
+    def test_machine_instantiation(self):
+        platform = self.make()
+        machines = platform.build_machines()
+        assert platform.num_machines == 5
+        assert len(machines) == 5
+        assert len({m.id for m in machines}) == 5
+        assert [m.type_id for m in machines] == [0, 0, 1, 1, 1]
+        assert all(m.queue_capacity == 4 for m in machines)
+
+    def test_fresh_machines_every_call(self):
+        platform = self.make()
+        assert platform.build_machines()[0] is not platform.build_machines()[0]
+
+    def test_price_lookup(self):
+        platform = self.make()
+        assert platform.price_of_type(1) == pytest.approx(0.4)
+
+    def test_homogeneity_flag(self):
+        platform = self.make()
+        assert not platform.is_homogeneous()
+
+    def test_validation(self):
+        types = (MachineType(id=0, name="a"),)
+        with pytest.raises(ValueError):
+            Platform(machine_types=types, machines_per_type=(1, 2))
+        with pytest.raises(ValueError):
+            Platform(machine_types=types, machines_per_type=(0,))
+        with pytest.raises(ValueError):
+            Platform(machine_types=(MachineType(id=1, name="a"),),
+                     machines_per_type=(1,))
+        with pytest.raises(ValueError):
+            Platform(machine_types=types, machines_per_type=(1,), queue_capacity=0)
+        with pytest.raises(ValueError):
+            Platform(machine_types=(), machines_per_type=())
+
+
+class TestSpecWorkload:
+    def test_mean_matrix_properties(self):
+        means = spec_mean_matrix()
+        assert means.shape == (12, 8)
+        assert np.all(means > 0)
+        # Task-type averages must lie within (or near) the paper's 50-200 ms range.
+        type_means = means.mean(axis=1)
+        assert type_means.min() >= 40.0
+        assert type_means.max() <= 260.0
+
+    def test_mean_matrix_is_inconsistently_heterogeneous(self):
+        means = spec_mean_matrix()
+        orders = {tuple(np.argsort(means[i, :])) for i in range(means.shape[0])}
+        assert len(orders) > 1
+
+    def test_platform_matches_paper(self):
+        factory = SpecWorkloadFactory()
+        platform = factory.platform()
+        assert platform.num_machines == 8
+        assert platform.machine_type_names == SPEC_MACHINE_NAMES
+        assert len(factory.task_types()) == 12
+        assert [t.name for t in factory.task_types()] == list(SPEC_TASK_TYPE_NAMES)
+
+    def test_pet_matrix_shape_and_heterogeneity(self):
+        factory = SpecWorkloadFactory()
+        pet = factory.build_pet(np.random.default_rng(0))
+        assert pet.shape == (12, 8)
+        assert pet.is_inconsistently_heterogeneous()
+
+
+class TestTranscodingWorkload:
+    def test_mean_matrix(self):
+        means = transcoding_mean_matrix()
+        assert means.shape == (4, 4)
+        # high variation across task types (codec >> container)
+        assert means.mean(axis=1).max() / means.mean(axis=1).min() > 5.0
+
+    def test_platform(self):
+        factory = TranscodingWorkloadFactory()
+        platform = factory.platform()
+        assert platform.num_machines == 8
+        assert len(platform.machine_types) == 4
+        assert len(factory.task_types()) == 4
+
+    def test_machines_per_type_configurable(self):
+        factory = TranscodingWorkloadFactory(machines_per_type=3)
+        assert factory.platform().num_machines == 12
+        with pytest.raises(ValueError):
+            TranscodingWorkloadFactory(machines_per_type=0)
+
+    def test_pet(self):
+        pet = TranscodingWorkloadFactory().build_pet(np.random.default_rng(1))
+        assert pet.shape == (4, 4)
+
+
+class TestHomogeneousWorkload:
+    def test_platform_is_homogeneous(self):
+        factory = HomogeneousWorkloadFactory()
+        platform = factory.platform()
+        assert platform.is_homogeneous()
+        assert platform.num_machines == 8
+
+    def test_pet_single_column(self):
+        factory = HomogeneousWorkloadFactory()
+        pet = factory.build_pet(np.random.default_rng(0))
+        assert pet.shape == (12, 1)
+        assert not pet.is_inconsistently_heterogeneous()
+
+    def test_mean_matrix_is_spec_row_average(self):
+        factory = HomogeneousWorkloadFactory()
+        expected = spec_mean_matrix().mean(axis=1, keepdims=True)
+        np.testing.assert_allclose(factory.mean_matrix(), expected)
+
+    def test_num_machines_validation(self):
+        with pytest.raises(ValueError):
+            HomogeneousWorkloadFactory(num_machines=0)
