@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Mapping heuristics with and without proactive dropping (Fig. 7a / 7b).
 
-Runs the MSD / MM / PAM comparison on the heterogeneous SPEC-like system and
-(optionally) the FCFS / EDF / SJF / PAM comparison on the homogeneous system,
-each with the proactive dropping heuristic enabled and disabled, and prints
-the robustness tables.  The expected shape is the paper's: dropping lifts
-every mapping heuristic and makes them perform almost identically.
+Runs the MSD / MM / PAM × {heuristic, react} grid on the heterogeneous
+SPEC-like system with one fluent ``.sweep()`` call and (optionally) the
+FCFS / EDF / SJF / PAM grid on the homogeneous system.  Every grid point
+shares the same base seed, so all configurations are evaluated on identical
+workload trials.  The expected shape is the paper's: dropping lifts every
+mapping heuristic and makes them perform almost identically.
 
 Run with::
 
@@ -16,16 +17,17 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments import (ExperimentConfig, figure7a_heterogeneous,
-                               figure7b_homogeneous, format_figure_table)
+from repro.api import Simulation, SweepResult
 
 
-def summarize(figure, mappers) -> None:
+def summarize(sweep: SweepResult, mappers) -> None:
     """Print the per-heuristic improvement from proactive dropping."""
+    by_config = {(run.config["mapper"], run.config["dropper"]): run
+                 for run in sweep}
     print()
     for mapper in mappers:
-        with_drop = figure.series[f"{mapper}+Heuristic"][0].value
-        without = figure.series[f"{mapper}+ReactDrop"][0].value
+        with_drop = by_config[(mapper, "heuristic")].robustness_pct
+        without = by_config[(mapper, "react")].robustness_pct
         print(f"  {mapper:<5} ReactDrop={without:6.2f}%   Heuristic={with_drop:6.2f}%   "
               f"improvement={with_drop - without:+6.2f} pp")
     print()
@@ -41,18 +43,26 @@ def main() -> None:
                         help="also run the homogeneous-system comparison (Fig. 7b)")
     args = parser.parse_args()
 
-    config = ExperimentConfig(scale=args.scale, trials=args.trials, base_seed=args.seed)
-
+    # Note: sweeping the dropper axis resets dropper parameters, so each
+    # grid point uses the policy's defaults (heuristic: beta=1, eta=2).
     hetero_mappers = ("MSD", "MM", "PAM")
-    figure = figure7a_heterogeneous(config, level=args.level, mappers=hetero_mappers)
-    print(format_figure_table(figure))
-    summarize(figure, hetero_mappers)
+    sweep = (Simulation.scenario("spec", level=args.level, scale=args.scale)
+             .trials(args.trials, base_seed=args.seed)
+             .sweep(mapper=list(hetero_mappers), dropper=["heuristic", "react"]))
+    print("Proactive dropping in a heterogeneous system")
+    print(sweep.table())
+    summarize(sweep, hetero_mappers)
 
     if args.homogeneous:
         homo_mappers = ("FCFS", "EDF", "SJF", "PAM")
-        figure_b = figure7b_homogeneous(config, level=args.level, mappers=homo_mappers)
-        print(format_figure_table(figure_b))
-        summarize(figure_b, homo_mappers)
+        sweep_b = (Simulation.scenario("homogeneous", level=args.level,
+                                       scale=args.scale)
+                   .trials(args.trials, base_seed=args.seed)
+                   .sweep(mapper=list(homo_mappers),
+                          dropper=["heuristic", "react"]))
+        print("Proactive dropping in a homogeneous system")
+        print(sweep_b.table())
+        summarize(sweep_b, homo_mappers)
 
 
 if __name__ == "__main__":

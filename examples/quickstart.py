@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Quickstart: one oversubscribed run with and without proactive dropping.
 
-Builds the paper's SPEC-like heterogeneous scenario at a small scale, runs it
-twice with the PAM mapping heuristic -- once with reactive dropping only and
-once with the autonomous proactive dropping heuristic (β=1, η=2) -- and
-prints the robustness, drop breakdown and cost of each run.
+Builds the paper's SPEC-like heterogeneous scenario at a small scale through
+the fluent :class:`repro.api.Simulation` builder, runs it with the PAM
+mapping heuristic -- once with reactive dropping only and once with the
+autonomous proactive dropping heuristic (β=1, η=2) -- and prints the
+robustness, drop breakdown and cost of each run.
 
 Run with::
 
@@ -15,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import quick_run
+from repro.api import Simulation
 
 
 def main() -> None:
@@ -31,12 +32,18 @@ def main() -> None:
           f"scale={args.scale} (≈{int(30000 * args.scale)} tasks), seed={args.seed}")
     print()
 
+    # One immutable base configuration, forked per dropping policy.
+    base = (Simulation.scenario("spec", level=args.level, scale=args.scale)
+            .mapper("PAM")
+            .trials(1, base_seed=args.seed)
+            .with_cost())
+
     results = {}
     for label, dropper in (("PAM+ReactDrop (baseline)", "react"),
                            ("PAM+Heuristic (this paper)", "heuristic")):
-        metrics = quick_run(level=args.level, mapper="PAM", dropper=dropper,
-                            scale=args.scale, seed=args.seed)
-        results[label] = metrics
+        run = base.dropper(dropper).run(label=label)
+        results[label] = run
+        metrics = run.trials[0]
         drops = metrics.drops
         cost = metrics.cost
         print(f"{label}")

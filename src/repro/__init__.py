@@ -8,6 +8,9 @@ This package reimplements, from scratch, the system described in
 
 The public API is organised into subpackages:
 
+* :mod:`repro.api` -- the unified high-level API: pluggable registries
+  (:data:`MAPPERS`, :data:`DROPPERS`, :data:`SCENARIOS`, :data:`ARRIVALS`),
+  the fluent :class:`Simulation` builder and rich run/sweep results;
 * :mod:`repro.core` -- PMFs, PET matrix, completion-time propagation,
   instantaneous robustness and the dropping policies;
 * :mod:`repro.sim` -- the discrete-event batch-mode HC system simulator;
@@ -22,16 +25,23 @@ The public API is organised into subpackages:
 
 Quickstart::
 
-    from repro import quick_run
+    from repro import Simulation, quick_run
 
     report = quick_run(level="30k", mapper="PAM", dropper="heuristic")
     print(f"robustness = {report.robustness_pct:.1f}% on time")
+
+    result = (Simulation.scenario("spec", level="30k")
+              .mapper("PAM").dropper("heuristic", beta=1.0)
+              .trials(3, base_seed=42).run())
+    print(result.summary())
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from .api import (ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, Registry, RunResult,
+                  Simulation, SweepResult)
 from .core import PMF, PETMatrix, QueueEntry
 from .core.dropping import (AdaptiveThresholdDropping, NoProactiveDropping,
                             OptimalProactiveDropping, ProactiveHeuristicDropping,
@@ -45,6 +55,14 @@ from .workload import (Scenario, homogeneous_scenario, spec_scenario,
 __version__ = "1.0.0"
 
 __all__ = [
+    "Registry",
+    "MAPPERS",
+    "DROPPERS",
+    "SCENARIOS",
+    "ARRIVALS",
+    "Simulation",
+    "RunResult",
+    "SweepResult",
     "PMF",
     "PETMatrix",
     "QueueEntry",
@@ -80,14 +98,16 @@ __all__ = [
 
 def quick_run(level: str = "30k", mapper: str = "PAM", dropper: str = "heuristic",
               scale: float = 0.01, seed: int = 0, trials: int = 1,
-              scenario: str = "spec") -> TrialMetrics:
+              scenario: str = "spec"):
     """Run a small end-to-end simulation and return its metrics.
 
-    This is the one-call entry point used by the quickstart example: it
-    builds the requested scenario preset, runs ``trials`` trials of the
-    chosen mapping heuristic + dropping policy combination, and returns the
-    metrics of the first trial (use :mod:`repro.experiments` for multi-trial
-    aggregation).
+    This is the one-call entry point used by the quickstart example; it is a
+    thin wrapper over the fluent :class:`repro.api.Simulation` builder.  With
+    ``trials=1`` (the default) it returns the single trial's
+    :class:`~repro.metrics.collector.TrialMetrics`; with ``trials > 1`` it
+    runs every trial (seeds ``seed``, ``seed + 1``, ...) and returns the
+    :class:`~repro.api.results.RunResult` aggregating all of them, whose
+    ``.trials`` tuple still exposes each trial's metrics.
 
     Parameters
     ----------
@@ -101,15 +121,20 @@ def quick_run(level: str = "30k", mapper: str = "PAM", dropper: str = "heuristic
     scale:
         Fraction of the paper's task count to simulate.
     seed:
-        Random seed of the workload trial.
+        Random seed of the workload trial (base seed when ``trials > 1``).
     trials:
-        Kept for API symmetry; only the first trial's metrics are returned.
+        Number of workload trials to run.
     scenario:
         Scenario family ("spec", "homogeneous", "transcoding").
     """
-    from .experiments.runner import TrialSpec, run_trial
-
-    spec = TrialSpec(scenario_name=scenario, level=level, scale=scale, gamma=1.0,
-                     queue_capacity=6, seed=seed, mapper_name=mapper,
-                     dropper_name=dropper, with_cost=True)
-    return run_trial(spec)
+    result = (Simulation.scenario(scenario)
+              .level(level)
+              .scale(scale)
+              .mapper(mapper)
+              .dropper(dropper)
+              .trials(trials, base_seed=seed)
+              .with_cost()
+              .run())
+    if trials == 1:
+        return result.trials[0]
+    return result

@@ -1,0 +1,45 @@
+"""Unified high-level API: registries, the fluent builder and rich results.
+
+This subpackage is the recommended way to drive the reproduction:
+
+* :mod:`repro.api.registry` -- the generic :class:`Registry` powering all
+  pluggable extension points;
+* :mod:`repro.api.registries` -- the built-in registries (:data:`MAPPERS`,
+  :data:`DROPPERS`, :data:`SCENARIOS`, :data:`ARRIVALS`);
+* :mod:`repro.api.builder` -- the fluent, immutable :class:`Simulation`
+  builder with ``run()`` and ``sweep()``;
+* :mod:`repro.api.results` -- :class:`RunResult` / :class:`SweepResult`
+  with summaries, JSON export and best-configuration selection.
+
+Quickstart::
+
+    from repro.api import Simulation
+
+    result = (Simulation.scenario("spec", level="30k")
+              .mapper("PAM").dropper("heuristic", beta=1.0)
+              .trials(3, base_seed=42).run())
+    print(result.summary())
+"""
+
+from .builder import SWEEPABLE_AXES, Simulation
+from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
+from .registry import (DuplicateNameError, Registration, Registry,
+                       RegistryError, UnknownNameError)
+from .results import METRICS, RunResult, SweepResult
+
+__all__ = [
+    "Registry",
+    "Registration",
+    "RegistryError",
+    "UnknownNameError",
+    "DuplicateNameError",
+    "MAPPERS",
+    "DROPPERS",
+    "SCENARIOS",
+    "ARRIVALS",
+    "Simulation",
+    "SWEEPABLE_AXES",
+    "RunResult",
+    "SweepResult",
+    "METRICS",
+]

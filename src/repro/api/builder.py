@@ -1,0 +1,330 @@
+"""Fluent, immutable builder for simulation runs and parameter sweeps.
+
+:class:`Simulation` is the high-level entry point of the package::
+
+    from repro.api import Simulation
+
+    result = (Simulation.scenario("spec", level="30k")
+              .mapper("PAM")
+              .dropper("heuristic", beta=1.0, eta=2)
+              .trials(5, base_seed=0)
+              .parallel(4)
+              .run())
+    print(result.summary())
+
+Every fluent method returns a *new* builder (the dataclass is frozen), so
+partially-configured builders can be shared and forked safely::
+
+    base = Simulation.scenario("spec").trials(3, base_seed=42)
+    sweep = base.sweep(mapper=["PAM", "MM"], dropper=["heuristic", "react"])
+    print(sweep.summary())
+
+Names are validated against the :mod:`repro.api.registries` registries at
+call time (with did-you-mean suggestions), so typos fail fast rather than
+deep inside a run.  A builder compiles to the existing
+:class:`~repro.experiments.runner.TrialSpec` machinery; sweeps share the
+same ``base_seed`` across every grid point, so all configurations are
+evaluated on identical workload trials (same arrivals, same deadlines).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..metrics.collector import aggregate_trials
+from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
+from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
+from .results import RunResult, SweepResult
+
+__all__ = ["Simulation", "SWEEPABLE_AXES"]
+
+#: Axes accepted by :meth:`Simulation.sweep`, in canonical order.
+SWEEPABLE_AXES: Tuple[str, ...] = ("scenario", "level", "mapper", "dropper",
+                                   "scale", "gamma")
+
+
+def _freeze(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Sorted, hashable, picklable view of a keyword-parameter dict."""
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class Simulation:
+    """Immutable description of a simulation configuration.
+
+    Instances are created with :meth:`Simulation.scenario` and refined with
+    the fluent methods below; ``run()`` executes the configuration and
+    ``sweep()`` evaluates a cartesian grid of variations.
+    """
+
+    scenario_name: str = "spec"
+    scenario_params: Tuple[Tuple[str, Any], ...] = ()
+    level_name: str = "30k"
+    scale_value: float = 0.01
+    gamma_value: float = 1.0
+    queue_capacity_value: int = 6
+    batch_window_value: int = 32
+    mapper_name: str = "PAM"
+    mapper_params: Tuple[Tuple[str, Any], ...] = ()
+    dropper_name: str = "react"
+    dropper_params: Tuple[Tuple[str, Any], ...] = ()
+    num_trials: int = 1
+    base_seed: int = 0
+    n_jobs: int = 1
+    cost_enabled: bool = False
+    confidence_value: float = 0.95
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def scenario(cls, name: str = "spec", *, level: Optional[str] = None,
+                 scale: Optional[float] = None, gamma: Optional[float] = None,
+                 queue_capacity: Optional[int] = None,
+                 seed: Optional[int] = None,
+                 **params: Any) -> "Simulation":
+        """Start a builder from a registered scenario preset.
+
+        ``level``/``scale``/``gamma``/``queue_capacity``/``seed`` map onto
+        the builder's dedicated knobs (``seed`` becomes the base seed); any
+        other keyword is passed through to the scenario factory (e.g.
+        ``num_machines`` for "homogeneous").
+        """
+        entry = SCENARIOS.get(name)  # raises with suggestions on typos
+        entry.validate({**params,
+                        **{k: v for k, v in (("level", level), ("scale", scale),
+                                             ("gamma", gamma),
+                                             ("queue_capacity", queue_capacity),
+                                             ("seed", seed))
+                           if v is not None}})
+        sim = cls(scenario_name=entry.name, scenario_params=_freeze(params))
+        if level is not None:
+            sim = sim.level(level)
+        if scale is not None:
+            sim = sim.scale(scale)
+        if gamma is not None:
+            sim = sim.gamma(gamma)
+        if queue_capacity is not None:
+            sim = sim.queue_capacity(queue_capacity)
+        if seed is not None:
+            sim = sim.seed(seed)
+        return sim
+
+    # ------------------------------------------------------------------
+    # Fluent configuration
+    # ------------------------------------------------------------------
+    def mapper(self, name: str, **params: Any) -> "Simulation":
+        """Select the mapping heuristic by registry name."""
+        entry = MAPPERS.get(name)
+        entry.validate(params)
+        return replace(self, mapper_name=entry.name,
+                       mapper_params=_freeze(params))
+
+    def dropper(self, name: str, **params: Any) -> "Simulation":
+        """Select the dropping policy by registry name."""
+        entry = DROPPERS.get(name)
+        entry.validate(params)
+        return replace(self, dropper_name=entry.name,
+                       dropper_params=_freeze(params))
+
+    def arrivals(self, name: str) -> "Simulation":
+        """Select the arrival process used to generate the task stream.
+
+        The process is instantiated by the scenario with the rate implied by
+        its oversubscription level, so it takes no free parameters here.
+        """
+        entry = ARRIVALS.get(name)
+        scenario_params = dict(self.scenario_params)
+        scenario_params["arrival"] = entry.name
+        return replace(self, scenario_params=_freeze(scenario_params))
+
+    def level(self, level: str) -> "Simulation":
+        """Set the oversubscription level label ("20k", "30k", "40k")."""
+        if level not in OVERSUBSCRIPTION_LEVELS:
+            raise ValueError(f"unknown oversubscription level {level!r}; "
+                             f"expected one of {sorted(OVERSUBSCRIPTION_LEVELS)}")
+        return replace(self, level_name=level)
+
+    def scale(self, scale: float) -> "Simulation":
+        """Set the fraction of the paper's task count to simulate."""
+        if not 0 < scale <= 1.0:
+            raise ValueError("scale must be within (0, 1]")
+        return replace(self, scale_value=float(scale))
+
+    def gamma(self, gamma: float) -> "Simulation":
+        """Set the deadline slack coefficient."""
+        if gamma < 0:
+            raise ValueError("gamma cannot be negative")
+        return replace(self, gamma_value=float(gamma))
+
+    def queue_capacity(self, capacity: int) -> "Simulation":
+        """Set the machine-queue capacity (including the running task)."""
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        return replace(self, queue_capacity_value=int(capacity))
+
+    def batch_window(self, window: int) -> "Simulation":
+        """Set the mapper's batch-queue window size."""
+        if window < 1:
+            raise ValueError("batch window must be at least 1")
+        return replace(self, batch_window_value=int(window))
+
+    def trials(self, n: int, base_seed: Optional[int] = None) -> "Simulation":
+        """Set the trial count; trial ``k`` uses seed ``base_seed + k``."""
+        if n < 1:
+            raise ValueError("need at least one trial")
+        seed = self.base_seed if base_seed is None else int(base_seed)
+        return replace(self, num_trials=int(n), base_seed=seed)
+
+    def seed(self, base_seed: int) -> "Simulation":
+        """Set the base workload seed without changing the trial count."""
+        return replace(self, base_seed=int(base_seed))
+
+    def parallel(self, n_jobs: int) -> "Simulation":
+        """Fan trials out over ``n_jobs`` worker processes (1 = sequential).
+
+        Worker processes import :mod:`repro` afresh, so custom mappers /
+        droppers / scenarios must be registered at import time of a module
+        the workers also import (not interactively) to be resolvable there.
+        """
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        return replace(self, n_jobs=int(n_jobs))
+
+    def with_cost(self, enabled: bool = True) -> "Simulation":
+        """Attach a cost report to every trial's metrics."""
+        return replace(self, cost_enabled=bool(enabled))
+
+    def confidence(self, confidence: float) -> "Simulation":
+        """Set the confidence level of aggregated intervals."""
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        return replace(self, confidence_value=float(confidence))
+
+    def configure(self, config: "ExperimentConfig") -> "Simulation":
+        """Apply an :class:`~repro.experiments.config.ExperimentConfig`."""
+        return replace(self, scale_value=config.scale, gamma_value=config.gamma,
+                       queue_capacity_value=config.queue_capacity,
+                       batch_window_value=config.batch_window,
+                       num_trials=config.trials, base_seed=config.base_seed,
+                       n_jobs=config.n_jobs,
+                       confidence_value=config.confidence)
+
+    # ------------------------------------------------------------------
+    # Compilation & execution
+    # ------------------------------------------------------------------
+    def build_specs(self) -> Tuple["TrialSpec", ...]:
+        """Compile the configuration into picklable per-trial specs."""
+        from ..experiments.runner import TrialSpec
+
+        return tuple(
+            TrialSpec(scenario_name=self.scenario_name, level=self.level_name,
+                      scale=self.scale_value, gamma=self.gamma_value,
+                      queue_capacity=self.queue_capacity_value,
+                      seed=self.base_seed + k, mapper_name=self.mapper_name,
+                      dropper_name=self.dropper_name,
+                      dropper_params=self.dropper_params,
+                      mapper_params=self.mapper_params,
+                      scenario_params=self.scenario_params,
+                      batch_window=self.batch_window_value,
+                      with_cost=self.cost_enabled)
+            for k in range(self.num_trials))
+
+    def describe_config(self) -> Dict[str, Any]:
+        """The configuration as a plain dict (stored on results)."""
+        config: Dict[str, Any] = {
+            "scenario": self.scenario_name,
+            "level": self.level_name,
+            "scale": self.scale_value,
+            "gamma": self.gamma_value,
+            "queue_capacity": self.queue_capacity_value,
+            "batch_window": self.batch_window_value,
+            "mapper": self.mapper_name,
+            "dropper": self.dropper_name,
+            "trials": self.num_trials,
+            "base_seed": self.base_seed,
+            "with_cost": self.cost_enabled,
+        }
+        if self.mapper_params:
+            config["mapper_params"] = dict(self.mapper_params)
+        if self.dropper_params:
+            config["dropper_params"] = dict(self.dropper_params)
+        if self.scenario_params:
+            config["scenario_params"] = dict(self.scenario_params)
+        return config
+
+    def run(self, label: Optional[str] = None) -> RunResult:
+        """Execute all trials and return an aggregated :class:`RunResult`."""
+        from ..experiments.runner import run_trials
+
+        specs = self.build_specs()
+        trials = tuple(run_trials(specs, self.n_jobs))
+        aggregate = aggregate_trials(trials, confidence=self.confidence_value)
+        return RunResult(label=label or specs[0].label,
+                         config=self.describe_config(), specs=specs,
+                         trials=trials, aggregate=aggregate)
+
+    def sweep(self, **axes: Sequence[Any]) -> SweepResult:
+        """Evaluate the cartesian product of axis values and collect results.
+
+        Accepted axes: ``scenario``, ``level``, ``mapper``, ``dropper``,
+        ``scale`` and ``gamma`` (see :data:`SWEEPABLE_AXES`); each maps to
+        the fluent method of the same name, so ``mapper``/``dropper`` values
+        reset any previously-set parameters of that axis.  All grid points
+        share this builder's ``base_seed``, so every configuration sees the
+        identical workload trials::
+
+            Simulation.scenario("spec").trials(3).sweep(
+                mapper=["PAM", "MM"], dropper=["heuristic", "react"])
+        """
+        unknown = sorted(set(axes) - set(SWEEPABLE_AXES))
+        if unknown:
+            raise ValueError(f"cannot sweep over {', '.join(map(repr, unknown))}; "
+                             f"sweepable axes: {', '.join(SWEEPABLE_AXES)}")
+        names = [axis for axis in SWEEPABLE_AXES if axis in axes]
+        value_lists: List[List[Any]] = []
+        for axis in names:
+            values = list(axes[axis])
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values to sweep")
+            value_lists.append(values)
+        runs: List[RunResult] = []
+        for combo in itertools.product(*value_lists):
+            sim = self
+            for axis, value in zip(names, combo):
+                sim = sim._apply_axis(axis, value)
+            label = " ".join(str(v) for v in combo) or None
+            runs.append(sim.run(label=label))
+        return SweepResult(runs=tuple(runs), axes=tuple(names))
+
+    def _apply_axis(self, axis: str, value: Any) -> "Simulation":
+        """Route one sweep-axis value to its fluent method."""
+        if axis == "scenario":
+            entry = SCENARIOS.get(value)
+            # Like the mapper/dropper axes, selecting a scenario resets its
+            # extra parameters (they are preset-specific); the builder-level
+            # arrival-process choice is kept, as every preset accepts it.
+            params = {k: v for k, v in self.scenario_params if k == "arrival"}
+            entry.validate(params)
+            return replace(self, scenario_name=entry.name,
+                           scenario_params=_freeze(params))
+        if axis == "level":
+            return self.level(value)
+        if axis == "mapper":
+            return self.mapper(value)
+        if axis == "dropper":
+            return self.dropper(value)
+        if axis == "scale":
+            return self.scale(value)
+        if axis == "gamma":
+            return self.gamma(value)
+        raise ValueError(f"unknown sweep axis {axis!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (f"Simulation(scenario={self.scenario_name!r}, "
+                f"level={self.level_name!r}, mapper={self.mapper_name!r}, "
+                f"dropper={self.dropper_name!r}, trials={self.num_trials}, "
+                f"base_seed={self.base_seed})")

@@ -1,0 +1,118 @@
+"""The package's built-in registries: mappers, droppers, scenarios, arrivals.
+
+This module is the single source of truth for "what can I ask for by name?".
+The legacy entry points (:func:`repro.mapping.make_heuristic`,
+:func:`repro.experiments.runner.make_dropper`,
+:func:`repro.workload.scenario.build_scenario`) delegate here, so anything a
+user registers -- ::
+
+    from repro.api import MAPPERS
+
+    @MAPPERS.register("greedy", summary="Always maps to machine 0.")
+    class Greedy(MappingHeuristic):
+        ...
+
+-- is immediately usable everywhere a built-in name is: the fluent
+:class:`~repro.api.builder.Simulation` builder, ``quick_run``, the figure
+harness and the ``python -m repro run --mapper greedy`` CLI.
+"""
+
+from __future__ import annotations
+
+from ..core.dropping import (AdaptiveThresholdDropping, DroppingPolicy,
+                             NoProactiveDropping, OptimalProactiveDropping,
+                             ProactiveHeuristicDropping, ThresholdDropping)
+from ..mapping import EDF, FCFS, MSD, PAM, SJF, MinMin
+from ..workload.arrivals import PoissonArrivals, UniformArrivals
+from ..workload.scenario import (homogeneous_scenario, spec_scenario,
+                                 transcoding_scenario)
+from .registry import Registry
+
+__all__ = ["MAPPERS", "DROPPERS", "SCENARIOS", "ARRIVALS"]
+
+
+# ----------------------------------------------------------------------
+# Mapping heuristics
+# ----------------------------------------------------------------------
+MAPPERS: Registry = Registry("mapping heuristic")
+MAPPERS.add("MM", MinMin, aliases=("MinMin",), params=(),
+            summary="Min-Min: two-phase minimum expected completion time.")
+MAPPERS.add("MSD", MSD, params=(),
+            summary="Minimum Standard Deviation two-phase heuristic.")
+MAPPERS.add("PAM", PAM, params=(),
+            summary="Pruning-Aware Mapping (chance-of-success driven).")
+MAPPERS.add("FCFS", FCFS, params=(),
+            summary="First-come-first-served ordered heuristic.")
+MAPPERS.add("SJF", SJF, params=(),
+            summary="Shortest-job-first ordered heuristic.")
+MAPPERS.add("EDF", EDF, params=(),
+            summary="Earliest-deadline-first ordered heuristic.")
+
+
+# ----------------------------------------------------------------------
+# Dropping policies
+# ----------------------------------------------------------------------
+DROPPERS: Registry = Registry("dropping policy")
+
+
+@DROPPERS.register("react", aliases=("none",), params=(),
+                   summary="Reactive dropping only (the paper's baseline).")
+def _make_react_only() -> DroppingPolicy:
+    return NoProactiveDropping()
+
+
+@DROPPERS.register("heuristic", params=("beta", "eta"),
+                   summary="Autonomous proactive dropping heuristic "
+                           "(the paper's mechanism).")
+def _make_heuristic_dropper(beta: float = 1.0, eta: int = 2) -> DroppingPolicy:
+    return ProactiveHeuristicDropping(beta=beta, eta=eta)
+
+
+@DROPPERS.register("optimal", params=("improvement_factor",),
+                   summary="Exhaustive-search proactive dropping upper bound.")
+def _make_optimal_dropper(improvement_factor: float = 1.0) -> DroppingPolicy:
+    return OptimalProactiveDropping(improvement_factor=improvement_factor)
+
+
+@DROPPERS.register("threshold", params=("threshold",),
+                   summary="Fixed chance-of-success threshold dropping.")
+def _make_threshold_dropper(threshold: float = 0.2) -> DroppingPolicy:
+    return ThresholdDropping(threshold=threshold)
+
+
+@DROPPERS.register("threshold-adaptive",
+                   params=("base_threshold", "max_threshold"),
+                   summary="Oversubscription-adaptive threshold dropping.")
+def _make_adaptive_threshold_dropper(base_threshold: float = 0.15,
+                                     max_threshold: float = 0.6) -> DroppingPolicy:
+    return AdaptiveThresholdDropping(base_threshold=base_threshold,
+                                     max_threshold=max_threshold)
+
+
+# ----------------------------------------------------------------------
+# Scenario presets
+# ----------------------------------------------------------------------
+SCENARIOS: Registry = Registry("scenario")
+SCENARIOS.add("spec", spec_scenario,
+              params=("level", "scale", "gamma", "seed", "queue_capacity",
+                      "arrival"),
+              summary="12 SPEC task types on 8 heterogeneous machines "
+                      "(the paper's primary setup).")
+SCENARIOS.add("homogeneous", homogeneous_scenario,
+              params=("level", "scale", "gamma", "seed", "queue_capacity",
+                      "num_machines", "arrival"),
+              summary="SPEC task types on identical machines (Fig. 7b).")
+SCENARIOS.add("transcoding", transcoding_scenario,
+              params=("level", "scale", "gamma", "seed", "queue_capacity",
+                      "machines_per_type", "rate_multiplier", "arrival"),
+              summary="Video-transcoding validation workload (Fig. 10).")
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+ARRIVALS: Registry = Registry("arrival process")
+ARRIVALS.add("poisson", PoissonArrivals, params=("rate", "start_time"),
+             summary="Homogeneous Poisson process (the paper's arrivals).")
+ARRIVALS.add("uniform", UniformArrivals, params=("rate", "start_time"),
+             summary="Deterministic evenly-spaced arrivals.")

@@ -11,7 +11,7 @@ from .figures import (DEFAULT_LEVELS, FigurePoint, FigureResult,
                       figure10_transcoding, reactive_share_analysis)
 from .reporting import format_comparison, format_figure_table, format_series_summary
 from .runner import (DROPPER_REGISTRY, ConfigurationResult, TrialSpec, make_dropper,
-                     run_configuration, run_trial)
+                     run_configuration, run_trial, run_trials)
 
 __all__ = [
     "ExperimentConfig",
@@ -36,6 +36,7 @@ __all__ = [
     "make_dropper",
     "run_configuration",
     "run_trial",
+    "run_trials",
     "DroppingAgreementReport",
     "PMFResolutionPoint",
     "ablation_optimal_vs_heuristic",

@@ -1,18 +1,32 @@
-"""Command-line interface of the experiment harness.
+"""Command-line interface of the package.
 
-``python -m repro <figure> [options]`` regenerates one of the paper's
-figures (or the §V-F drop-share analysis) and prints the corresponding table
-to stdout.  Example::
+``python -m repro <command> [options]`` exposes both the paper's figure
+harness and the generic fluent-API runner:
 
-    python -m repro fig7a --scale 0.02 --trials 3
-    python -m repro fig8 --levels 20k 30k --no-optimal
+* figure commands regenerate one of the paper's figures (or the §V-F
+  drop-share analysis) and print the corresponding table::
+
+      python -m repro fig7a --scale 0.02 --trials 3
+      python -m repro fig8 --levels 20k 30k --no-optimal
+
+* ``run`` executes an arbitrary configuration through the
+  :class:`repro.api.Simulation` builder; passing several values for
+  ``--mapper`` / ``--dropper`` / ``--level`` evaluates the cartesian sweep::
+
+      python -m repro run --mapper PAM --dropper heuristic --param beta=1.5
+      python -m repro run --mapper PAM MM --dropper heuristic react --trials 3
+
+* ``list-mappers`` / ``list-droppers`` / ``list-scenarios`` /
+  ``list-arrivals`` print the corresponding registry, including anything
+  registered by user code imported via ``--plugin module``.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .config import ExperimentConfig
 from .figures import (FigureResult, figure5_effective_depth, figure6_beta,
@@ -23,17 +37,14 @@ from .reporting import format_figure_table
 
 __all__ = ["main", "build_parser"]
 
+FIGURE_COMMANDS = ("fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+                   "drops")
+LIST_COMMANDS = ("list-mappers", "list-droppers", "list-scenarios",
+                 "list-arrivals")
 
-def build_parser() -> argparse.ArgumentParser:
-    """Argument parser of the experiment CLI."""
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Reproduce the evaluation figures of the autonomous "
-                    "task-dropping paper (Mokhtari et al., 2020).")
-    parser.add_argument("figure",
-                        choices=["fig5", "fig6", "fig7a", "fig7b", "fig8",
-                                 "fig9", "fig10", "drops"],
-                        help="which figure/analysis to regenerate")
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every figure command and ``run``."""
     parser.add_argument("--scale", type=float, default=0.02,
                         help="fraction of the paper's task counts (default 0.02)")
     parser.add_argument("--trials", type=int, default=3,
@@ -42,19 +53,80 @@ def build_parser() -> argparse.ArgumentParser:
                         help="base random seed (default 42)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for trials (default 1)")
-    parser.add_argument("--levels", nargs="+", default=None,
-                        choices=["20k", "30k", "40k"],
-                        help="oversubscription levels to sweep (figures 5/6/8/9)")
-    parser.add_argument("--level", default=None, choices=["20k", "30k", "40k"],
-                        help="single oversubscription level (figures 7a/7b/10/drops)")
-    parser.add_argument("--no-optimal", action="store_true",
-                        help="skip the exhaustive-search policy in fig8")
+    parser.add_argument("--plugin", action="append", default=[],
+                        metavar="MODULE",
+                        help="import MODULE first so it can register custom "
+                             "mappers/droppers/scenarios (repeatable)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the experiment CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation figures of the autonomous "
+                    "task-dropping paper (Mokhtari et al., 2020) or run "
+                    "arbitrary configurations through the fluent API.")
+    commands = parser.add_subparsers(dest="figure", required=True,
+                                     metavar="command")
+
+    for figure in FIGURE_COMMANDS:
+        sub = commands.add_parser(
+            figure, help=f"regenerate {figure}"
+            if figure != "drops" else "regenerate the §V-F drop-share analysis")
+        _add_common_options(sub)
+        sub.add_argument("--levels", nargs="+", default=None,
+                         choices=["20k", "30k", "40k"],
+                         help="oversubscription levels to sweep (figures 5/6/8/9)")
+        sub.add_argument("--level", default=None, choices=["20k", "30k", "40k"],
+                         help="single oversubscription level (figures 7a/7b/10/drops)")
+        sub.add_argument("--no-optimal", action="store_true",
+                         help="skip the exhaustive-search policy in fig8")
+
+    run = commands.add_parser(
+        "run", help="run one configuration (or a sweep) through the fluent API")
+    _add_common_options(run)
+    run.add_argument("--scenario", nargs="+", default=["spec"],
+                     help="scenario preset name(s) (default: spec)")
+    run.add_argument("--level", nargs="+", default=["30k"],
+                     choices=["20k", "30k", "40k"],
+                     help="oversubscription level(s) (default: 30k)")
+    run.add_argument("--mapper", nargs="+", default=["PAM"],
+                     help="mapping heuristic registry name(s) (default: PAM)")
+    run.add_argument("--dropper", nargs="+", default=["heuristic"],
+                     help="dropping policy registry name(s) (default: heuristic)")
+    run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                     help="dropping-policy parameter, e.g. --param beta=1.5 "
+                          "(repeatable; single-dropper runs only)")
+    run.add_argument("--arrival", default=None,
+                     help="arrival process registry name (default: poisson)")
+    run.add_argument("--gamma", type=float, default=1.0,
+                     help="deadline slack coefficient (default 1.0)")
+    run.add_argument("--cost", action="store_true",
+                     help="track the cost metrics of every trial")
+    run.add_argument("--json", action="store_true",
+                     help="print the result as JSON instead of text")
+    run.add_argument("--metric", default="robustness_pct",
+                     help="metric shown in sweep tables (default robustness_pct)")
+
+    for command in LIST_COMMANDS:
+        sub = commands.add_parser(
+            command, help=f"list registered {command.split('-', 1)[1]}")
+        sub.add_argument("--plugin", action="append", default=[],
+                        metavar="MODULE",
+                        help="import MODULE first so its registrations show up")
+
     return parser
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(scale=args.scale, trials=args.trials,
                             base_seed=args.seed, n_jobs=args.jobs)
+
+
+def _load_plugins(args: argparse.Namespace) -> None:
+    """Import user modules so their registry registrations take effect."""
+    for module in getattr(args, "plugin", []):
+        importlib.import_module(module)
 
 
 def _run_figure(args: argparse.Namespace, config: ExperimentConfig) -> FigureResult:
@@ -79,10 +151,98 @@ def _run_figure(args: argparse.Namespace, config: ExperimentConfig) -> FigureRes
     raise ValueError(f"unknown figure {args.figure!r}")  # pragma: no cover
 
 
+def _parse_params(pairs: Sequence[str]) -> Dict[str, float]:
+    """Parse repeated ``--param key=value`` options (values become numbers)."""
+    params: Dict[str, float] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise SystemExit(f"--param {key}: {raw!r} is not a number")
+        params[key] = value
+    return params
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    """The generic ``run`` subcommand: single run or cartesian sweep."""
+    from ..api import Simulation
+
+    params = _parse_params(args.param)
+    sim = (Simulation.scenario(args.scenario[0])
+           .scale(args.scale).gamma(args.gamma)
+           .trials(args.trials, base_seed=args.seed)
+           .parallel(args.jobs).with_cost(args.cost))
+    if args.arrival:
+        sim = sim.arrivals(args.arrival)
+
+    axes = {}
+    if len(args.scenario) > 1:
+        axes["scenario"] = args.scenario
+    if len(args.level) > 1:
+        axes["level"] = args.level
+    if len(args.mapper) > 1:
+        axes["mapper"] = args.mapper
+    if len(args.dropper) > 1:
+        axes["dropper"] = args.dropper
+
+    if params and "dropper" in axes:
+        raise SystemExit("--param only applies when --dropper is pinned "
+                         "to one value (sweeping droppers resets their "
+                         "parameters)")
+    if args.plugin and args.jobs > 1:
+        print("repro run: warning: worker processes may not see --plugin "
+              "registrations on platforms that spawn rather than fork",
+              file=sys.stderr)
+
+    sim = (sim.level(args.level[0]).mapper(args.mapper[0])
+           .dropper(args.dropper[0], **params))
+    if axes:
+        sweep = sim.sweep(**axes)
+        print(sweep.to_json() if args.json else sweep.summary(args.metric))
+    else:
+        result = sim.run()
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.summary())
+            if args.metric != "robustness_pct":
+                print(f"  {args.metric:<28}: {result.metric(args.metric)}")
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    """The ``list-*`` subcommands: print one registry."""
+    from ..api import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
+
+    registry = {"list-mappers": MAPPERS, "list-droppers": DROPPERS,
+                "list-scenarios": SCENARIOS,
+                "list-arrivals": ARRIVALS}[args.figure]
+    print(registry.describe())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro`` / ``repro-experiments``."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _load_plugins(args)
+    if args.figure in LIST_COMMANDS:
+        return _command_list(args)
+    if args.figure == "run":
+        try:
+            return _command_run(args)
+        except (KeyError, TypeError, ValueError) as exc:
+            # Registry lookups raise KeyError subclasses with did-you-mean
+            # hints and parameter validation raises TypeError; show the
+            # message without a traceback.
+            print(f"repro run: error: {exc}", file=sys.stderr)
+            return 2
     config = _config_from_args(args)
     figure = _run_figure(args, config)
     print(format_figure_table(figure))

@@ -2,7 +2,11 @@
 
 Each ``figureN_*`` function sweeps the corresponding parameter space, runs
 the configured number of workload trials per point, and returns a
-:class:`FigureResult` whose rows mirror the series plotted in the paper:
+:class:`FigureResult` whose rows mirror the series plotted in the paper.
+Every configuration is executed through the fluent
+:class:`repro.api.Simulation` builder (via :func:`run_configuration`), so
+custom mappers/droppers/scenarios registered in
+:mod:`repro.api.registries` can be swept by name here too:
 
 * Fig. 5  -- effective depth η sweep (PAM + heuristic dropping);
 * Fig. 6  -- robustness improvement factor β sweep (PAM + heuristic);

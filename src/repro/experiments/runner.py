@@ -10,68 +10,49 @@ scenario, builds the system, runs it and returns the collected metrics.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.dropping import (AdaptiveThresholdDropping, DroppingPolicy,
-                             NoProactiveDropping, OptimalProactiveDropping,
-                             ProactiveHeuristicDropping, ThresholdDropping)
+from ..core.dropping import DroppingPolicy
 from ..cost.pricing import PricingModel
 from ..mapping import make_heuristic
-from ..metrics.collector import (AggregateMetrics, TrialMetrics, aggregate_trials,
+from ..metrics.collector import (AggregateMetrics, TrialMetrics,
                                  collect_trial_metrics)
 from ..sim.system import HCSystem, SystemConfig
 from ..workload.scenario import Scenario, build_scenario
 from .config import ExperimentConfig
 
 __all__ = ["DROPPER_REGISTRY", "make_dropper", "TrialSpec", "run_trial",
-           "run_configuration", "ConfigurationResult"]
+           "run_trials", "run_configuration", "ConfigurationResult"]
 
 
-def _make_react_only(**_params) -> DroppingPolicy:
-    return NoProactiveDropping()
+def _legacy_dropper_factory(name: str):
+    """Factory delegating to the :data:`repro.api.registries.DROPPERS` registry."""
+    def factory(**params) -> DroppingPolicy:
+        from ..api.registries import DROPPERS
+        return DROPPERS.create(name, **params)
+    factory.__name__ = f"make_{name.replace('-', '_')}_dropper"
+    return factory
 
 
-def _make_heuristic_dropper(**params) -> DroppingPolicy:
-    return ProactiveHeuristicDropping(beta=params.get("beta", 1.0),
-                                      eta=params.get("eta", 2))
-
-
-def _make_optimal_dropper(**params) -> DroppingPolicy:
-    return OptimalProactiveDropping(
-        improvement_factor=params.get("improvement_factor", 1.0))
-
-
-def _make_threshold_dropper(**params) -> DroppingPolicy:
-    return ThresholdDropping(threshold=params.get("threshold", 0.2))
-
-
-def _make_adaptive_threshold_dropper(**params) -> DroppingPolicy:
-    return AdaptiveThresholdDropping(base_threshold=params.get("base_threshold", 0.15),
-                                     max_threshold=params.get("max_threshold", 0.6))
-
-
-#: Dropping-policy factories by registry name.
+#: Dropping-policy factories by registry name.  Read-only legacy view kept
+#: for backward compatibility -- mutating this dict has no effect; the
+#: canonical registry is :data:`repro.api.registries.DROPPERS` and anything
+#: registered there is automatically available to :func:`make_dropper` and
+#: the builder.
 DROPPER_REGISTRY = {
-    "react": _make_react_only,
-    "none": _make_react_only,
-    "heuristic": _make_heuristic_dropper,
-    "optimal": _make_optimal_dropper,
-    "threshold": _make_threshold_dropper,
-    "threshold-adaptive": _make_adaptive_threshold_dropper,
+    name: _legacy_dropper_factory(name)
+    for name in ("react", "none", "heuristic", "optimal", "threshold",
+                 "threshold-adaptive")
 }
 
 
 def make_dropper(name: str, **params) -> DroppingPolicy:
     """Instantiate a dropping policy from its registry name."""
-    try:
-        factory = DROPPER_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown dropping policy {name!r}; known: "
-                       f"{sorted(DROPPER_REGISTRY)}") from exc
-    return factory(**params)
+    from ..api.registries import DROPPERS
+    return DROPPERS.create(name, **params)
 
 
 @dataclass(frozen=True)
@@ -89,7 +70,13 @@ class TrialSpec:
         Dropping-policy registry name ("react", "heuristic", "optimal", ...).
     dropper_params:
         Keyword arguments of the dropping-policy factory (e.g. ``beta``,
-        ``eta``).
+        ``eta``), as a sorted tuple of pairs so the spec stays hashable.
+    mapper_params:
+        Keyword arguments of the mapping-heuristic factory (empty for all
+        built-in heuristics).
+    scenario_params:
+        Extra keyword arguments forwarded to the scenario factory beyond
+        the dedicated fields above (e.g. ``num_machines``, ``arrival``).
     batch_window:
         Mapper batch-queue window size.
     with_cost:
@@ -107,6 +94,8 @@ class TrialSpec:
     dropper_params: Tuple[Tuple[str, float], ...] = ()
     batch_window: int = 32
     with_cost: bool = False
+    mapper_params: Tuple[Tuple[str, object], ...] = ()
+    scenario_params: Tuple[Tuple[str, object], ...] = ()
 
     @property
     def dropper_kwargs(self) -> Dict[str, float]:
@@ -114,8 +103,23 @@ class TrialSpec:
         return dict(self.dropper_params)
 
     @property
+    def mapper_kwargs(self) -> Dict[str, object]:
+        """Mapping-heuristic parameters as a dictionary."""
+        return dict(self.mapper_params)
+
+    @property
+    def scenario_kwargs(self) -> Dict[str, object]:
+        """Extra scenario-factory parameters as a dictionary."""
+        return dict(self.scenario_params)
+
+    @property
     def label(self) -> str:
-        """Short configuration label, e.g. ``"PAM+Heuristic"``."""
+        """Short configuration label, e.g. ``"PAM+Heuristic"``.
+
+        Built-in dropping policies have fixed pretty names matching the
+        paper's figures; custom registered policies fall back to their
+        title-cased registry name.
+        """
         pretty = {
             "react": "ReactDrop",
             "none": "ReactDrop",
@@ -123,14 +127,14 @@ class TrialSpec:
             "optimal": "Optimal",
             "threshold": "Threshold",
             "threshold-adaptive": "Threshold",
-        }[self.dropper_name]
-        return f"{self.mapper_name}+{pretty}"
+        }
+        return f"{self.mapper_name}+{pretty.get(self.dropper_name, self.dropper_name.title())}"
 
 
 def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
                            rng: np.random.Generator) -> HCSystem:
     """Assemble a simulator instance for one trial of ``scenario``."""
-    mapper = make_heuristic(spec.mapper_name)
+    mapper = make_heuristic(spec.mapper_name, **spec.mapper_kwargs)
     dropper = make_dropper(spec.dropper_name, **spec.dropper_kwargs)
     config = SystemConfig(queue_capacity=spec.queue_capacity,
                           batch_window=spec.batch_window)
@@ -150,7 +154,8 @@ def run_trial(spec: TrialSpec) -> TrialMetrics:
     """Run one simulation trial end-to-end and collect its metrics."""
     scenario = build_scenario(spec.scenario_name, level=spec.level, scale=spec.scale,
                               gamma=spec.gamma, seed=spec.seed,
-                              queue_capacity=spec.queue_capacity)
+                              queue_capacity=spec.queue_capacity,
+                              **spec.scenario_kwargs)
     # The execution-time sampling stream is decoupled from the workload
     # generation stream so that two configurations sharing a seed see the
     # same arrivals and deadlines.
@@ -191,24 +196,30 @@ def run_configuration(config: ExperimentConfig, scenario_name: str, level: str,
 
     Trials use seeds ``base_seed + k`` so that every configuration sharing an
     :class:`ExperimentConfig` is evaluated on identical workload trials.
+    Implemented as a thin adapter over the fluent
+    :class:`repro.api.builder.Simulation` builder, so the figure harness and
+    the high-level API execute configurations identically.
     """
-    params = tuple(sorted((dropper_params or {}).items()))
-    specs = tuple(
-        TrialSpec(scenario_name=scenario_name, level=level, scale=config.scale,
-                  gamma=config.gamma, queue_capacity=config.queue_capacity,
-                  seed=config.base_seed + k, mapper_name=mapper_name,
-                  dropper_name=dropper_name, dropper_params=params,
-                  batch_window=config.batch_window, with_cost=with_cost)
-        for k in range(config.trials))
-    trials = _run_trials(specs, config.n_jobs)
-    aggregate = aggregate_trials(trials, confidence=config.confidence)
-    return ConfigurationResult(label=label or specs[0].label, specs=specs,
-                               aggregate=aggregate)
+    from ..api.builder import Simulation
+
+    sim = (Simulation.scenario(scenario_name)
+           .configure(config)
+           .level(level)
+           .mapper(mapper_name)
+           .dropper(dropper_name, **(dropper_params or {}))
+           .with_cost(with_cost))
+    run = sim.run(label=label)
+    return ConfigurationResult(label=run.label, specs=run.specs,
+                               aggregate=run.aggregate)
 
 
-def _run_trials(specs: Sequence[TrialSpec], n_jobs: int) -> List[TrialMetrics]:
+def run_trials(specs: Sequence[TrialSpec], n_jobs: int = 1) -> List[TrialMetrics]:
     """Run trials sequentially or across worker processes."""
     if n_jobs <= 1 or len(specs) <= 1:
         return [run_trial(spec) for spec in specs]
     with ProcessPoolExecutor(max_workers=min(n_jobs, len(specs))) as pool:
         return list(pool.map(run_trial, specs))
+
+
+#: Backward-compatible alias of :func:`run_trials`.
+_run_trials = run_trials

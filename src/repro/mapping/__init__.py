@@ -9,7 +9,11 @@ from .msd import MSD
 from .pam import PAM
 from .sjf import SJF
 
-#: Registry of mapping heuristics by short name, used by the experiment CLI.
+#: Mapping heuristics by short name.  Read-only legacy view kept for
+#: backward compatibility -- mutating this dict has no effect; the
+#: canonical registry is :data:`repro.api.registries.MAPPERS` and anything
+#: registered there is automatically available to :func:`make_heuristic`,
+#: the fluent builder and the CLI.
 HEURISTIC_REGISTRY = {
     "MM": MinMin,
     "MinMin": MinMin,
@@ -21,13 +25,10 @@ HEURISTIC_REGISTRY = {
 }
 
 
-def make_heuristic(name: str) -> MappingHeuristic:
+def make_heuristic(name: str, **params) -> MappingHeuristic:
     """Instantiate a mapping heuristic from its registry name."""
-    try:
-        return HEURISTIC_REGISTRY[name]()
-    except KeyError as exc:
-        raise KeyError(f"unknown mapping heuristic {name!r}; known: "
-                       f"{sorted(set(HEURISTIC_REGISTRY))}") from exc
+    from ..api.registries import MAPPERS
+    return MAPPERS.create(name, **params)
 
 
 __all__ = [

@@ -1,7 +1,7 @@
 """Workload generation: platforms, PET matrices, arrivals, deadlines, scenarios."""
 
-from .arrivals import (ArrivalProcess, PoissonArrivals, rate_for_oversubscription,
-                       system_capacity)
+from .arrivals import (ArrivalProcess, PoissonArrivals, UniformArrivals,
+                       rate_for_oversubscription, system_capacity)
 from .deadlines import DeadlinePolicy, PaperDeadlinePolicy
 from .homogeneous import HomogeneousWorkloadFactory
 from .pet_builder import GammaPETBuilder, build_pet_from_means
@@ -18,6 +18,7 @@ from .transcoding import (TRANSCODING_MACHINE_NAMES, TRANSCODING_MACHINE_PRICES,
 __all__ = [
     "ArrivalProcess",
     "PoissonArrivals",
+    "UniformArrivals",
     "system_capacity",
     "rate_for_oversubscription",
     "DeadlinePolicy",

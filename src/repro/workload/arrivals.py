@@ -16,8 +16,8 @@ import numpy as np
 
 from ..core.pet import PETMatrix
 
-__all__ = ["ArrivalProcess", "PoissonArrivals", "system_capacity",
-           "rate_for_oversubscription"]
+__all__ = ["ArrivalProcess", "PoissonArrivals", "UniformArrivals",
+           "system_capacity", "rate_for_oversubscription"]
 
 
 def system_capacity(pet: PETMatrix, num_machines: int) -> float:
@@ -84,4 +84,44 @@ class PoissonArrivals(ArrivalProcess):
 
     def expected_duration(self, n_tasks: int) -> float:
         """Expected time span covered by ``n_tasks`` arrivals."""
+        return n_tasks / self.rate
+
+
+@dataclass(frozen=True)
+class UniformArrivals(ArrivalProcess):
+    """Deterministic evenly-spaced arrival process.
+
+    Tasks arrive exactly ``1 / rate`` time units apart (before integer
+    flooring).  Useful as a burstiness-free baseline against the Poisson
+    process and as the simplest example of a pluggable arrival process.
+
+    Attributes
+    ----------
+    rate:
+        Number of arrivals per time unit.
+    start_time:
+        Time origin of the schedule; the first task arrives one gap
+        (``1 / rate``) after it, mirroring the Poisson process.
+    """
+
+    rate: float
+    start_time: int = 0
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.start_time < 0:
+            raise ValueError("start time cannot be negative")
+
+    def generate(self, n_tasks: int, rng: np.random.Generator) -> List[int]:
+        """Evenly spaced integer arrival times (``rng`` is unused)."""
+        if n_tasks < 0:
+            raise ValueError("number of tasks cannot be negative")
+        gap = 1.0 / self.rate
+        times = np.floor(self.start_time + gap * np.arange(1, n_tasks + 1))
+        times = np.maximum.accumulate(times.astype(np.int64))
+        return [int(t) for t in times]
+
+    def expected_duration(self, n_tasks: int) -> float:
+        """Time span covered by ``n_tasks`` arrivals."""
         return n_tasks / self.rate

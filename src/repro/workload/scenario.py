@@ -26,7 +26,7 @@ import numpy as np
 from ..core.pet import PETMatrix
 from ..sim.machine import Machine
 from ..sim.task import Task, TaskType
-from .arrivals import PoissonArrivals, rate_for_oversubscription
+from .arrivals import rate_for_oversubscription
 from .deadlines import PaperDeadlinePolicy
 from .homogeneous import HomogeneousWorkloadFactory
 from .platforms import Platform
@@ -76,6 +76,10 @@ class ScenarioSpec:
         Machine-queue capacity.
     seed:
         Base seed for PET sampling and workload generation.
+    arrival:
+        Name of the arrival process in the
+        :data:`repro.api.registries.ARRIVALS` registry ("poisson" is the
+        paper's process).
     """
 
     name: str = "spec"
@@ -85,6 +89,7 @@ class ScenarioSpec:
     queue_capacity: int = 6
     seed: int = 0
     rate_multiplier: float = 1.0
+    arrival: str = "poisson"
 
     def __post_init__(self):
         if self.level not in OVERSUBSCRIPTION_LEVELS:
@@ -172,8 +177,11 @@ class Scenario:
 def _generate_tasks(pet: PETMatrix, platform: Platform, spec: ScenarioSpec,
                     rng: np.random.Generator) -> Tuple[List[Task], float]:
     """Generate the task stream (types, arrivals, deadlines) of a scenario."""
+    from ..api.registries import ARRIVALS
+
     rate = rate_for_oversubscription(pet, platform.num_machines, spec.oversubscription)
-    arrivals = PoissonArrivals(rate=rate).generate(spec.num_tasks, rng)
+    process = ARRIVALS.create(spec.arrival, rate=rate)
+    arrivals = process.generate(spec.num_tasks, rng)
     deadline_policy = PaperDeadlinePolicy(gamma=spec.gamma)
     type_ids = rng.integers(0, pet.num_task_types, size=spec.num_tasks)
     tasks: List[Task] = []
@@ -185,10 +193,12 @@ def _generate_tasks(pet: PETMatrix, platform: Platform, spec: ScenarioSpec,
 
 
 def spec_scenario(level: str = "30k", scale: float = 0.02, gamma: float = 1.0,
-                  seed: int = 0, queue_capacity: int = 6) -> Scenario:
+                  seed: int = 0, queue_capacity: int = 6,
+                  arrival: str = "poisson") -> Scenario:
     """SPEC-like heterogeneous scenario (the paper's primary setup)."""
     spec = ScenarioSpec(name="spec", level=level, scale=scale, gamma=gamma,
-                        queue_capacity=queue_capacity, seed=seed)
+                        queue_capacity=queue_capacity, seed=seed,
+                        arrival=arrival)
     rng = np.random.default_rng(seed)
     factory = SpecWorkloadFactory(queue_capacity=queue_capacity)
     platform = factory.platform()
@@ -200,10 +210,12 @@ def spec_scenario(level: str = "30k", scale: float = 0.02, gamma: float = 1.0,
 
 def homogeneous_scenario(level: str = "30k", scale: float = 0.02, gamma: float = 1.0,
                          seed: int = 0, queue_capacity: int = 6,
-                         num_machines: int = 8) -> Scenario:
+                         num_machines: int = 8,
+                         arrival: str = "poisson") -> Scenario:
     """Homogeneous scenario: SPEC task types on identical machines (Fig. 7b)."""
     spec = ScenarioSpec(name="homogeneous", level=level, scale=scale, gamma=gamma,
-                        queue_capacity=queue_capacity, seed=seed)
+                        queue_capacity=queue_capacity, seed=seed,
+                        arrival=arrival)
     rng = np.random.default_rng(seed)
     factory = HomogeneousWorkloadFactory(num_machines=num_machines,
                                          queue_capacity=queue_capacity)
@@ -217,7 +229,8 @@ def homogeneous_scenario(level: str = "30k", scale: float = 0.02, gamma: float =
 def transcoding_scenario(level: str = "20k", scale: float = 0.02, gamma: float = 1.0,
                          seed: int = 0, queue_capacity: int = 6,
                          machines_per_type: int = 2,
-                         rate_multiplier: float = 1.4) -> Scenario:
+                         rate_multiplier: float = 1.4,
+                         arrival: str = "poisson") -> Scenario:
     """Video-transcoding validation scenario (Fig. 10).
 
     The transcoding traces of the paper have a lower arrival rate and the
@@ -230,7 +243,7 @@ def transcoding_scenario(level: str = "20k", scale: float = 0.02, gamma: float =
     """
     spec = ScenarioSpec(name="transcoding", level=level, scale=scale, gamma=gamma,
                         queue_capacity=queue_capacity, seed=seed,
-                        rate_multiplier=rate_multiplier)
+                        rate_multiplier=rate_multiplier, arrival=arrival)
     rng = np.random.default_rng(seed)
     factory = TranscodingWorkloadFactory(machines_per_type=machines_per_type,
                                          queue_capacity=queue_capacity)
@@ -241,7 +254,11 @@ def transcoding_scenario(level: str = "20k", scale: float = 0.02, gamma: float =
                     pet=pet, tasks=tasks, arrival_rate=rate)
 
 
-#: Registry of scenario builders by family name.
+#: Scenario builders by family name.  Read-only legacy view kept for
+#: backward compatibility -- mutating this dict has no effect; the
+#: canonical registry is :data:`repro.api.registries.SCENARIOS` and
+#: anything registered there is automatically available to
+#: :func:`build_scenario`, the fluent builder and the CLI.
 _SCENARIO_BUILDERS = {
     "spec": spec_scenario,
     "homogeneous": homogeneous_scenario,
@@ -251,9 +268,5 @@ _SCENARIO_BUILDERS = {
 
 def build_scenario(name: str, **kwargs) -> Scenario:
     """Build a scenario preset by family name ("spec", "homogeneous", ...)."""
-    try:
-        builder = _SCENARIO_BUILDERS[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown scenario {name!r}; known: "
-                       f"{sorted(_SCENARIO_BUILDERS)}") from exc
-    return builder(**kwargs)
+    from ..api.registries import SCENARIOS
+    return SCENARIOS.create(name, **kwargs)

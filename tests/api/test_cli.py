@@ -1,0 +1,108 @@
+"""Tests for the new CLI subcommands (run, list-*) at tiny scales."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_command_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--mapper", "PAM", "MM",
+                                  "--dropper", "react", "--scale", "0.002"])
+        assert args.figure == "run"
+        assert args.mapper == ["PAM", "MM"]
+        assert args.dropper == ["react"]
+
+    def test_list_commands_parse(self):
+        parser = build_parser()
+        for command in ("list-mappers", "list-droppers", "list-scenarios",
+                        "list-arrivals"):
+            args = parser.parse_args([command])
+            assert args.figure == command
+
+    def test_figure_commands_still_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8", "--levels", "20k", "30k",
+                                  "--no-optimal"])
+        assert args.figure == "fig8"
+        assert args.levels == ["20k", "30k"]
+        assert args.no_optimal is True
+
+
+class TestListCommands:
+    def test_list_mappers(self, capsys):
+        assert main(["list-mappers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("PAM", "MM", "MSD", "FCFS", "SJF", "EDF"):
+            assert name in out
+
+    def test_list_droppers(self, capsys):
+        assert main(["list-droppers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("react", "heuristic", "optimal", "threshold"):
+            assert name in out
+
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("spec", "homogeneous", "transcoding"):
+            assert name in out
+
+    def test_list_arrivals(self, capsys):
+        assert main(["list-arrivals"]) == 0
+        out = capsys.readouterr().out
+        assert "poisson" in out and "uniform" in out
+
+
+class TestRunCommand:
+    def test_single_run(self, capsys):
+        exit_code = main(["run", "--scale", "0.002", "--trials", "1",
+                          "--mapper", "PAM", "--dropper", "heuristic",
+                          "--param", "beta=1.5", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "PAM+Heuristic" in out
+        assert "robustness" in out
+
+    def test_sweep_run(self, capsys):
+        exit_code = main(["run", "--scale", "0.002", "--trials", "1",
+                          "--mapper", "PAM", "MM", "--dropper", "react"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "best" in out and "PAM" in out and "MM" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        exit_code = main(["run", "--scale", "0.002", "--trials", "1",
+                          "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["mapper"] == "PAM"
+
+    def test_param_with_dropper_sweep_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--dropper", "heuristic", "react",
+                  "--param", "beta=1.0"])
+
+    def test_param_with_pinned_dropper_sweep_applies(self, capsys):
+        exit_code = main(["run", "--scale", "0.002", "--trials", "1",
+                          "--mapper", "PAM", "MM", "--dropper", "heuristic",
+                          "--param", "beta=1.5"])
+        assert exit_code == 0
+        assert "best" in capsys.readouterr().out
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--param", "beta"])
+        with pytest.raises(SystemExit):
+            main(["run", "--param", "beta=fast"])
+
+    def test_unknown_names_print_clean_error(self, capsys):
+        assert main(["run", "--mapper", "PAN"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'PAM'" in err and "Traceback" not in err
+        assert main(["run", "--param", "nope=1"]) == 2
+        err = capsys.readouterr().err
+        assert "accepted: beta, eta" in err
