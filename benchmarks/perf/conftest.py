@@ -1,0 +1,8 @@
+"""Make the shared benchmark helpers importable from this subdirectory."""
+
+import os
+import sys
+
+_BENCH_ROOT = os.path.dirname(os.path.dirname(__file__))
+if _BENCH_ROOT not in sys.path:
+    sys.path.insert(0, _BENCH_ROOT)

@@ -1,0 +1,46 @@
+"""Smoke test of the core perf benchmark harness (tiny scale).
+
+Runs the pinned ``repro bench`` cases at a fraction of the committed
+``BENCH_core.json`` scale: fast enough for CI, while still proving that the
+harness executes end-to-end, that the incremental path reproduces the naive
+metrics exactly, and that the payload schema is stable.  The payload is
+persisted under ``benchmarks/results/`` for inspection; the committed
+``benchmarks/perf/BENCH_core.json`` is regenerated separately at scale 0.05
+(see the module docstring of :mod:`repro.experiments.bench`).
+"""
+
+import json
+import os
+
+from repro.experiments.bench import (BENCH_CASES, format_bench_table,
+                                     run_perf_benchmark, write_bench_json)
+
+from _bench_utils import RESULTS_DIR
+
+
+def test_perf_benchmark_smoke():
+    payload = run_perf_benchmark(scale=0.01, trials=1, base_seed=42)
+
+    assert payload["benchmark"] == "core"
+    assert len(payload["scenarios"]) == len(BENCH_CASES)
+    for entry in payload["scenarios"]:
+        # run_perf_benchmark raises on divergence; the flag records it.
+        assert entry["metrics_equal"] is True
+        assert entry["naive_s"] > 0 and entry["incremental_s"] > 0
+        assert entry["speedup"] > 0
+        perf = entry["incremental_perf"]
+        assert perf["pmf_folds"] > 0
+        assert perf["tail_cache_hits"] + perf["tail_cache_extends"] > 0
+        # The incremental path must actually fold less than the naive one.
+        assert perf["pmf_folds"] < entry["naive_perf"]["pmf_folds"]
+    assert payload["min_speedup"] <= payload["geomean_speedup"] <= payload["max_speedup"]
+
+    table = format_bench_table(payload)
+    print()
+    print(table)
+    assert "geomean speedup" in table
+
+    path = os.path.join(RESULTS_DIR, "BENCH_core.json")
+    write_bench_json(payload, path)
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["scale"] == 0.01

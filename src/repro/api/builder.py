@@ -75,6 +75,7 @@ class Simulation:
     n_jobs: int = 1
     cost_enabled: bool = False
     confidence_value: float = 0.95
+    incremental_enabled: bool = True
 
     # ------------------------------------------------------------------
     # Construction
@@ -197,6 +198,15 @@ class Simulation:
         """Attach a cost report to every trial's metrics."""
         return replace(self, cost_enabled=bool(enabled))
 
+    def incremental(self, enabled: bool = True) -> "Simulation":
+        """Toggle the simulation core's incremental completion-PMF caches.
+
+        On by default; the cached path is bit-for-bit equivalent to the
+        naive recomputation (reuse is gated on identical inputs), so
+        disabling it only serves equivalence testing and benchmarking.
+        """
+        return replace(self, incremental_enabled=bool(enabled))
+
     def confidence(self, confidence: float) -> "Simulation":
         """Set the confidence level of aggregated intervals."""
         if not 0.0 < confidence < 1.0:
@@ -229,7 +239,8 @@ class Simulation:
                       mapper_params=self.mapper_params,
                       scenario_params=self.scenario_params,
                       batch_window=self.batch_window_value,
-                      with_cost=self.cost_enabled)
+                      with_cost=self.cost_enabled,
+                      incremental=self.incremental_enabled)
             for k in range(self.num_trials))
 
     def describe_config(self) -> Dict[str, Any]:
@@ -247,6 +258,8 @@ class Simulation:
             "base_seed": self.base_seed,
             "with_cost": self.cost_enabled,
         }
+        if not self.incremental_enabled:
+            config["incremental"] = False
         if self.mapper_params:
             config["mapper_params"] = dict(self.mapper_params)
         if self.dropper_params:

@@ -16,6 +16,7 @@ from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
 
 from ..metrics.collector import AggregateMetrics, TrialMetrics
 from ..experiments.runner import TrialSpec
+from ..sim.perf import PerfStats
 
 __all__ = ["RunResult", "SweepResult", "METRICS"]
 
@@ -82,6 +83,11 @@ class RunResult:
         ci = self.aggregate.cost_per_completed_pct
         return None if ci is None else ci.mean
 
+    @property
+    def perf(self) -> Optional[PerfStats]:
+        """Summed hot-path counters across all trials (``None`` if absent)."""
+        return PerfStats.merged(t.perf for t in self.trials)
+
     def metric(self, name: str = "robustness_pct") -> float:
         """Look up one scalar metric by name (see :data:`METRICS`)."""
         if name == "robustness_pct":
@@ -131,6 +137,9 @@ class RunResult:
         }
         if self.cost_per_completed_pct is not None:
             payload["cost_per_completed_pct"] = self.cost_per_completed_pct
+        perf = self.perf
+        if perf is not None:
+            payload["perf"] = perf.to_dict()
         return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -191,6 +200,8 @@ class SweepResult:
 
     def table(self, metric: str = "robustness_pct", precision: int = 2) -> str:
         """Aligned comparison table: one row per run, swept axes as columns."""
+        from ..experiments.reporting import format_aligned_table
+
         axes = list(self.axes) or ["label"]
         headers = axes + [metric]
         rows: List[List[str]] = []
@@ -198,13 +209,7 @@ class SweepResult:
             cells = [str(run.config.get(axis, run.label)) for axis in axes]
             cells.append(f"{run.metric(metric):.{precision}f}")
             rows.append(cells)
-        widths = [max(len(h), *(len(r[i]) for r in rows)) + 2
-                  for i, h in enumerate(headers)]
-        lines = ["".join(h.ljust(w) for h, w in zip(headers, widths))]
-        lines.append("".join("-" * (w - 2) + "  " for w in widths).rstrip())
-        for cells in rows:
-            lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
-        return "\n".join(lines)
+        return format_aligned_table(headers, rows)
 
     def summary(self, metric: str = "robustness_pct") -> str:
         """Comparison table plus the winning configuration."""

@@ -97,6 +97,20 @@ class DroppingPolicy(abc.ABC):
     #: Human-readable policy name used in experiment reports.
     name: str = "base"
 
+    #: When True the simulator may reuse a previous :class:`DropDecision`
+    #: for a queue whose view is unchanged (same base PMF, same entries and
+    #: -- if :attr:`uses_pressure` -- same pressure).  The reuse key does
+    #: NOT include ``view.now``, so only policies that are pure functions
+    #: of (base_pmf, entries, pressure) may opt in.  Every built-in policy
+    #: qualifies and does; the default stays False so stateful or
+    #: time-dependent custom policies are never silently memoised.
+    memoizable: bool = False
+
+    #: True when the decision depends on ``view.pressure``; the simulator
+    #: then includes the pressure in its memoisation key.  Conservatively
+    #: True by default; pressure-blind policies override it.
+    uses_pressure: bool = True
+
     @abc.abstractmethod
     def evaluate_queue(self, view: MachineQueueView) -> DropDecision:
         """Decide which pending tasks of ``view`` to drop proactively."""

@@ -50,6 +50,8 @@ class ProactiveHeuristicDropping(DroppingPolicy):
     """
 
     name = "heuristic"
+    memoizable = True  # pure function of (base_pmf, entries)
+    uses_pressure = False
 
     def __init__(self, beta: float = DEFAULT_BETA, eta: int = DEFAULT_ETA,
                  prune_eps: float = 1e-12):

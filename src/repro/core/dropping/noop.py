@@ -16,6 +16,8 @@ class NoProactiveDropping(DroppingPolicy):
     """Never select any task for proactive dropping."""
 
     name = "react-only"
+    memoizable = True  # decision is constant
+    uses_pressure = False
 
     def evaluate_queue(self, view: MachineQueueView) -> DropDecision:
         """Return an empty decision regardless of the queue state."""

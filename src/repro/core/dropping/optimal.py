@@ -38,6 +38,8 @@ class OptimalProactiveDropping(DroppingPolicy):
     """
 
     name = "optimal"
+    memoizable = True  # pure function of (base_pmf, entries)
+    uses_pressure = False
 
     def __init__(self, improvement_factor: float = 1.0, max_queue_length: int = 16,
                  prune_eps: float = 1e-12):

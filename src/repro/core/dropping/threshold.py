@@ -39,6 +39,8 @@ class ThresholdDropping(DroppingPolicy):
     """
 
     name = "threshold"
+    memoizable = True  # pure function of (base_pmf, entries)
+    uses_pressure = False
 
     def __init__(self, threshold: float = 0.2, prune_eps: float = 1e-12):
         if not 0.0 <= threshold <= 1.0:
@@ -101,6 +103,8 @@ class AdaptiveThresholdDropping(ThresholdDropping):
     """
 
     name = "threshold-adaptive"
+    memoizable = True  # pure function of (base_pmf, entries, pressure)
+    uses_pressure = True
 
     def __init__(self, base_threshold: float = 0.15, max_threshold: float = 0.6,
                  prune_eps: float = 1e-12):

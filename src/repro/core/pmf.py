@@ -35,6 +35,10 @@ __all__ = ["PMF", "EMPTY_PMF"]
 #: Probability mass below this value is discarded by :meth:`PMF.pruned`.
 DEFAULT_PRUNE_EPS = 1e-12
 
+#: Shared storage of every zero-mass PMF built through the fast path.
+_EMPTY_PROBS = np.empty(0, dtype=np.float64)
+_EMPTY_PROBS.setflags(write=False)
+
 #: Tolerance used when checking that a PMF is (sub-)normalised.
 MASS_TOLERANCE = 1e-6
 
@@ -86,6 +90,32 @@ class PMF:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _trusted(cls, origin: int, arr: np.ndarray) -> "PMF":
+        """Internal fast constructor for already-validated probability arrays.
+
+        ``arr`` must be a one-dimensional non-negative float64 array whose
+        total mass is known to be at most one (the result of an operation on
+        existing PMFs).  Only the leading/trailing-zero trim of the public
+        constructor is performed; validation and the defensive copy are
+        skipped.  The array may be a view into another PMF's storage --
+        instances are immutable, so sharing is safe.
+        """
+        self = object.__new__(cls)
+        nz = np.nonzero(arr)[0]
+        if nz.size == 0:
+            self._origin = 0
+            self._probs = _EMPTY_PROBS
+            return self
+        lo, hi = int(nz[0]), int(nz[-1]) + 1
+        if lo != 0 or hi != arr.size:
+            arr = arr[lo:hi]
+        if arr.flags.writeable:
+            arr.setflags(write=False)
+        self._origin = int(origin) + lo
+        self._probs = arr
+        return self
+
     @classmethod
     def delta(cls, t: int) -> "PMF":
         """Degenerate PMF with all mass at time ``t``."""
@@ -280,13 +310,14 @@ class PMF:
             return PMF.empty(), self
         if k >= self._probs.size:
             return self, PMF.empty()
-        return PMF(self._origin, self._probs[:k]), PMF(self._origin + k, self._probs[k:])
+        return (PMF._trusted(self._origin, self._probs[:k]),
+                PMF._trusted(self._origin + k, self._probs[k:]))
 
     def shift(self, dt: int) -> "PMF":
         """Translate the distribution by ``dt`` time units."""
         if self.is_empty:
             return self
-        return PMF(self._origin + int(dt), self._probs)
+        return PMF._trusted(self._origin + int(dt), self._probs)
 
     def scaled(self, factor: float) -> "PMF":
         """Multiply all probabilities by ``factor`` in ``[0, 1]``."""
@@ -294,7 +325,7 @@ class PMF:
             raise ValueError("scale factor must be within [0, 1]")
         if self.is_empty or factor == 1.0:
             return self
-        return PMF(self._origin, self._probs * factor)
+        return PMF._trusted(self._origin, self._probs * factor)
 
     def add(self, other: "PMF") -> "PMF":
         """Pointwise mixture sum of two sub-probability PMFs.
@@ -306,12 +337,15 @@ class PMF:
             return other
         if other.is_empty:
             return self
+        combined = self.total_mass + other.total_mass
+        if combined > 1.0 + MASS_TOLERANCE:
+            raise ValueError(f"total probability mass {combined} exceeds 1")
         lo = min(self._origin, other._origin)
         hi = max(self.max_time, other.max_time)
         dense = np.zeros(hi - lo + 1, dtype=np.float64)
         dense[self._origin - lo:self._origin - lo + self._probs.size] += self._probs
         dense[other._origin - lo:other._origin - lo + other._probs.size] += other._probs
-        return PMF(lo, dense)
+        return PMF._trusted(lo, dense)
 
     def convolve(self, other: "PMF") -> "PMF":
         """Distribution of the sum of two independent random variables.
@@ -323,7 +357,7 @@ class PMF:
         if self.is_empty or other.is_empty:
             return PMF.empty()
         probs = np.convolve(self._probs, other._probs)
-        return PMF(self._origin + other._origin, probs)
+        return PMF._trusted(self._origin + other._origin, probs)
 
     def conditional_at_least(self, t: int) -> "PMF":
         """Condition on ``X >= t`` and renormalise to the original mass.
@@ -336,7 +370,13 @@ class PMF:
             # All mass is in the past: the task should have finished already.
             # The best available estimate is "immediately", i.e. at time t.
             return PMF.delta(t).scaled(min(self.total_mass, 1.0))
-        return PMF(after._origin, after._probs * (self.total_mass / after.total_mass))
+        if before.is_empty:
+            # No mass lies before ``t``: conditioning changes nothing (the
+            # renormalisation factor is exactly 1.0), so the same immutable
+            # instance can be returned.
+            return self
+        return PMF._trusted(after._origin,
+                            after._probs * (self.total_mass / after.total_mass))
 
     def pruned(self, eps: float = DEFAULT_PRUNE_EPS) -> "PMF":
         """Drop impulses with probability below ``eps``.
@@ -348,8 +388,12 @@ class PMF:
         """
         if self.is_empty:
             return self
-        probs = np.where(self._probs >= eps, self._probs, 0.0)
-        return PMF(self._origin, probs)
+        mask = self._probs >= eps
+        if mask.all():
+            # Nothing to prune: keep the same immutable instance, so
+            # identity-based cache checks upstream keep hitting.
+            return self
+        return PMF._trusted(self._origin, np.where(mask, self._probs, 0.0))
 
     def normalised(self) -> "PMF":
         """Rescale to total mass one (raises on the empty PMF)."""
@@ -374,6 +418,20 @@ class PMF:
     # ------------------------------------------------------------------
     # Comparison / representation
     # ------------------------------------------------------------------
+    def identical(self, other: "PMF") -> bool:
+        """True when both PMFs carry bitwise-identical mass at every value.
+
+        Unlike :meth:`approx_equal` this is an exact comparison (no
+        tolerance); it is the gate used by the simulator's incremental
+        completion-PMF caches, where reuse is only allowed when it provably
+        cannot change any downstream result.
+        """
+        if self is other:
+            return True
+        return (self._origin == other._origin
+                and self._probs.size == other._probs.size
+                and bool(np.array_equal(self._probs, other._probs)))
+
     def approx_equal(self, other: "PMF", tol: float = 1e-9) -> bool:
         """True when both PMFs assign (almost) identical mass to every value."""
         if self.is_empty and other.is_empty:

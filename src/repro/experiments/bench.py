@@ -1,0 +1,186 @@
+"""Core-simulator performance benchmark harness (``repro bench``).
+
+The harness pins a handful of oversubscribed scenarios, runs each one twice
+per seed -- once with the naive recompute-everything scheduler views
+(``incremental=False``) and once with the incremental completion-PMF caches
+-- verifies that both runs produce *identical* ``TrialMetrics``, and records
+wall-clock times, speedups and the cache counters in a JSON payload
+(``BENCH_core.json``).  Scenario construction happens outside the timed
+section, so the numbers measure the simulation core only.
+
+The committed ``benchmarks/perf/BENCH_core.json`` is regenerated with::
+
+    python -m repro bench --scale 0.05 --trials 2 \
+        --output benchmarks/perf/BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.collector import TrialMetrics, collect_trial_metrics
+from ..sim.perf import PerfStats
+from .runner import TrialSpec, build_system_for_trial
+
+__all__ = ["BenchCase", "BENCH_CASES", "run_perf_benchmark",
+           "format_bench_table", "write_bench_json"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned benchmark configuration of the core harness."""
+
+    name: str
+    scenario: str = "spec"
+    level: str = "30k"
+    mapper: str = "PAM"
+    dropper: str = "react"
+    dropper_params: Tuple[Tuple[str, float], ...] = ()
+
+
+#: The pinned oversubscribed scenarios of ``BENCH_core.json``: the paper's
+#: headline configuration (PAM + autonomous heuristic dropping), a
+#: reactive-only baseline, and the heaviest oversubscription level.
+BENCH_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(name="spec-30k-PAM-react"),
+    BenchCase(name="spec-40k-PAM-react", level="40k"),
+    BenchCase(name="spec-30k-PAM-heuristic", dropper="heuristic"),
+    BenchCase(name="spec-40k-MM-heuristic", level="40k", mapper="MM",
+              dropper="heuristic"),
+)
+
+
+def _spec_for(case: BenchCase, scale: float, seed: int,
+              incremental: bool) -> TrialSpec:
+    return TrialSpec(scenario_name=case.scenario, level=case.level,
+                     scale=scale, gamma=1.0, queue_capacity=6, seed=seed,
+                     mapper_name=case.mapper, dropper_name=case.dropper,
+                     dropper_params=case.dropper_params,
+                     incremental=incremental)
+
+
+def _timed_trial(case: BenchCase, scale: float, seed: int,
+                 incremental: bool) -> Tuple[float, TrialMetrics]:
+    """Build the scenario untimed, then time ``system.run()`` alone."""
+    from ..workload.scenario import build_scenario
+
+    spec = _spec_for(case, scale, seed, incremental)
+    scenario = build_scenario(spec.scenario_name, level=spec.level,
+                              scale=spec.scale, gamma=spec.gamma,
+                              seed=spec.seed,
+                              queue_capacity=spec.queue_capacity)
+    rng = np.random.default_rng(spec.seed + 1_000_003)
+    system = build_system_for_trial(scenario, spec, rng)
+    start = time.perf_counter()
+    result = system.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, collect_trial_metrics(result)
+
+
+def run_perf_benchmark(scale: float = 0.05, trials: int = 2,
+                       base_seed: int = 42,
+                       cases: Optional[Sequence[BenchCase]] = None,
+                       names: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+    """Run the pinned benchmark cases and return the JSON payload.
+
+    Raises ``RuntimeError`` if any case's incremental run does not produce
+    metrics identical to the naive run -- the harness doubles as an
+    end-to-end equivalence check.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    selected = list(cases if cases is not None else BENCH_CASES)
+    if names:
+        wanted = set(names)
+        selected = [c for c in selected if c.name in wanted]
+        missing = wanted - {c.name for c in selected}
+        if missing:
+            known = ", ".join(sorted(c.name for c in BENCH_CASES))
+            raise ValueError(f"unknown benchmark case(s) {sorted(missing)}; "
+                             f"known: {known}")
+    if not selected:
+        raise ValueError("no benchmark cases selected")
+
+    entries: List[Dict[str, Any]] = []
+    for case in selected:
+        naive_s = 0.0
+        incremental_s = 0.0
+        robustness = 0.0
+        naive_stats: List[Optional[PerfStats]] = []
+        incremental_stats: List[Optional[PerfStats]] = []
+        for k in range(trials):
+            seed = base_seed + k
+            n_time, n_metrics = _timed_trial(case, scale, seed, False)
+            i_time, i_metrics = _timed_trial(case, scale, seed, True)
+            if n_metrics != i_metrics:
+                raise RuntimeError(
+                    f"benchmark case {case.name} (seed {seed}): incremental "
+                    f"metrics diverged from the naive path")
+            naive_s += n_time
+            incremental_s += i_time
+            robustness += i_metrics.robustness_pct / trials
+            naive_stats.append(n_metrics.perf)
+            incremental_stats.append(i_metrics.perf)
+        # Counters are summed over all trials, consistent with the summed
+        # wall-clock times above.
+        naive_merged = PerfStats.merged(naive_stats)
+        incremental_merged = PerfStats.merged(incremental_stats)
+        naive_perf = naive_merged.to_dict() if naive_merged else None
+        incremental_perf = (incremental_merged.to_dict()
+                            if incremental_merged else None)
+        entries.append({
+            "name": case.name,
+            "scenario": case.scenario,
+            "level": case.level,
+            "mapper": case.mapper,
+            "dropper": case.dropper,
+            "naive_s": naive_s,
+            "incremental_s": incremental_s,
+            "speedup": naive_s / incremental_s if incremental_s > 0 else 0.0,
+            "robustness_pct": robustness,
+            "metrics_equal": True,
+            "naive_perf": naive_perf,
+            "incremental_perf": incremental_perf,
+        })
+
+    speedups = [e["speedup"] for e in entries]
+    return {
+        "benchmark": "core",
+        "scale": scale,
+        "trials": trials,
+        "base_seed": base_seed,
+        "scenarios": entries,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
+    }
+
+
+def format_bench_table(payload: Dict[str, Any]) -> str:
+    """Aligned human-readable summary of a benchmark payload."""
+    from .reporting import format_aligned_table
+
+    headers = ["case", "naive_s", "incremental_s", "speedup", "robustness"]
+    rows = [[e["name"], f"{e['naive_s']:.3f}", f"{e['incremental_s']:.3f}",
+             f"{e['speedup']:.2f}x", f"{e['robustness_pct']:.2f}%"]
+            for e in payload["scenarios"]]
+    return (format_aligned_table(headers, rows)
+            + f"\ngeomean speedup: {payload['geomean_speedup']:.2f}x "
+              f"(scale={payload['scale']}, trials={payload['trials']})")
+
+
+def write_bench_json(payload: Dict[str, Any], path: str) -> None:
+    """Persist a benchmark payload as pretty-printed JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -19,6 +19,13 @@ harness and the generic fluent-API runner:
 * ``list-mappers`` / ``list-droppers`` / ``list-scenarios`` /
   ``list-arrivals`` print the corresponding registry, including anything
   registered by user code imported via ``--plugin module``.
+
+* ``bench`` times the simulation core's incremental completion-PMF caches
+  against the naive recomputation on pinned oversubscribed scenarios and
+  can persist the result as ``BENCH_core.json``::
+
+      python -m repro bench --scale 0.05 --trials 2 \
+          --output benchmarks/perf/BENCH_core.json
 """
 
 from __future__ import annotations
@@ -107,6 +114,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the result as JSON instead of text")
     run.add_argument("--metric", default="robustness_pct",
                      help="metric shown in sweep tables (default robustness_pct)")
+
+    bench = commands.add_parser(
+        "bench", help="run the core perf benchmark (naive vs incremental "
+                      "scheduler views) and optionally write BENCH_core.json")
+    bench.add_argument("--scale", type=float, default=0.05,
+                       help="fraction of the paper's task counts (default "
+                            "0.05, oversubscribed)")
+    bench.add_argument("--trials", type=int, default=2,
+                       help="trials per benchmark case (default 2)")
+    bench.add_argument("--seed", type=int, default=42,
+                       help="base random seed (default 42)")
+    bench.add_argument("--case", nargs="+", default=None, metavar="NAME",
+                       help="subset of benchmark case names to run")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="write the JSON payload to PATH "
+                            "(e.g. benchmarks/perf/BENCH_core.json)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the payload as JSON instead of a table")
 
     for command in LIST_COMMANDS:
         sub = commands.add_parser(
@@ -216,6 +241,22 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` subcommand: time naive vs incremental scheduler views."""
+    import json as _json
+
+    from .bench import format_bench_table, run_perf_benchmark, write_bench_json
+
+    payload = run_perf_benchmark(scale=args.scale, trials=args.trials,
+                                 base_seed=args.seed, names=args.case)
+    print(_json.dumps(payload, indent=2, sort_keys=True) if args.json
+          else format_bench_table(payload))
+    if args.output:
+        write_bench_json(payload, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def _command_list(args: argparse.Namespace) -> int:
     """The ``list-*`` subcommands: print one registry."""
     from ..api import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
@@ -234,6 +275,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _load_plugins(args)
     if args.figure in LIST_COMMANDS:
         return _command_list(args)
+    if args.figure == "bench":
+        try:
+            return _command_bench(args)
+        except (RuntimeError, ValueError) as exc:
+            print(f"repro bench: error: {exc}", file=sys.stderr)
+            return 2
     if args.figure == "run":
         try:
             return _command_run(args)

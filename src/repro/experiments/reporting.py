@@ -11,7 +11,24 @@ from typing import Dict, List, Sequence
 
 from .figures import FigureResult
 
-__all__ = ["format_figure_table", "format_series_summary", "format_comparison"]
+__all__ = ["format_aligned_table", "format_figure_table",
+           "format_series_summary", "format_comparison"]
+
+
+def format_aligned_table(headers: Sequence[str],
+                         rows: Sequence[Sequence[str]]) -> str:
+    """Render string rows as an aligned table with a dashed separator.
+
+    Shared by the sweep-result tables and the perf-benchmark report so the
+    column layout stays consistent everywhere.
+    """
+    widths = [max(len(h), *(len(r[i]) for r in rows)) + 2 if rows else len(h) + 2
+              for i, h in enumerate(headers)]
+    lines = ["".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("".join("-" * (w - 2) + "  " for w in widths).rstrip())
+    for cells in rows:
+        lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
 
 
 def _auto_precision(values, requested: int) -> int:

@@ -81,6 +81,11 @@ class TrialSpec:
         Mapper batch-queue window size.
     with_cost:
         Whether to attach a cost report to the trial metrics.
+    incremental:
+        Forwarded to :class:`~repro.sim.system.SystemConfig`: enables the
+        simulation core's incremental completion-PMF caches (default) or
+        forces the naive full recomputation (used by the equivalence tests
+        and the ``repro bench`` harness).
     """
 
     scenario_name: str
@@ -96,6 +101,7 @@ class TrialSpec:
     with_cost: bool = False
     mapper_params: Tuple[Tuple[str, object], ...] = ()
     scenario_params: Tuple[Tuple[str, object], ...] = ()
+    incremental: bool = True
 
     @property
     def dropper_kwargs(self) -> Dict[str, float]:
@@ -137,7 +143,8 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
     mapper = make_heuristic(spec.mapper_name, **spec.mapper_kwargs)
     dropper = make_dropper(spec.dropper_name, **spec.dropper_kwargs)
     config = SystemConfig(queue_capacity=spec.queue_capacity,
-                          batch_window=spec.batch_window)
+                          batch_window=spec.batch_window,
+                          incremental=spec.incremental)
     system = HCSystem(machine_types=list(scenario.platform.machine_types),
                       machines=scenario.build_machines(),
                       task_types=list(scenario.task_types),
@@ -213,12 +220,41 @@ def run_configuration(config: ExperimentConfig, scenario_name: str, level: str,
                                aggregate=run.aggregate)
 
 
+def _pool_chunksize(num_specs: int, workers: int, waves: int = 4) -> int:
+    """Specs per IPC round-trip when fanning trials out to worker processes.
+
+    One spec per round-trip serialises the pool on IPC; one giant chunk per
+    worker destroys load balancing.  Aiming for ``waves`` chunks per worker
+    keeps both costs small.
+    """
+    if num_specs <= 0 or workers <= 0:
+        return 1
+    return max(1, num_specs // (workers * waves))
+
+
 def run_trials(specs: Sequence[TrialSpec], n_jobs: int = 1) -> List[TrialMetrics]:
-    """Run trials sequentially or across worker processes."""
+    """Run trials sequentially or across worker processes.
+
+    Workers are capped at ``len(specs)`` (idle processes are pure overhead)
+    and specs are shipped in chunks (see :func:`_pool_chunksize`).  On
+    KeyboardInterrupt the queued work is cancelled immediately instead of
+    being drained, so Ctrl-C returns promptly.
+    """
+    specs = list(specs)
     if n_jobs <= 1 or len(specs) <= 1:
         return [run_trial(spec) for spec in specs]
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(specs))) as pool:
-        return list(pool.map(run_trial, specs))
+    workers = min(int(n_jobs), len(specs))
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        results = list(pool.map(run_trial, specs,
+                                chunksize=_pool_chunksize(len(specs), workers)))
+    except BaseException:
+        # KeyboardInterrupt (or a worker failure): cancel queued chunks and
+        # propagate immediately rather than draining in-flight work.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
 
 
 #: Backward-compatible alias of :func:`run_trials`.

@@ -99,13 +99,23 @@ class MappingContext:
     Completion PMFs appended to a machine tail are memoised per
     ``(machine, tail-version, task)`` triple, because two-phase heuristics
     re-evaluate the same pairs over several rounds of a single mapping event.
+
+    ``shared_cache`` optionally extends the memoisation *across* mapping
+    events: the simulator passes a persistent dict, and appends onto a
+    machine's unmodified tail (version 0) are keyed by ``(machine, task)``
+    and guarded by identity of the tail PMF object.  The simulator's tail
+    cache returns the same immutable instance while a queue is unchanged, so
+    a hit proves the inputs -- and therefore the result -- are unchanged.
     """
 
-    def __init__(self, pet: PETMatrix, now: int, prune_eps: float = 1e-12):
+    def __init__(self, pet: PETMatrix, now: int, prune_eps: float = 1e-12,
+                 shared_cache: Optional[Dict[Tuple[int, int],
+                                             Tuple[PMF, PMF]]] = None):
         self.pet = pet
         self.now = int(now)
         self.prune_eps = float(prune_eps)
         self._cache: Dict[Tuple[int, int, int], PMF] = {}
+        self._shared = shared_cache
 
     # ------------------------------------------------------------------
     def exec_pmf(self, task: TaskView, machine: MachineState) -> PMF:
@@ -126,9 +136,18 @@ class MappingContext:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        shared_key = None
+        if self._shared is not None and machine.version == 0:
+            shared_key = (machine.machine_id, task.task_id)
+            hit = self._shared.get(shared_key)
+            if hit is not None and hit[0] is machine.tail_pmf:
+                self._cache[key] = hit[1]
+                return hit[1]
         pmf = completion_pmf(machine.tail_pmf, self.exec_pmf(task, machine),
                              task.deadline, self.prune_eps)
         self._cache[key] = pmf
+        if shared_key is not None:
+            self._shared[shared_key] = (machine.tail_pmf, pmf)
         return pmf
 
     def expected_completion(self, machine: MachineState, task: TaskView) -> float:

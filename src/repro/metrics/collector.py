@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..cost.accounting import CostReport, compute_cost_report
 from ..cost.pricing import PricingModel
+from ..sim.perf import PerfStats
 from ..sim.system import SimulationResult
 from .drops import DropBreakdown, drop_breakdown
 from .robustness import RobustnessReport, default_exclusion, robustness_report
@@ -32,6 +33,11 @@ class TrialMetrics:
         Number of mapping events the run triggered.
     makespan:
         Simulation time at which the system drained.
+    perf:
+        Hot-path work counters of the run (folds, cache hits, wall time).
+        Excluded from equality so two runs with identical *outcomes* but
+        different cache behaviour still compare equal -- this is what the
+        incremental-vs-naive equivalence tests rely on.
     """
 
     robustness: RobustnessReport
@@ -39,6 +45,7 @@ class TrialMetrics:
     cost: Optional[CostReport]
     num_mapping_events: int
     makespan: int
+    perf: Optional[PerfStats] = field(default=None, compare=False)
 
     @property
     def robustness_pct(self) -> float:
@@ -91,7 +98,8 @@ def collect_trial_metrics(result: SimulationResult,
         cost = compute_cost_report(result, pricing, robustness=robustness)
     return TrialMetrics(robustness=robustness, drops=drops, cost=cost,
                         num_mapping_events=result.num_mapping_events,
-                        makespan=result.makespan)
+                        makespan=result.makespan,
+                        perf=result.perf)
 
 
 def aggregate_trials(trials: Sequence[TrialMetrics],

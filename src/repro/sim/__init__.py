@@ -6,6 +6,7 @@ from .events import Event, SimulationEnd, TaskArrival, TaskCompletion
 from .faults import (ComposedUncertainty, MachineStallModel, NetworkLatencyModel,
                      NoUncertainty, UncertaintyModel)
 from .machine import Machine, MachineType
+from .perf import PerfStats
 from .system import HCSystem, SimulationResult, SystemConfig
 from .task import Task, TaskStatus, TaskType
 from .trace import InMemoryTrace, NullTrace, Trace, TraceRecord
@@ -25,6 +26,7 @@ __all__ = [
     "SimulationEnd",
     "Machine",
     "MachineType",
+    "PerfStats",
     "HCSystem",
     "SimulationResult",
     "SystemConfig",

@@ -105,7 +105,12 @@ class SimulationEngine:
             Receiver of every dispatched event.
         until:
             Optional inclusive time horizon; events scheduled after it are
-            left in the queue.
+            left in the queue.  After the loop the clock stands *at* the
+            horizon (never past the next pending event's time, which by
+            construction is later than ``until``), so callers observe the
+            full span they asked to simulate even when the last event fired
+            earlier.  An early ``stop_when`` exit leaves the clock at the
+            last dispatched event instead.
         stop_when:
             Optional predicate evaluated after each event; the loop stops as
             soon as it returns ``True``.
@@ -116,12 +121,18 @@ class SimulationEngine:
             Number of events dispatched by this call.
         """
         dispatched_before = self._dispatched
+        stopped_early = False
         while self._heap:
             if until is not None and self._heap[0][0] > until:
                 break
             self.step(handler)
             if stop_when is not None and stop_when():
+                stopped_early = True
                 break
+        if until is not None and not stopped_early and self._now < until:
+            # The horizon was simulated to its end: no event at or before
+            # ``until`` remains, so time has provably advanced there.
+            self._now = int(until)
         return self._dispatched - dispatched_before
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Tuple
 
 __all__ = ["MachineType", "Machine"]
 
@@ -75,6 +75,14 @@ class Machine:
     def pending_tasks(self) -> List[int]:
         """Identifiers of the pending (not yet running) tasks, head first."""
         return list(self._pending)
+
+    def pending_snapshot(self) -> Tuple[int, ...]:
+        """Immutable copy of the pending queue, head first.
+
+        Used as a cache key by the simulator's incremental completion-PMF
+        cache; tuples are hashable and compare element-wise in C.
+        """
+        return tuple(self._pending)
 
     @property
     def occupancy(self) -> int:

@@ -1,0 +1,96 @@
+"""Lightweight performance counters for the simulation core.
+
+The simulator increments a handful of integer counters on its hot paths --
+cheap enough to stay on permanently, unlike tracing -- so every run reports
+how much work the event loop actually did and how effective the incremental
+completion-PMF caches were.  The counters ride along on
+:class:`~repro.sim.system.SimulationResult`, are carried through
+:class:`~repro.metrics.collector.TrialMetrics` (excluded from equality, so
+two runs with identical outcomes but different cache behaviour still compare
+equal) and aggregate across trials on
+:class:`~repro.api.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, Optional
+
+__all__ = ["PerfStats"]
+
+
+@dataclass
+class PerfStats:
+    """Counters describing the computational work of one simulation run.
+
+    Attributes
+    ----------
+    events_dispatched:
+        Events the engine dispatched (arrivals + completions).
+    mapping_events:
+        Mapping events triggered by those events.
+    pmf_folds:
+        ``completion_pmf`` evaluations performed while building machine-tail
+        completion chains (the simulator's dominant cost).
+    tail_cache_hits / tail_cache_extends / tail_cache_rebuilds:
+        Outcomes of the incremental tail-PMF cache: full reuse, reuse of a
+        prefix extended with new folds, or a rebuild from scratch.
+    drop_cache_hits / drop_evaluations:
+        Reuses versus fresh evaluations of proactive drop decisions.
+    batch_expired:
+        Tasks discarded through the deadline-indexed batch-queue expiry.
+    wall_time_s:
+        Wall-clock time spent inside :meth:`HCSystem.run`.
+    """
+
+    events_dispatched: int = 0
+    mapping_events: int = 0
+    pmf_folds: int = 0
+    tail_cache_hits: int = 0
+    tail_cache_extends: int = 0
+    tail_cache_rebuilds: int = 0
+    drop_cache_hits: int = 0
+    drop_evaluations: int = 0
+    batch_expired: int = 0
+    wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def tail_cache_requests(self) -> int:
+        """Total tail-PMF lookups served by the cache layer."""
+        return (self.tail_cache_hits + self.tail_cache_extends
+                + self.tail_cache_rebuilds)
+
+    @property
+    def tail_cache_hit_rate(self) -> float:
+        """Fraction of tail lookups answered without a full rebuild."""
+        requests = self.tail_cache_requests
+        if requests == 0:
+            return 0.0
+        return (self.tail_cache_hits + self.tail_cache_extends) / requests
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "PerfStats") -> "PerfStats":
+        """Add ``other``'s counters into this instance (returns ``self``)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @classmethod
+    def merged(cls, stats: Iterable[Optional["PerfStats"]]) -> Optional["PerfStats"]:
+        """Sum of several runs' counters; ``None`` when nothing to merge."""
+        total: Optional[PerfStats] = None
+        for item in stats:
+            if item is None:
+                continue
+            if total is None:
+                total = cls()
+            total.merge(item)
+        return total
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serialisable representation (plus derived rates)."""
+        payload: Dict[str, Any] = {f.name: getattr(self, f.name)
+                                   for f in fields(self)}
+        payload["tail_cache_hit_rate"] = self.tail_cache_hit_rate
+        return payload

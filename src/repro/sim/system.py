@@ -18,13 +18,15 @@ uses, matching the paper's simulation methodology.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.completion import QueueEntry, completion_pmf
-from ..core.dropping import DroppingPolicy, MachineQueueView, NoProactiveDropping
+from ..core.dropping import (DropDecision, DroppingPolicy, MachineQueueView,
+                             NoProactiveDropping)
 from ..core.pet import PETMatrix
 from ..core.pmf import PMF
 from ..mapping.base import (Assignment, MachineState, MappingContext,
@@ -33,6 +35,7 @@ from .batch_queue import BatchQueue
 from .engine import SimulationEngine
 from .events import Event, TaskArrival, TaskCompletion
 from .machine import Machine, MachineType
+from .perf import PerfStats
 from .task import Task, TaskStatus, TaskType
 from .trace import NullTrace, Trace, TraceRecord
 
@@ -57,6 +60,13 @@ class SystemConfig:
         Probability-mass pruning threshold used in all PMF chaining.
     max_steps:
         Safety bound forwarded to the event engine.
+    incremental:
+        Enable the incremental completion-PMF caches of the simulation core
+        (per-machine tail chains, base-PMF memoisation and proactive-drop
+        decision reuse).  Reuse is gated on bitwise-identical inputs, so
+        results are exactly those of the naive recomputation; disabling it
+        exists for equivalence testing and benchmarking, not as a semantic
+        switch.
     """
 
     queue_capacity: int = 6
@@ -64,6 +74,7 @@ class SystemConfig:
     drop_expired_batch: bool = True
     prune_eps: float = 1e-12
     max_steps: int = 50_000_000
+    incremental: bool = True
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -93,6 +104,9 @@ class SimulationResult:
     num_reactive_queue_drops: int
     num_batch_expired_drops: int
     num_dispatched_events: int
+    #: Hot-path work counters of the run (``None`` only for hand-built
+    #: results in tests; :meth:`HCSystem.result` always attaches them).
+    perf: Optional[PerfStats] = None
 
     # ------------------------------------------------------------------
     def tasks_by_status(self) -> Dict[TaskStatus, int]:
@@ -167,6 +181,7 @@ class HCSystem:
         self.batch_queue = BatchQueue()
         self.tasks: Dict[int, Task] = {}
         self._machine_by_id: Dict[int, Machine] = {m.id: m for m in self.machines}
+        self._total_queue_capacity = sum(m.queue_capacity for m in self.machines)
         self._sampled_exec: Dict[int, int] = {}
 
         self.engine = SimulationEngine(max_steps=self.config.max_steps)
@@ -176,6 +191,26 @@ class HCSystem:
         self.num_proactive_drops = 0
         self.num_reactive_queue_drops = 0
         self.num_batch_expired_drops = 0
+        self.perf = PerfStats()
+
+        # Incremental completion-PMF caches, all keyed by machine id and all
+        # gated on *bitwise-identical* inputs so reuse can never change a
+        # result (see _tail_pmf / _machine_base_pmf / _proactive_drop).
+        #: running task id -> its execution PMF shifted to its start time.
+        self._shifted_exec_cache: Dict[int, Tuple[int, PMF]] = {}
+        #: (running task id, now) -> conditioned base PMF of the queue.
+        self._base_cache: Dict[int, Tuple[Optional[int], int, PMF]] = {}
+        #: (base PMF, pending ids) -> chain of fold results along the queue.
+        self._tail_cache: Dict[int, Tuple[PMF, Tuple[int, ...], List[PMF]]] = {}
+        #: (base PMF, pending ids, pressure) -> memoised drop decision.
+        self._drop_cache: Dict[int, Tuple[PMF, Tuple[int, ...], float,
+                                          DropDecision]] = {}
+        #: (machine id, task id) -> (tail PMF, appended completion PMF);
+        #: shared with every MappingContext so mappers reuse appends across
+        #: events while a machine tail is unchanged.  Entries are evicted
+        #: when the task leaves the batch queue, bounding the cache by the
+        #: mapper window.
+        self._append_cache: Dict[Tuple[int, int], Tuple[PMF, PMF]] = {}
 
     # ------------------------------------------------------------------
     # Setup
@@ -233,7 +268,7 @@ class HCSystem:
     def _on_arrival(self, event: TaskArrival) -> None:
         task = self.tasks[event.task_id]
         task.mark_in_batch()
-        self.batch_queue.push(task.id)
+        self.batch_queue.push(task.id, task.deadline)
         self._trace(event.time, "arrival", task_id=task.id)
         self._mapping_event(event.time)
 
@@ -273,31 +308,53 @@ class HCSystem:
                                 machine_id=machine.id)
 
     def _expire_batch_tasks(self, now: int) -> None:
-        expired = [task_id for task_id in self.batch_queue
-                   if self.tasks[task_id].deadline <= now]
-        for task_id in expired:
-            self.batch_queue.remove(task_id)
+        # The deadline-indexed heap inside the batch queue surfaces exactly
+        # the expired tasks, so a mapping event over a long backlog does not
+        # scan the whole queue.
+        for task_id in self.batch_queue.pop_expired(now):
             self.tasks[task_id].mark_dropped(TaskStatus.DROPPED_EXPIRED_BATCH, now)
             self.num_batch_expired_drops += 1
+            self.perf.batch_expired += 1
+            self._evict_append_cache(task_id)
             self._trace(now, "expired_batch", task_id=task_id)
 
     # -- step 2: proactive dropping ------------------------------------
     def _proactive_drop(self, now: int) -> None:
-        if isinstance(self.dropper, NoProactiveDropping):
+        dropper = self.dropper
+        if isinstance(dropper, NoProactiveDropping):
             return
+        memoize = self.config.incremental and dropper.memoizable
         pressure = self._pressure()
+        key_pressure = pressure if dropper.uses_pressure else 0.0
         for machine in self.machines:
-            pending = machine.pending_tasks
+            pending = machine.pending_snapshot()
             if not pending:
                 continue
-            view = MachineQueueView(
-                machine_id=machine.id,
-                now=now,
-                base_pmf=self._machine_base_pmf(machine, now),
-                entries=tuple(self._queue_entry(task_id, machine) for task_id in pending),
-                pressure=pressure,
-            )
-            decision = self.dropper.evaluate_queue(view)
+            base = self._machine_base_pmf(machine, now)
+            decision: Optional[DropDecision] = None
+            if memoize:
+                cached = self._drop_cache.get(machine.id)
+                if (cached is not None and cached[1] == pending
+                        and cached[2] == key_pressure
+                        and cached[0].identical(base)):
+                    # Identical view => identical decision (policies declare
+                    # purity via DroppingPolicy.memoizable).
+                    decision = cached[3]
+                    self.perf.drop_cache_hits += 1
+            if decision is None:
+                view = MachineQueueView(
+                    machine_id=machine.id,
+                    now=now,
+                    base_pmf=base,
+                    entries=tuple(self._queue_entry(task_id, machine)
+                                  for task_id in pending),
+                    pressure=pressure,
+                )
+                decision = dropper.evaluate_queue(view)
+                self.perf.drop_evaluations += 1
+                if memoize:
+                    self._drop_cache[machine.id] = (base, pending, key_pressure,
+                                                    decision)
             for idx in decision.drop_indices:
                 task_id = pending[idx]
                 machine.remove_pending(task_id)
@@ -310,12 +367,17 @@ class HCSystem:
     def _map_tasks(self, now: int) -> None:
         if self.batch_queue.is_empty:
             return
-        machine_states = [self._machine_state(machine, now) for machine in self.machines]
-        if not any(state.has_free_slot for state in machine_states):
+        # Check slot availability before building any completion PMF: in a
+        # saturated system most mapping events find every queue full, and
+        # the scheduler views are only needed when the mapper can act.
+        if not any(machine.has_free_slot for machine in self.machines):
             return
+        machine_states = [self._machine_state(machine, now) for machine in self.machines]
         window_ids = self.batch_queue.window(self.config.batch_window)
         task_views = [self._task_view(task_id) for task_id in window_ids]
-        ctx = MappingContext(self.pet, now, self.config.prune_eps)
+        shared = self._append_cache if self.config.incremental else None
+        ctx = MappingContext(self.pet, now, self.config.prune_eps,
+                             shared_cache=shared)
         assignments = self.mapper.map_tasks(task_views, machine_states, ctx)
         self._apply_assignments(assignments, now)
 
@@ -326,7 +388,16 @@ class HCSystem:
             self.batch_queue.remove(task.id)
             machine.enqueue(task.id)
             task.mark_queued(machine.id, now)
+            self._evict_append_cache(task.id)
             self._trace(now, "mapped", task_id=task.id, machine_id=machine.id)
+
+    def _evict_append_cache(self, task_id: int) -> None:
+        """Drop a departed batch task's entries from the shared append cache."""
+        cache = self._append_cache
+        if not cache:
+            return
+        for machine in self.machines:
+            cache.pop((machine.id, task_id), None)
 
     # -- step 4: dispatch -------------------------------------------------
     def _dispatch(self, now: int) -> None:
@@ -361,12 +432,37 @@ class HCSystem:
     # ------------------------------------------------------------------
     def _machine_base_pmf(self, machine: Machine, now: int) -> PMF:
         """Completion PMF of whatever precedes the machine's pending queue."""
-        if machine.running_task is None:
+        running = machine.running_task
+        if running is None:
             return PMF.delta(now)
-        task = self.tasks[machine.running_task]
-        exec_pmf = self.pet.pmf(task.type_id, machine.type_id)
+        if not self.config.incremental:
+            task = self.tasks[running]
+            exec_pmf = self.pet.pmf(task.type_id, machine.type_id)
+            started = task.start_time if task.start_time is not None else now
+            return exec_pmf.shift(started).conditional_at_least(now)
+        cached = self._base_cache.get(machine.id)
+        if cached is not None and cached[0] == running and cached[1] == now:
+            return cached[2]
+        base = self._shifted_exec_pmf(machine, running, now).conditional_at_least(now)
+        self._base_cache[machine.id] = (running, now, base)
+        return base
+
+    def _shifted_exec_pmf(self, machine: Machine, task_id: int, now: int) -> PMF:
+        """Execution PMF of the running task, shifted to its start time.
+
+        Cached per machine for the lifetime of the running task: while the
+        current time has not yet entered the PMF's support, conditioning the
+        cached instance returns the *same* object, which lets the tail cache
+        detect an unchanged base in O(1).
+        """
+        cached = self._shifted_exec_cache.get(machine.id)
+        if cached is not None and cached[0] == task_id:
+            return cached[1]
+        task = self.tasks[task_id]
         started = task.start_time if task.start_time is not None else now
-        return exec_pmf.shift(started).conditional_at_least(now)
+        shifted = self.pet.pmf(task.type_id, machine.type_id).shift(started)
+        self._shifted_exec_cache[machine.id] = (task_id, shifted)
+        return shifted
 
     def _queue_entry(self, task_id: int, machine: Machine) -> QueueEntry:
         task = self.tasks[task_id]
@@ -375,13 +471,59 @@ class HCSystem:
                           deadline=task.deadline)
 
     def _machine_state(self, machine: Machine, now: int) -> MachineState:
-        tail = self._machine_base_pmf(machine, now)
-        for task_id in machine.pending_tasks:
-            entry = self._queue_entry(task_id, machine)
-            tail = completion_pmf(tail, entry.exec_pmf, entry.deadline,
-                                  self.config.prune_eps)
         return MachineState(machine_id=machine.id, type_id=machine.type_id,
-                            free_slots=machine.free_slots, tail_pmf=tail)
+                            free_slots=machine.free_slots,
+                            tail_pmf=self._tail_pmf(machine, now))
+
+    def _fold_task(self, prev: PMF, machine: Machine, task_id: int) -> PMF:
+        """One completion_pmf fold of the machine-queue chain (Eq. 1)."""
+        task = self.tasks[task_id]
+        self.perf.pmf_folds += 1
+        return completion_pmf(prev, self.pet.pmf(task.type_id, machine.type_id),
+                              task.deadline, self.config.prune_eps)
+
+    def _tail_pmf(self, machine: Machine, now: int) -> PMF:
+        """Completion PMF of the machine queue's tail (Eq. 1 chained).
+
+        The incremental path caches, per machine, the base PMF, the pending
+        ids and every intermediate fold of the chain.  A lookup whose base is
+        bitwise-identical to the cached one reuses the longest common prefix
+        of the pending queue and folds only what changed: an enqueue appends
+        one fold, a drop at position ``k`` rebuilds from ``k``, and an
+        untouched queue costs no fold at all.  Any base change (the clock
+        entered the running task's support, or a new task started) discards
+        the chain, so results are exactly those of a full recomputation.
+        """
+        base = self._machine_base_pmf(machine, now)
+        pending = machine.pending_snapshot()
+        if not pending:
+            return base
+        if not self.config.incremental:
+            tail = base
+            for task_id in pending:
+                tail = self._fold_task(tail, machine, task_id)
+            return tail
+        cached = self._tail_cache.get(machine.id)
+        keep = 0
+        prefix: List[PMF] = []
+        if cached is not None and cached[0].identical(base):
+            cached_pending, cached_prefix = cached[1], cached[2]
+            limit = min(len(cached_pending), len(pending))
+            while keep < limit and cached_pending[keep] == pending[keep]:
+                keep += 1
+            if keep == len(pending) == len(cached_pending):
+                self.perf.tail_cache_hits += 1
+                return cached_prefix[-1]
+            prefix = cached_prefix[:keep]
+            self.perf.tail_cache_extends += 1
+        else:
+            self.perf.tail_cache_rebuilds += 1
+        prev = prefix[-1] if prefix else base
+        for task_id in pending[keep:]:
+            prev = self._fold_task(prev, machine, task_id)
+            prefix.append(prev)
+        self._tail_cache[machine.id] = (base, pending, prefix)
+        return prefix[-1]
 
     def _task_view(self, task_id: int) -> TaskView:
         task = self.tasks[task_id]
@@ -390,7 +532,7 @@ class HCSystem:
 
     def _pressure(self) -> float:
         """Unmapped work relative to total machine-queue capacity, in [0, 1]."""
-        capacity = sum(m.queue_capacity for m in self.machines)
+        capacity = self._total_queue_capacity
         if capacity <= 0:
             return 1.0
         return min(1.0, len(self.batch_queue) / capacity)
@@ -408,12 +550,23 @@ class HCSystem:
     # Run loop
     # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None) -> SimulationResult:
-        """Run until the event queue drains (system back to idle)."""
-        self.engine.run(self, until=until)
+        """Run until the event queue drains (system back to idle).
+
+        With ``until`` the engine stops at that inclusive horizon and leaves
+        the clock *at* it, so the reported makespan covers the span that was
+        actually simulated even when the last event fired earlier.
+        """
+        start = time.perf_counter()
+        try:
+            self.engine.run(self, until=until)
+        finally:
+            self.perf.wall_time_s += time.perf_counter() - start
         return self.result()
 
     def result(self) -> SimulationResult:
         """Snapshot of the current simulation outcome."""
+        self.perf.mapping_events = self.num_mapping_events
+        self.perf.events_dispatched = self.engine.dispatched_events
         return SimulationResult(
             tasks=self.tasks,
             machines=self.machines,
@@ -425,6 +578,7 @@ class HCSystem:
             num_reactive_queue_drops=self.num_reactive_queue_drops,
             num_batch_expired_drops=self.num_batch_expired_drops,
             num_dispatched_events=self.engine.dispatched_events,
+            perf=self.perf,
         )
 
     # ------------------------------------------------------------------

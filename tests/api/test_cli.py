@@ -106,3 +106,33 @@ class TestRunCommand:
         assert main(["run", "--param", "nope=1"]) == 2
         err = capsys.readouterr().err
         assert "accepted: beta, eta" in err
+
+
+class TestBenchCommand:
+    def test_bench_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--scale", "0.01", "--trials", "1",
+                                  "--case", "spec-30k-PAM-react",
+                                  "--output", "out.json"])
+        assert args.figure == "bench"
+        assert args.case == ["spec-30k-PAM-react"]
+        assert args.output == "out.json"
+
+    def test_bench_runs_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_core.json"
+        exit_code = main(["bench", "--scale", "0.002", "--trials", "1",
+                          "--case", "spec-30k-PAM-react",
+                          "--output", str(out)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "geomean speedup" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "core"
+        assert payload["scenarios"][0]["metrics_equal"] is True
+
+    def test_bench_unknown_case_clean_error(self, capsys):
+        assert main(["bench", "--case", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark case" in err and "Traceback" not in err

@@ -113,6 +113,47 @@ class TestRunLimits:
         assert dispatched == 2
         assert engine.pending_events == 1
 
+    def test_until_advances_clock_to_horizon(self):
+        # The horizon was fully simulated, so the clock must stand at it
+        # even though the last dispatched event fired earlier.
+        engine = SimulationEngine()
+        recorder = Recorder()
+        for t in (5, 15):
+            engine.schedule(TaskArrival(time=t, task_id=t))
+        engine.run(recorder, until=10)
+        assert engine.now == 10
+        # Scheduling between the last event and the horizon is in the past.
+        with pytest.raises(ValueError):
+            engine.schedule(TaskArrival(time=7, task_id=99))
+        # Resuming past the remaining event also lands on the new horizon.
+        engine.run(recorder, until=20)
+        assert [t for t, _ in recorder.seen] == [5, 15]
+        assert engine.now == 20
+
+    def test_until_with_drained_queue_advances_clock(self):
+        engine = SimulationEngine()
+        recorder = Recorder()
+        engine.schedule(TaskArrival(time=3, task_id=0))
+        engine.run(recorder, until=100)
+        assert engine.now == 100
+
+    def test_until_before_any_event_advances_clock(self):
+        engine = SimulationEngine()
+        recorder = Recorder()
+        engine.schedule(TaskArrival(time=50, task_id=0))
+        engine.run(recorder, until=10)
+        assert engine.now == 10
+        assert engine.pending_events == 1
+
+    def test_stop_when_does_not_jump_to_horizon(self):
+        engine = SimulationEngine()
+        recorder = Recorder()
+        for t in range(5):
+            engine.schedule(TaskArrival(time=t, task_id=t))
+        engine.run(recorder, until=100,
+                   stop_when=lambda: len(recorder.seen) >= 2)
+        assert engine.now == 1  # clock stays at the last dispatched event
+
     def test_stop_when_predicate(self):
         engine = SimulationEngine()
         recorder = Recorder()

@@ -1,0 +1,62 @@
+"""Seed-determinism equivalence of the incremental simulation core.
+
+The incremental completion-PMF caches (``SystemConfig.incremental``) only
+reuse results whose inputs are bitwise-identical to what a full
+recomputation would see, so a cached run must produce *exactly* the metrics
+of the naive run -- same robustness report, same drop breakdown, same
+makespan, same mapping-event count -- on every scenario/mapper/dropper/seed
+combination.  These tests pin that guarantee on the tier-1 grid used
+throughout the suite (tiny scale, multiple levels, every dropper family).
+"""
+
+import pytest
+
+from repro.experiments.runner import TrialSpec, run_trial
+
+SCALE = 0.002  # ~40-60 tasks per trial: fast but heavily oversubscribed.
+
+GRID = [
+    ("30k", "PAM", "react", (), 42),
+    ("30k", "PAM", "heuristic", (), 42),
+    ("30k", "MM", "heuristic", (("beta", 1.5), ("eta", 3)), 43),
+    ("30k", "FCFS", "threshold", (("threshold", 0.4),), 42),
+    ("30k", "MSD", "threshold-adaptive", (), 44),
+    ("40k", "PAM", "heuristic", (), 7),
+    ("40k", "MM", "react", (), 7),
+    ("20k", "PAM", "heuristic", (), 11),
+]
+
+
+def _spec(level, mapper, dropper, dropper_params, seed, incremental):
+    return TrialSpec(scenario_name="spec", level=level, scale=SCALE,
+                     gamma=1.0, queue_capacity=6, seed=seed,
+                     mapper_name=mapper, dropper_name=dropper,
+                     dropper_params=dropper_params, incremental=incremental)
+
+
+@pytest.mark.parametrize("level,mapper,dropper,dropper_params,seed", GRID)
+def test_incremental_metrics_bit_identical(level, mapper, dropper,
+                                           dropper_params, seed):
+    naive = run_trial(_spec(level, mapper, dropper, dropper_params, seed,
+                            incremental=False))
+    fast = run_trial(_spec(level, mapper, dropper, dropper_params, seed,
+                           incremental=True))
+
+    # TrialMetrics equality covers the full nested payload (robustness
+    # report, drop breakdown, cost, mapping events, makespan); the perf
+    # counters are excluded from comparison by design.
+    assert naive == fast
+    assert naive.robustness == fast.robustness
+    assert naive.drops == fast.drops
+    assert naive.makespan == fast.makespan
+    assert naive.num_mapping_events == fast.num_mapping_events
+
+
+def test_incremental_path_actually_caches():
+    """Guard against the fast path silently degenerating to naive."""
+    fast = run_trial(_spec("30k", "PAM", "heuristic", (), 42, incremental=True))
+    naive = run_trial(_spec("30k", "PAM", "heuristic", (), 42, incremental=False))
+    assert fast.perf is not None and naive.perf is not None
+    assert fast.perf.tail_cache_hits + fast.perf.tail_cache_extends > 0
+    assert fast.perf.pmf_folds < naive.perf.pmf_folds
+    assert naive.perf.tail_cache_hits == 0

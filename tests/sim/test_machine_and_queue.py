@@ -1,5 +1,7 @@
 """Unit tests for machines, machine queues and the batch queue."""
 
+import time
+
 import pytest
 
 from repro.sim.batch_queue import BatchQueue
@@ -142,3 +144,85 @@ class TestBatchQueue:
         q = BatchQueue()
         assert q.is_empty
         assert q.window(5) == []
+
+    def test_order_preserved_after_removals(self):
+        q = BatchQueue()
+        for i in range(6):
+            q.push(i)
+        q.remove(0)
+        q.remove(3)
+        assert q.snapshot() == [1, 2, 4, 5]
+        q.push(9)
+        assert q.window(10) == [1, 2, 4, 5, 9]
+
+
+class TestBatchQueueExpiry:
+    def test_pop_expired_returns_only_expired(self):
+        q = BatchQueue()
+        q.push(1, deadline=10)
+        q.push(2, deadline=30)
+        q.push(3, deadline=20)
+        assert q.pop_expired(5) == []
+        assert q.pop_expired(20) == [1, 3]
+        assert q.snapshot() == [2]
+        assert q.pop_expired(100) == [2]
+        assert q.is_empty
+
+    def test_pop_expired_skips_removed_tasks(self):
+        q = BatchQueue()
+        q.push(1, deadline=10)
+        q.push(2, deadline=10)
+        q.remove(1)  # mapped before expiring: stale heap entry remains
+        assert q.pop_expired(10) == [2]
+
+    def test_deadline_boundary_is_inclusive(self):
+        q = BatchQueue()
+        q.push(1, deadline=10)
+        assert q.pop_expired(9) == []
+        assert q.pop_expired(10) == [1]
+
+    def test_push_without_deadline_never_expires(self):
+        q = BatchQueue()
+        q.push(1)
+        q.push(2, deadline=5)
+        assert q.pop_expired(1000) == [2]
+        assert 1 in q
+
+    def test_peek_next_deadline(self):
+        q = BatchQueue()
+        assert q.peek_next_deadline() is None
+        q.push(1, deadline=30)
+        q.push(2, deadline=10)
+        assert q.peek_next_deadline() == 10
+        q.remove(2)
+        assert q.peek_next_deadline() == 30
+
+
+class TestBatchQueueScaling:
+    """Regression guard: push/remove/contains must stay sub-linear.
+
+    The original list-backed queue made ``push`` (duplicate scan),
+    ``remove`` and ``__contains__`` all O(n), which turned oversubscribed
+    runs quadratic in the backlog.  50k tasks' worth of mixed operations
+    completes in well under a second with O(1) operations but takes minutes
+    with O(n) ones, so a generous wall-clock bound reliably separates the
+    two regimes without being flaky on slow CI machines.
+    """
+
+    def test_50k_task_queue_operates_in_bounded_time(self):
+        n = 50_000
+        q = BatchQueue()
+        start = time.perf_counter()
+        for i in range(n):
+            q.push(i, deadline=2 * n - i)
+        for i in range(n):  # membership probes against a full queue
+            assert i in q
+        for i in range(0, n, 2):  # interior removals
+            q.remove(i)
+        expired = q.pop_expired(2 * n)  # drain the survivors via the heap
+        elapsed = time.perf_counter() - start
+        assert len(expired) == n // 2
+        assert q.is_empty
+        assert elapsed < 2.0, (
+            f"50k-task batch-queue workload took {elapsed:.2f}s; "
+            "operations appear to have regressed to O(n)")

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.dropping import (NoProactiveDropping, ProactiveHeuristicDropping,
-                                 ThresholdDropping)
+from repro.core.dropping import (DropDecision, DroppingPolicy,
+                                 NoProactiveDropping,
+                                 ProactiveHeuristicDropping, ThresholdDropping)
 from repro.core.pet import PETMatrix
 from repro.core.pmf import PMF
 from repro.mapping import FCFS, MinMin, PAM
@@ -237,6 +238,136 @@ class TestAccountingInvariants:
         improved = self.run_oversubscribed(dropper=ProactiveHeuristicDropping())
         count = lambda r: sum(1 for t in r.tasks.values() if t.succeeded)
         assert count(improved) >= count(baseline)
+
+
+class TestDispatchTimeReactiveDrop:
+    def test_mapped_expired_task_dropped_at_dispatch(self):
+        # With batch expiry disabled and a single-slot queue, the expired
+        # task is only mapped once the machine drains -- in the *same*
+        # mapping event in which the machine is idle -- so the deadline
+        # check in _dispatch (not the pending-queue scan) must catch it.
+        system = build_simple_system(queue_capacity=1)
+        system.config = SystemConfig(queue_capacity=1, drop_expired_batch=False)
+        system.submit([
+            Task(id=0, type_id=0, arrival=0, deadline=100),  # runs 0-10
+            Task(id=1, type_id=0, arrival=3, deadline=8),    # expires unmapped
+        ])
+        result = system.run()
+        dropped = result.tasks[1]
+        assert dropped.status is TaskStatus.DROPPED_REACTIVE
+        # The drop happened at dispatch time: the task was mapped (it left
+        # the batch queue) but never started executing.
+        assert dropped.queued_time == 10
+        assert dropped.start_time is None
+        assert dropped.drop_time == 10
+        assert result.num_reactive_queue_drops == 1
+        assert result.num_batch_expired_drops == 0
+        assert result.tasks[0].succeeded
+
+    def test_machine_continues_past_dropped_heads(self):
+        # Unit-level: two expired heads ahead of a feasible task must both
+        # be dropped inside one _dispatch call, and the feasible task must
+        # start on the same machine in the same event.
+        system = build_simple_system(queue_capacity=4)
+        machine = system.machines[0]
+        tasks = [Task(id=0, type_id=0, arrival=0, deadline=5),
+                 Task(id=1, type_id=0, arrival=0, deadline=6),
+                 Task(id=2, type_id=0, arrival=0, deadline=200)]
+        for task in tasks:
+            system.tasks[task.id] = task
+            task.mark_in_batch()
+            task.mark_queued(machine.id, 0)
+            machine.enqueue(task.id)
+        system._dispatch(10)
+        assert system.tasks[0].status is TaskStatus.DROPPED_REACTIVE
+        assert system.tasks[1].status is TaskStatus.DROPPED_REACTIVE
+        assert system.num_reactive_queue_drops == 2
+        assert machine.running_task == 2
+        assert system.tasks[2].status is TaskStatus.RUNNING
+        assert system.tasks[2].start_time == 10
+
+
+class IndexDropper(DroppingPolicy):
+    """Stub policy that requests a fixed set of drop indices once."""
+
+    name = "stub-index"
+    memoizable = False  # stateful by design
+
+    def __init__(self, indices, when_queue_length):
+        self.indices = tuple(indices)
+        self.when_queue_length = int(when_queue_length)
+        self.fired = False
+
+    def evaluate_queue(self, view):
+        if not self.fired and view.queue_length == self.when_queue_length:
+            self.fired = True
+            return DropDecision(drop_indices=self.indices)
+        return DropDecision(drop_indices=())
+
+
+class TestProactiveDropIndexMapping:
+    def test_non_contiguous_drop_indices_remove_correct_tasks(self):
+        # Queue [1, 2, 3] behind the running task 0; dropping indices {0, 2}
+        # must remove tasks 1 and 3 and leave task 2 untouched.
+        dropper = IndexDropper(indices=(0, 2), when_queue_length=3)
+        system = build_simple_system(queue_capacity=6, dropper=dropper)
+        system.submit([Task(id=i, type_id=0, arrival=i, deadline=1000)
+                       for i in range(4)])
+        result = system.run()
+        assert result.tasks[1].status is TaskStatus.DROPPED_PROACTIVE
+        assert result.tasks[3].status is TaskStatus.DROPPED_PROACTIVE
+        assert result.tasks[2].completed
+        assert result.num_proactive_drops == 2
+
+    def test_descending_indices_equivalent(self):
+        # DropDecision sorts indices; passing them descending must behave
+        # identically because removal is by task id, not by live position.
+        dropper = IndexDropper(indices=(2, 0), when_queue_length=3)
+        system = build_simple_system(queue_capacity=6, dropper=dropper)
+        system.submit([Task(id=i, type_id=0, arrival=i, deadline=1000)
+                       for i in range(4)])
+        result = system.run()
+        assert result.tasks[1].status is TaskStatus.DROPPED_PROACTIVE
+        assert result.tasks[3].status is TaskStatus.DROPPED_PROACTIVE
+        assert result.tasks[2].completed
+
+
+class TestRunUntilHorizon:
+    def test_makespan_reflects_simulated_horizon(self):
+        system = build_simple_system()
+        system.submit([Task(id=0, type_id=0, arrival=0, deadline=100)])
+        result = system.run(until=500)
+        assert result.tasks[0].finish_time == 10
+        assert result.makespan == 500
+
+    def test_unbounded_run_keeps_event_makespan(self):
+        system = build_simple_system()
+        system.submit([Task(id=0, type_id=0, arrival=0, deadline=100)])
+        assert system.run().makespan == 10
+
+
+class TestPerfStats:
+    def test_counters_populated(self):
+        system = build_simple_system()
+        system.submit([Task(id=i, type_id=0, arrival=i, deadline=1000)
+                       for i in range(4)])
+        result = system.run()
+        perf = result.perf
+        assert perf is not None
+        assert perf.mapping_events == result.num_mapping_events
+        assert perf.events_dispatched == result.num_dispatched_events
+        assert perf.pmf_folds > 0
+        assert perf.wall_time_s > 0.0
+
+    def test_naive_mode_reports_no_cache_activity(self):
+        system = build_simple_system()
+        system.config = SystemConfig(incremental=False)
+        system.submit([Task(id=i, type_id=0, arrival=i, deadline=1000)
+                       for i in range(4)])
+        result = system.run()
+        assert result.perf.tail_cache_hits == 0
+        assert result.perf.tail_cache_extends == 0
+        assert result.perf.pmf_folds > 0
 
 
 class TestTracing:
