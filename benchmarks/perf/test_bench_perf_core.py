@@ -1,24 +1,26 @@
-"""Smoke test of the core perf benchmark harness (tiny scale).
+"""Smoke test of the perf benchmark harness (tiny scale).
 
-Runs the pinned ``repro bench`` cases at a fraction of the committed
+Runs the pinned ``repro bench`` suites at a fraction of the committed
 ``BENCH_core.json`` scale: fast enough for CI, while still proving that the
 harness executes end-to-end, that the incremental path reproduces the naive
-metrics exactly, and that the payload schema is stable.  The payload is
-persisted under ``benchmarks/results/`` for inspection; the committed
-``benchmarks/perf/BENCH_core.json`` is regenerated separately at scale 0.05
-(see the module docstring of :mod:`repro.experiments.bench`).
+metrics exactly (including across the worker-process boundary of the sweep
+suite), and that the payload schemas are stable.  Payloads are written to a
+throwaway location; the committed ``benchmarks/perf/BENCH_core.json`` /
+``BENCH_sweep.json`` are regenerated separately at the pinned scales (see
+the module docstring of :mod:`repro.experiments.bench` -- ``benchmarks/perf``
+is the single canonical home of committed benchmark payloads).
 """
 
 import json
-import os
 
-from repro.experiments.bench import (BENCH_CASES, format_bench_table,
-                                     run_perf_benchmark, write_bench_json)
+from repro.experiments.bench import (BENCH_CASES, compare_to_baseline,
+                                     format_baseline_comparison,
+                                     format_bench_table, format_sweep_table,
+                                     run_perf_benchmark, run_sweep_benchmark,
+                                     write_bench_json)
 
-from _bench_utils import RESULTS_DIR
 
-
-def test_perf_benchmark_smoke():
+def test_perf_benchmark_smoke(tmp_path):
     payload = run_perf_benchmark(scale=0.01, trials=1, base_seed=42)
 
     assert payload["benchmark"] == "core"
@@ -33,6 +35,10 @@ def test_perf_benchmark_smoke():
         assert perf["tail_cache_hits"] + perf["tail_cache_extends"] > 0
         # The incremental path must actually fold less than the naive one.
         assert perf["pmf_folds"] < entry["naive_perf"]["pmf_folds"]
+        # The intern-table / fold-kernel counters ride along in the payload.
+        assert perf["interned"] > 0
+        assert "intern_hits" in perf and "scratch_reuses" in perf
+        assert "fold_memo_hits" in perf
     assert payload["min_speedup"] <= payload["geomean_speedup"] <= payload["max_speedup"]
 
     table = format_bench_table(payload)
@@ -40,7 +46,40 @@ def test_perf_benchmark_smoke():
     print(table)
     assert "geomean speedup" in table
 
-    path = os.path.join(RESULTS_DIR, "BENCH_core.json")
-    write_bench_json(payload, path)
+    path = tmp_path / "BENCH_core.json"
+    write_bench_json(payload, str(path))
     with open(path, encoding="utf-8") as handle:
         assert json.load(handle)["scale"] == 0.01
+
+    # Baseline comparison against the payload itself never regresses; a
+    # doctored slow baseline is beaten outright.
+    comparison = compare_to_baseline(payload, payload, max_regression=0.1)
+    assert not comparison["regressed"]
+    assert "ok" in format_baseline_comparison(comparison)
+    slow = dict(payload)
+    slow["geomean_speedup"] = payload["geomean_speedup"] * 10.0
+    assert compare_to_baseline(payload, slow, max_regression=0.1)["regressed"]
+
+
+def test_sweep_benchmark_smoke(tmp_path):
+    payload = run_sweep_benchmark(scale=0.004, trials=2, n_jobs=2,
+                                  base_seed=42)
+
+    assert payload["benchmark"] == "sweep"
+    assert payload["metrics_equal"] is True
+    assert len(payload["cells"]) == 4
+    for cell in payload["cells"]:
+        assert cell["metrics_equal"] is True
+        assert cell["perf"] is not None and cell["perf"]["pmf_folds"] > 0
+    assert payload["cold_pool_s"] > 0 and payload["warm_pool_s"] > 0
+    assert payload["throughput_trials_per_s"] > 0
+
+    table = format_sweep_table(payload)
+    print()
+    print(table)
+    assert "warm pool" in table
+
+    path = tmp_path / "BENCH_sweep.json"
+    write_bench_json(payload, str(path))
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["n_jobs"] == 2

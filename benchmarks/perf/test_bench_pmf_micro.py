@@ -1,0 +1,70 @@
+"""Micro-benchmark of the PMF construction paths.
+
+Times the three constructor tiers on representative hot-loop arrays:
+
+* ``PMF(origin, probs)`` -- the public validating constructor,
+* ``PMF._trusted`` -- trim-only (transient intermediates), and
+* ``PMF._from_trimmed`` -- no validation, no trim scan, no copy (the
+  batched fold kernel's publication path),
+
+plus the generator fast path that replaced the old ``list(probs)``
+round-trip.  Wall-clock assertions are deliberately loose (CI boxes are
+noisy); the printed table is the artefact.  The structural invariant --
+every tier produces identical canonical values -- is asserted exactly.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.pmf import PMF
+
+
+def _bench(fn, n):
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - start) / n
+
+
+def test_constructor_tiers():
+    rng = np.random.default_rng(0)
+    probs = rng.random(48) + 1e-3
+    probs /= probs.sum()
+    probs.setflags(write=False)
+    n = 2000
+
+    public_s = _bench(lambda: PMF(10, probs), n)
+    trusted_s = _bench(lambda: PMF._trusted(10, probs), n)
+    trimmed_s = _bench(lambda: PMF._from_trimmed(10, probs), n)
+
+    print()
+    print(f"PMF(origin, probs)     : {public_s * 1e6:8.2f} us")
+    print(f"PMF._trusted           : {trusted_s * 1e6:8.2f} us")
+    print(f"PMF._from_trimmed      : {trimmed_s * 1e6:8.2f} us")
+
+    # All three tiers canonicalise to the same value.
+    a, b, c = PMF(10, probs), PMF._trusted(10, probs), PMF._from_trimmed(10, probs)
+    assert a.identical(b) and b.identical(c)
+    # The trusted tiers must not be slower than full validation (loose 2x
+    # guard against scheduler noise, not a tight perf pin).
+    assert trimmed_s < public_s * 2
+    assert trusted_s < public_s * 2
+
+
+def test_iterable_constructor_has_no_list_roundtrip():
+    n = 1000
+    values = [0.001] * 400
+
+    def from_generator():
+        return PMF(0, (v for v in values))
+
+    def from_list():
+        return PMF(0, values)
+
+    gen_s = _bench(from_generator, n)
+    list_s = _bench(from_list, n)
+    print()
+    print(f"PMF(generator)         : {gen_s * 1e6:8.2f} us")
+    print(f"PMF(list)              : {list_s * 1e6:8.2f} us")
+    assert from_generator().identical(from_list())

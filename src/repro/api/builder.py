@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from ..metrics.collector import aggregate_trials
 from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
@@ -268,18 +269,24 @@ class Simulation:
             config["scenario_params"] = dict(self.scenario_params)
         return config
 
-    def run(self, label: Optional[str] = None) -> RunResult:
-        """Execute all trials and return an aggregated :class:`RunResult`."""
-        from ..experiments.runner import run_trials
-
-        specs = self.build_specs()
-        trials = tuple(run_trials(specs, self.n_jobs))
+    def _package(self, specs: Tuple["TrialSpec", ...], trials: Sequence[Any],
+                 label: Optional[str]) -> RunResult:
+        """Aggregate executed trials into a :class:`RunResult`."""
+        trials = tuple(trials)
         aggregate = aggregate_trials(trials, confidence=self.confidence_value)
         return RunResult(label=label or specs[0].label,
                          config=self.describe_config(), specs=specs,
                          trials=trials, aggregate=aggregate)
 
-    def sweep(self, **axes: Sequence[Any]) -> SweepResult:
+    def run(self, label: Optional[str] = None) -> RunResult:
+        """Execute all trials and return an aggregated :class:`RunResult`."""
+        from ..experiments.runner import run_trials
+
+        specs = self.build_specs()
+        return self._package(specs, run_trials(specs, self.n_jobs), label)
+
+    def sweep(self, on_result: Optional[Callable[[RunResult], None]] = None,
+              **axes: Sequence[Any]) -> SweepResult:
         """Evaluate the cartesian product of axis values and collect results.
 
         Accepted axes: ``scenario``, ``level``, ``mapper``, ``dropper``,
@@ -291,6 +298,17 @@ class Simulation:
 
             Simulation.scenario("spec").trials(3).sweep(
                 mapper=["PAM", "MM"], dropper=["heuristic", "react"])
+
+        With ``n_jobs > 1`` the whole grid runs on one persistent
+        :class:`~repro.experiments.runner.TrialPool`: workers stay warm
+        across cells, scenarios (shared between cells by the common seeds)
+        are built once and shipped to each worker once, and every cell's
+        trials are in flight together.  ``on_result`` -- when given -- is
+        invoked with each cell's :class:`RunResult` as soon as that cell
+        completes (possibly out of grid order), so long sweeps can stream
+        progress; the returned :class:`SweepResult` is always in grid
+        order.  Sequential sweeps reuse each distinct scenario across cells
+        as well.
         """
         unknown = sorted(set(axes) - set(SWEEPABLE_AXES))
         if unknown:
@@ -303,13 +321,55 @@ class Simulation:
             if not values:
                 raise ValueError(f"axis {axis!r} has no values to sweep")
             value_lists.append(values)
-        runs: List[RunResult] = []
+        sims: List[Simulation] = []
+        labels: List[Optional[str]] = []
         for combo in itertools.product(*value_lists):
             sim = self
             for axis, value in zip(names, combo):
                 sim = sim._apply_axis(axis, value)
-            label = " ".join(str(v) for v in combo) or None
-            runs.append(sim.run(label=label))
+            sims.append(sim)
+            labels.append(" ".join(str(v) for v in combo) or None)
+        cells = [sim.build_specs() for sim in sims]
+        runs: List[Optional[RunResult]] = [None] * len(cells)
+
+        def finish_cell(index: int, trials: Sequence[Any]) -> None:
+            runs[index] = sims[index]._package(cells[index], trials,
+                                              labels[index])
+            if on_result is not None:
+                on_result(runs[index])
+
+        total_trials = sum(len(cell) for cell in cells)
+        if self.n_jobs > 1 and total_trials > 1:
+            from ..experiments.runner import TrialPool
+
+            all_specs = [spec for cell in cells for spec in cell]
+            with TrialPool(self.n_jobs, all_specs) as pool:
+                pool.run_cells(cells, on_cell=finish_cell)
+        else:
+            from ..experiments.runner import (build_scenario_for_spec,
+                                              run_trial, scenario_key)
+
+            # Scenarios are shared across cells (common seeds) but evicted
+            # as soon as their last trial ran, so a large grid holds at
+            # most the scenarios still ahead of it -- not the whole sweep's.
+            uses: Dict[Any, int] = {}
+            for cell in cells:
+                for spec in cell:
+                    key = scenario_key(spec)
+                    uses[key] = uses.get(key, 0) + 1
+            scenarios: Dict[Any, Any] = {}
+            for index, cell in enumerate(cells):
+                trials = []
+                for spec in cell:
+                    key = scenario_key(spec)
+                    scenario = scenarios.get(key)
+                    if scenario is None:
+                        scenario = scenarios[key] = build_scenario_for_spec(spec)
+                    trials.append(run_trial(spec, scenario=scenario))
+                    uses[key] -= 1
+                    if uses[key] == 0:
+                        del scenarios[key]
+                finish_cell(index, trials)
         return SweepResult(runs=tuple(runs), axes=tuple(names))
 
     def _apply_axis(self, axis: str, value: Any) -> "Simulation":

@@ -179,6 +179,18 @@ class SweepResult:
         return [{axis: run.config.get(axis) for axis in self.axes}
                 for run in self.runs]
 
+    @property
+    def perf(self) -> Optional[PerfStats]:
+        """Summed hot-path counters across every run of the sweep.
+
+        Includes the intern-table and fold-kernel counters (``interned``,
+        ``intern_hits``, ``fold_memo_hits``, ``scratch_reuses``), so a sweep
+        executed on a :class:`~repro.experiments.runner.TrialPool` reports
+        the cache behaviour of its worker processes in one place.
+        """
+        merged = [run.perf for run in self.runs]
+        return PerfStats.merged(merged)
+
     def best(self, metric: str = "robustness_pct",
              maximize: Optional[bool] = None) -> RunResult:
         """The run with the best value of ``metric``.
@@ -219,8 +231,12 @@ class SweepResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain JSON-serialisable representation of the whole sweep."""
-        return {"axes": list(self.axes),
-                "runs": [run.to_dict() for run in self.runs]}
+        payload: Dict[str, Any] = {"axes": list(self.axes),
+                                   "runs": [run.to_dict() for run in self.runs]}
+        perf = self.perf
+        if perf is not None:
+            payload["perf"] = perf.to_dict()
+        return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """JSON export of :meth:`to_dict`."""

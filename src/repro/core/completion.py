@@ -8,20 +8,77 @@ probabilistic model: in the branch where the previous task finishes after the
 pending task's deadline, the pending task is (will be) reactively dropped, so
 its "execution time" is zero and the completion time of the queue position
 equals the completion time of the previous task.
+
+Batched fold kernel
+-------------------
+:class:`ChainFolder` is the hot-loop variant of :func:`completion_pmf`: it
+folds whole Eq. 1 chains with
+
+* a **preallocated scratch buffer** for the mixture/prune stage, grown
+  geometrically and reused across folds instead of allocating one output
+  array per step (only the chain's *published* tail PMFs are materialised;
+  intermediates live in scratch), and
+* an **identity-keyed fold memo**: PMFs are hash-consed
+  (:mod:`repro.core.pmf`), so a ``(prev, exec, deadline)`` triple seen before
+  is answered with the previously interned result without touching NumPy.
+
+Both paths perform bit-for-bit the arithmetic of :func:`completion_pmf`
+(same operands, same order), so folded chains are exactly reproducible by
+the naive composed form -- the property pinned by the simulator's
+equivalence tests.  A folder can be installed process-wide with
+:func:`active_folder`; while installed, plain :func:`completion_pmf` calls
+(e.g. from dropping policies) are routed through it.
 """
 
 from __future__ import annotations
 
+import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .pmf import PMF
+from .pmf import PMF, _intern_get, interning_enabled
+
+#: Import-time snapshot of the hash-consing switch (``REPRO_NO_INTERN``).
+_INTERNING = interning_enabled()
+
+try:  # pragma: no cover - import resolution depends on the numpy major
+    from numpy._core.multiarray import correlate as _correlate  # numpy >= 2
+except ImportError:  # pragma: no cover
+    try:
+        from numpy.core.multiarray import correlate as _correlate  # numpy 1.x
+    except ImportError:
+        _correlate = None
+
+#: ``multiarray.correlate`` integer code for the 'full' convolution mode.
+_FULL_MODE = 2
+
+
+def _convolve_full(a: np.ndarray, ep: np.ndarray, ep_rev) -> np.ndarray:
+    """Exactly ``np.convolve(a, ep)`` minus the Python wrapper overhead.
+
+    ``np.convolve`` swaps its operands so the longer one comes first, then
+    calls ``multiarray.correlate(long, short[::-1], 'full')``; this helper
+    replicates that dance bit-for-bit while letting the fold kernel pass a
+    *pre-reversed* execution-time operand (``ep_rev``), which ``np.convolve``
+    would otherwise re-reverse (and re-allocate) on every fold of a chain.
+    """
+    if _correlate is None:  # pragma: no cover - ancient numpy fallback
+        return np.convolve(a, ep)
+    if ep.size > a.size:
+        return _correlate(ep, a[::-1], _FULL_MODE)
+    if ep_rev is None:
+        ep_rev = ep[::-1]
+    return _correlate(a, ep_rev, _FULL_MODE)
 
 __all__ = [
     "QueueEntry",
+    "ChainFolder",
+    "active_folder",
     "completion_pmf",
+    "fold_chain",
     "queue_completion_pmfs",
     "queue_completion_with_drops",
     "chance_of_success",
@@ -52,6 +109,268 @@ class QueueEntry:
             raise ValueError("queue entry requires a non-empty execution PMF")
 
 
+class _Scratch:
+    """Grow-only float64 buffer reused for fold mixtures."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self, initial: int = 256):
+        self.buf = np.empty(int(initial), dtype=np.float64)
+
+    def zeros(self, n: int) -> Tuple[np.ndarray, bool]:
+        """Zero-filled view of length ``n``; True when no allocation happened."""
+        reused = self.buf.size >= n
+        if not reused:
+            self.buf = np.empty(max(n, 2 * self.buf.size), dtype=np.float64)
+        view = self.buf[:n]
+        view.fill(0.0)
+        return view, reused
+
+
+def _fold(prev_completion: PMF, exec_pmf: PMF, deadline: int,
+          prune_eps: float, folder: Optional["ChainFolder"]) -> PMF:
+    """One Eq. 1 fold; the single implementation behind both public paths.
+
+    With ``folder`` the mixture/prune stage runs in the folder's scratch
+    buffer and the result is interned straight off the scratch view (copying
+    out only on an intern miss); without it every step allocates its own
+    output array, exactly as the pre-batched kernel did.  The arithmetic --
+    operand trimming, convolution, mixture addition and pruning -- is
+    identical in both modes, so results are bit-for-bit the same.
+    """
+    pp = prev_completion.probs
+    po = prev_completion.origin
+    k = int(deadline) - po
+    if prev_completion.is_empty or k <= 0:
+        # The predecessor can never finish before the deadline: the task is
+        # certain to be reactively dropped and the chain passes through
+        # unchanged.
+        return prev_completion.pruned(prune_eps)
+    if exec_pmf.is_empty:
+        return prev_completion.split_at(deadline)[1].pruned(prune_eps)
+    ep = exec_pmf.probs
+    eo = exec_pmf.origin
+    ep_rev = folder._reversed(exec_pmf) if folder is not None else None
+    if k >= pp.size:
+        # Everything starts on time: a plain convolution.
+        out = _convolve_full(pp, ep, ep_rev)
+        out[out < prune_eps] = 0.0
+        return PMF._trusted(po + eo, out)
+    # ``pp[:k]`` starts on time; its tail may hold interior zeros that a
+    # split would have trimmed, and the convolution operand must match that
+    # trimmed array exactly for bitwise reproducibility.  (``pp[0]`` is
+    # always nonzero -- PMFs are stored trimmed -- so the slice is never
+    # all-zero.)
+    on_time = pp[:k]
+    if on_time[k - 1] == 0.0:
+        nz = on_time.nonzero()[0]
+        on_time = on_time[:int(nz[-1]) + 1]
+    conv = _convolve_full(on_time, ep, ep_rev)
+    conv_origin = po + eo
+    drop_origin = po + k
+    lo = min(conv_origin, drop_origin)
+    hi = max(conv_origin + conv.size, po + pp.size)
+    # The scratch buffer only pays for itself when the intern probe on the
+    # result has a real chance of hitting (the hit skips the copy-out); with
+    # probing off -- disabled, or adaptively abandoned -- allocating an
+    # owned output array outright is strictly cheaper.
+    use_scratch = folder is not None and folder._probe_interns
+    if use_scratch:
+        out, reused = folder._scratch.zeros(hi - lo)
+        if reused:
+            folder.scratch_reuses += 1
+    else:
+        out = np.zeros(hi - lo, dtype=np.float64)
+    out[conv_origin - lo:conv_origin - lo + conv.size] += conv
+    out[drop_origin - lo:drop_origin - lo + pp.size - k] += pp[k:]
+    out[out < prune_eps] = 0.0
+    if not use_scratch:
+        return PMF._trusted(lo, out)
+    # Scratch-backed result: trim in place, probe the intern table with the
+    # scratch view, and only copy the array out on an intern miss (the
+    # published tail must own its storage; scratch is reused next fold).
+    if out[0] != 0.0 and out[-1] != 0.0:
+        view = out
+        origin = lo
+    else:
+        nz = out.nonzero()[0]
+        if nz.size == 0:
+            return PMF.empty()
+        t0 = int(nz[0])
+        view = out[t0:int(nz[-1]) + 1]
+        origin = lo + t0
+    return folder._publish(origin, view)
+
+
+class ChainFolder:
+    """Batched Eq. 1 fold kernel with scratch reuse and an identity memo.
+
+    One folder serves one simulation run (one ``prune_eps``).  The memo maps
+    ``(id(prev), id(exec), deadline)`` to the interned fold result; entries
+    keep strong references to their key PMFs so the ids stay valid, and the
+    validated identity check makes a stale-id collision impossible.  Because
+    PMFs are hash-consed, semantically repeated folds -- the dropping
+    heuristic re-walking a queue, machines of the same type evaluating the
+    same candidate task, an unchanged queue revisited at a later event --
+    collapse into dictionary hits.
+    """
+
+    __slots__ = ("prune_eps", "memo_limit", "memo_hits", "scratch_reuses",
+                 "_memo", "_scratch", "_rev", "_chance_memo",
+                 "_probe_interns", "_pub_probes", "_pub_hits",
+                 "_memo_active", "_memo_probes")
+
+    #: Publication probes before the adaptive intern gate is evaluated.
+    PROBE_WINDOW = 2048
+    #: Minimum publication hit rate for interning to keep paying its way.
+    PROBE_MIN_HIT_RATE = 0.05
+    #: Fold probes before the adaptive memo gate is evaluated.
+    MEMO_WINDOW = 4096
+    #: Minimum fold-memo hit rate below which storing entries stops paying
+    #: (a hit saves roughly a convolution, a store costs an entry and GC
+    #: pressure; break-even sits near one hit per ten misses).
+    MEMO_MIN_HIT_RATE = 0.10
+
+    def __init__(self, prune_eps: float = 1e-12, memo_limit: int = 1 << 13,
+                 intern_publications: bool = True):
+        self.prune_eps = float(prune_eps)
+        self.memo_limit = int(memo_limit)
+        self.memo_hits = 0
+        self.scratch_reuses = 0
+        self._memo: Dict[Tuple[int, int, int], Tuple[PMF, PMF, PMF]] = {}
+        self._scratch = _Scratch()
+        #: id(exec_pmf) -> (exec_pmf, reversed probs); execution-time PMFs
+        #: are the small, endlessly reused convolution operands (PET matrix
+        #: entries), so their reversed copies are built once per run.
+        self._rev: Dict[int, Tuple[PMF, np.ndarray]] = {}
+        #: (id(pmf), deadline) -> (pmf, mass_before(deadline)); the dropping
+        #: heuristic queries the same chance of success for the same chain
+        #: PMF many times while re-walking influence zones.
+        self._chance_memo: Dict[Tuple[int, int], Tuple[PMF, float]] = {}
+        self._probe_interns = bool(intern_publications) and _INTERNING
+        self._pub_probes = 0
+        self._pub_hits = 0
+        self._memo_active = True
+        self._memo_probes = 0
+
+    def _publish(self, origin: int, view: np.ndarray) -> PMF:
+        """Materialise a fold result off the scratch buffer.
+
+        While publication interning is on, the intern table is probed with
+        the scratch view first: a hit returns the canonical PMF without any
+        copy.  Interning is *adaptive* -- workloads whose fold results
+        rarely recur (distinct deadlines everywhere) would pay table and
+        weakref bookkeeping for nothing, so after :data:`PROBE_WINDOW`
+        publications with a hit rate below :data:`PROBE_MIN_HIT_RATE` the
+        folder stops probing and publishes plain transient PMFs.
+        """
+        if self._probe_interns:
+            data = view.tobytes()
+            hit = _intern_get(origin, data)
+            self._pub_probes += 1
+            if hit is not None:
+                self._pub_hits += 1
+                return hit
+            if (self._pub_probes >= self.PROBE_WINDOW
+                    and self._pub_hits < self._pub_probes * self.PROBE_MIN_HIT_RATE):
+                self._probe_interns = False
+            return PMF._from_trimmed(origin, view.copy(), data)
+        arr = view.copy()
+        arr.setflags(write=False)
+        return PMF._fresh(origin, arr)
+
+    def _reversed(self, exec_pmf: PMF) -> np.ndarray:
+        """Reversed probability array of ``exec_pmf``, cached by identity."""
+        key = id(exec_pmf)
+        hit = self._rev.get(key)
+        if hit is not None and hit[0] is exec_pmf:
+            return hit[1]
+        rev = exec_pmf.probs[::-1]
+        self._rev[key] = (exec_pmf, rev)
+        return rev
+
+    # ------------------------------------------------------------------
+    def fold(self, prev: PMF, exec_pmf: PMF, deadline: int) -> PMF:
+        """Memoised, scratch-backed equivalent of :func:`completion_pmf`.
+
+        The memo is adaptive like publication interning: workloads whose
+        folds rarely repeat (no proactive dropper re-walking queues) would
+        pay an entry allocation per fold for nothing, so once the hit rate
+        over :data:`MEMO_WINDOW` probes falls below
+        :data:`MEMO_MIN_HIT_RATE` the folder stops storing and folds
+        straight through.
+        """
+        deadline = int(deadline)
+        if not self._memo_active:
+            return _fold(prev, exec_pmf, deadline, self.prune_eps, self)
+        key = (id(prev), id(exec_pmf), deadline)
+        hit = self._memo.get(key)
+        if hit is not None and hit[0] is prev and hit[1] is exec_pmf:
+            self.memo_hits += 1
+            return hit[2]
+        self._memo_probes += 1
+        if (self._memo_probes >= self.MEMO_WINDOW
+                and self.memo_hits < self._memo_probes * self.MEMO_MIN_HIT_RATE):
+            self._memo_active = False
+            self._memo.clear()
+            return _fold(prev, exec_pmf, deadline, self.prune_eps, self)
+        result = _fold(prev, exec_pmf, deadline, self.prune_eps, self)
+        if len(self._memo) >= self.memo_limit:
+            self._evict_oldest(self._memo)
+        self._memo[key] = (prev, exec_pmf, result)
+        return result
+
+    def _evict_oldest(self, memo: Dict) -> None:
+        """Drop the oldest quarter of ``memo`` (dicts keep insertion order)."""
+        for old in list(itertools.islice(iter(memo),
+                                         max(1, self.memo_limit // 4))):
+            del memo[old]
+
+    def chance(self, pmf: PMF, deadline: int) -> float:
+        """Memoised ``pmf.mass_before(deadline)`` (Eq. 2) for stable PMFs."""
+        key = (id(pmf), deadline)
+        hit = self._chance_memo.get(key)
+        if hit is not None and hit[0] is pmf:
+            return hit[1]
+        value = pmf.mass_before(deadline)
+        if len(self._chance_memo) >= self.memo_limit:
+            self._evict_oldest(self._chance_memo)
+        self._chance_memo[key] = (pmf, value)
+        return value
+
+    def fold_chain(self, base: PMF, entries: Sequence[QueueEntry]) -> List[PMF]:
+        """Fold a whole queue; ``result[k]`` completes ``entries[k]``."""
+        result: List[PMF] = []
+        prev = base
+        for entry in entries:
+            prev = self.fold(prev, entry.exec_pmf, entry.deadline)
+            result.append(prev)
+        return result
+
+
+#: Folder that plain ``completion_pmf`` calls are currently routed through.
+_ACTIVE_FOLDER: Optional[ChainFolder] = None
+
+
+@contextmanager
+def active_folder(folder: Optional[ChainFolder]):
+    """Route :func:`completion_pmf` through ``folder`` inside the block.
+
+    The simulator installs its per-run folder around the event loop so that
+    fold calls made by code that only sees the public function -- dropping
+    policies in particular -- share the run's memo and scratch buffers.
+    Passing ``None`` explicitly shields the block from any outer folder
+    (used by the naive benchmarking path).
+    """
+    global _ACTIVE_FOLDER
+    outer = _ACTIVE_FOLDER
+    _ACTIVE_FOLDER = folder
+    try:
+        yield folder
+    finally:
+        _ACTIVE_FOLDER = outer
+
+
 def completion_pmf(prev_completion: PMF, exec_pmf: PMF, deadline: int,
                    prune_eps: float = 1e-12) -> PMF:
     """Completion-time PMF of a task queued behind ``prev_completion``.
@@ -79,50 +398,51 @@ def completion_pmf(prev_completion: PMF, exec_pmf: PMF, deadline: int,
     -----
     This is the innermost loop of the whole simulator (it runs once per
     pending task per scheduler view), so the split/convolve/mixture/prune
-    pipeline is fused into a single output allocation instead of chaining
-    the four equivalent :class:`PMF` operations.  The arithmetic -- operand
-    trimming, convolution, mixture addition and pruning -- is performed on
-    exactly the same arrays in the same order, so results are bit-identical
-    to the composed form.
+    pipeline is fused into a single output buffer instead of chaining the
+    four equivalent :class:`PMF` operations.  When a :class:`ChainFolder`
+    with the same ``prune_eps`` is installed via :func:`active_folder`, the
+    call is served through its memo and scratch buffers; either way the
+    result is bit-identical to the composed form.
     """
-    pp = prev_completion.probs
-    po = prev_completion.origin
-    k = int(deadline) - po
-    if prev_completion.is_empty or k <= 0:
-        # The predecessor can never finish before the deadline: the task is
-        # certain to be reactively dropped and the chain passes through
-        # unchanged.
-        return prev_completion.pruned(prune_eps)
-    if exec_pmf.is_empty:
-        return prev_completion.split_at(deadline)[1].pruned(prune_eps)
-    ep = exec_pmf.probs
-    eo = exec_pmf.origin
-    if k >= pp.size:
-        # Everything starts on time: a plain convolution.
-        out = np.convolve(pp, ep)
-        return PMF._trusted(po + eo, np.where(out >= prune_eps, out, 0.0))
-    # ``pp[:k]`` starts on time; its tail may hold interior zeros that a
-    # split would have trimmed, and the convolution operand must match that
-    # trimmed array exactly for bitwise reproducibility.  (``pp[0]`` is
-    # always nonzero -- PMFs are stored trimmed -- so the slice is never
-    # all-zero.)
-    on_time = pp[:k]
-    nz = np.nonzero(on_time)[0]
-    on_time = on_time[:int(nz[-1]) + 1]
-    conv = np.convolve(on_time, ep)
-    conv_origin = po + eo
-    drop_origin = po + k
-    lo = min(conv_origin, drop_origin)
-    hi = max(conv_origin + conv.size, po + pp.size)
-    out = np.zeros(hi - lo, dtype=np.float64)
-    out[conv_origin - lo:conv_origin - lo + conv.size] += conv
-    out[drop_origin - lo:drop_origin - lo + pp.size - k] += pp[k:]
-    return PMF._trusted(lo, np.where(out >= prune_eps, out, 0.0))
+    folder = _ACTIVE_FOLDER
+    if folder is not None and folder.prune_eps == prune_eps:
+        return folder.fold(prev_completion, exec_pmf, deadline)
+    return _fold(prev_completion, exec_pmf, int(deadline), prune_eps, None)
 
 
 def chance_of_success(completion: PMF, deadline: int) -> float:
-    """Probability that a task completes strictly before its deadline (Eq. 2)."""
+    """Probability that a task completes strictly before its deadline (Eq. 2).
+
+    Served from the installed :class:`ChainFolder`'s memo when one is
+    active: chain PMFs are identity-stable (memoised folds return the same
+    object), so the repeated queries issued by the dropping heuristic while
+    re-walking a queue collapse into dictionary hits.
+    """
+    folder = _ACTIVE_FOLDER
+    if folder is not None:
+        return folder.chance(completion, int(deadline))
     return completion.mass_before(deadline)
+
+
+def fold_chain(base: PMF, entries: Sequence[QueueEntry],
+               prune_eps: float = 1e-12,
+               folder: Optional[ChainFolder] = None) -> List[PMF]:
+    """Completion-time PMFs of a queue, optionally through a fold kernel.
+
+    With ``folder`` (whose ``prune_eps`` must match) the chain runs through
+    the batched kernel; otherwise each step is a plain
+    :func:`completion_pmf` call.  Results are identical either way.
+    """
+    if folder is not None:
+        if folder.prune_eps != prune_eps:
+            raise ValueError("folder prune_eps does not match the chain's")
+        return folder.fold_chain(base, entries)
+    result: List[PMF] = []
+    prev = base
+    for entry in entries:
+        prev = completion_pmf(prev, entry.exec_pmf, entry.deadline, prune_eps)
+        result.append(prev)
+    return result
 
 
 def queue_completion_pmfs(base: PMF, entries: Sequence[QueueEntry],
@@ -143,12 +463,7 @@ def queue_completion_pmfs(base: PMF, entries: Sequence[QueueEntry],
     list of PMF
         ``result[k]`` is the completion-time PMF of ``entries[k]``.
     """
-    result: List[PMF] = []
-    prev = base
-    for entry in entries:
-        prev = completion_pmf(prev, entry.exec_pmf, entry.deadline, prune_eps)
-        result.append(prev)
-    return result
+    return fold_chain(base, entries, prune_eps)
 
 
 def queue_completion_with_drops(base: PMF, entries: Sequence[QueueEntry],

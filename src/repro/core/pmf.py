@@ -22,15 +22,36 @@ deadline and are recombined with :meth:`PMF.add`.
 The representation is dense: ``probs[k]`` is the probability of the value
 ``origin + k``.  Dense storage makes convolution a single ``np.convolve``
 call, which is the hot path of the whole simulator.
+
+Hash-consing
+------------
+PMFs are *interned* (hash-consed): a process-wide weak-valued table keyed on
+``(origin, probs.tobytes())`` canonicalises every instance that crosses a
+*publication* boundary -- the public constructors, unpickling, and the
+chain tails published by the batched Eq. 1 fold kernel -- so two published
+PMFs carrying bitwise identical mass are the *same object*.  The payoff is
+upstream: the simulator's incremental caches gate reuse on
+:meth:`PMF.identical`, which degenerates to a pointer comparison for
+interned instances, and fold results can be memoised under ``id``-stable
+keys.  Transient intermediates (split branches, shifted copies, score
+evaluations) deliberately stay out of the table: registering their churn
+costs far more than it saves, both directly and in garbage-collector sweep
+time.  Interning never changes a value -- the canonical representative is
+bitwise identical by construction -- so it is semantically invisible.  Set
+``REPRO_NO_INTERN=1`` in the environment (before import) to disable it when
+debugging; the empty PMF remains a unique singleton either way.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+import os
+import weakref
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["PMF", "EMPTY_PMF"]
+__all__ = ["PMF", "EMPTY_PMF", "interning_enabled", "intern_stats",
+           "intern_table_size"]
 
 #: Probability mass below this value is discarded by :meth:`PMF.pruned`.
 DEFAULT_PRUNE_EPS = 1e-12
@@ -41,6 +62,62 @@ _EMPTY_PROBS.setflags(write=False)
 
 #: Tolerance used when checking that a PMF is (sub-)normalised.
 MASS_TOLERANCE = 1e-6
+
+#: ``REPRO_NO_INTERN=1`` (or ``true``/``yes``/``on``) disables hash-consing.
+_INTERNING = os.environ.get("REPRO_NO_INTERN", "").strip().lower() not in {
+    "1", "true", "yes", "on"}
+
+#: Process-wide intern table.  Weak values: a canonical PMF lives exactly as
+#: long as something outside the table references it.
+_INTERN_TABLE: "weakref.WeakValueDictionary[Tuple[int, bytes], PMF]" = \
+    weakref.WeakValueDictionary()
+
+#: Cumulative intern-table counters (see :func:`intern_stats`).
+_INTERN_STATS: Dict[str, int] = {"interned": 0, "intern_hits": 0}
+
+#: The unique zero-mass PMF; created lazily by the first empty construction
+#: and exposed as :data:`EMPTY_PMF` at the bottom of the module.
+_EMPTY: Optional["PMF"] = None
+
+
+def interning_enabled() -> bool:
+    """True unless interning was disabled via ``REPRO_NO_INTERN``."""
+    return _INTERNING
+
+
+def intern_stats() -> Dict[str, int]:
+    """Snapshot of the cumulative intern-table counters.
+
+    ``interned`` counts distinct PMFs registered in the table and
+    ``intern_hits`` counts constructions answered by an existing canonical
+    instance.  Both are process-wide and monotonically increasing; consumers
+    (e.g. :class:`~repro.sim.perf.PerfStats`) report deltas between
+    snapshots.
+    """
+    return dict(_INTERN_STATS)
+
+
+def intern_table_size() -> int:
+    """Number of canonical PMFs currently alive in the intern table."""
+    return len(_INTERN_TABLE)
+
+
+def _intern_get(origin: int, data: bytes) -> Optional["PMF"]:
+    """Canonical PMF for ``(origin, data)`` if one is alive, else ``None``.
+
+    Kernel-internal: lets the batched fold kernel probe the table with a
+    scratch buffer *before* paying for a defensive copy (see
+    :mod:`repro.core.completion`).  Returns ``None`` when interning is
+    disabled so callers fall back to plain construction.
+    """
+    if not _INTERNING:
+        return None
+    if not data:
+        return _EMPTY  # may be None before the first empty construction
+    hit = _INTERN_TABLE.get((origin, data))
+    if hit is not None:
+        _INTERN_STATS["intern_hits"] += 1
+    return hit
 
 
 class PMF:
@@ -57,16 +134,25 @@ class PMF:
 
     Notes
     -----
-    Instances are immutable; every operation returns a new :class:`PMF`.
-    A PMF with zero total mass is represented with an empty ``probs`` array
-    and behaves as the additive identity of :meth:`add`.
+    Instances are immutable.  PMFs built through the public constructors
+    (``PMF(...)``, :meth:`delta`, :meth:`from_impulses`, ...), through
+    unpickling, and the chain tails published by the batched fold kernel
+    are hash-consed: bitwise-equal values resolve to one canonical object.
+    Structural intermediates (:meth:`split_at` branches, :meth:`shift`,
+    in-flight fold results) stay transient to keep the hot loop free of
+    table bookkeeping; they still share the unique :data:`EMPTY_PMF`
+    singleton, which behaves as the additive identity of :meth:`add`.
     """
 
-    __slots__ = ("_origin", "_probs")
+    __slots__ = ("_origin", "_probs", "__weakref__")
 
-    def __init__(self, origin: int, probs: Iterable[float]):
-        arr = np.asarray(list(probs) if not isinstance(probs, np.ndarray) else probs,
-                         dtype=np.float64)
+    def __new__(cls, origin: int = 0, probs: Iterable[float] = ()):
+        if isinstance(probs, np.ndarray) or isinstance(probs, (list, tuple)):
+            arr = np.asarray(probs, dtype=np.float64)
+        else:
+            # Generic iterables (generators, maps) stream straight into a
+            # float64 buffer instead of round-tripping through a list.
+            arr = np.fromiter(probs, dtype=np.float64)
         if arr.ndim != 1:
             raise ValueError("probs must be one-dimensional")
         if arr.size and np.any(arr < -1e-15):
@@ -77,19 +163,60 @@ class PMF:
             raise ValueError(f"total probability mass {total} exceeds 1")
         origin = int(origin)
         # Trim leading/trailing zeros so origin/support are canonical.
-        nz = np.nonzero(arr)[0]
+        nz = arr.nonzero()[0]
         if nz.size == 0:
-            self._origin = 0
-            self._probs = np.empty(0, dtype=np.float64)
-        else:
-            lo, hi = int(nz[0]), int(nz[-1]) + 1
-            self._origin = origin + lo
-            self._probs = arr[lo:hi].copy()
-        self._probs.setflags(write=False)
+            return cls._build(0, _EMPTY_PROBS)
+        lo, hi = int(nz[0]), int(nz[-1]) + 1
+        trimmed = arr[lo:hi].copy()
+        trimmed.setflags(write=False)
+        return cls._build(origin + lo, trimmed)
+
+    def __init__(self, origin: int = 0, probs: Iterable[float] = ()):
+        # Construction happens entirely in __new__ (which may return an
+        # existing interned instance); nothing to initialise here.
+        pass
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _build(cls, origin: int, arr: np.ndarray,
+               data: Optional[bytes] = None) -> "PMF":
+        """Intern-aware constructor for trimmed, read-only, canonical arrays.
+
+        ``arr`` must already be trimmed (non-zero first and last entries) and
+        non-writeable; ``data`` may carry its precomputed ``tobytes()`` so a
+        caller that already probed the table does not serialise twice.
+        Returns the canonical instance for the value -- either an existing
+        interned PMF or a freshly registered one.  All construction paths
+        funnel through here, so the zero-mass PMF is a process-wide
+        singleton even with interning disabled.
+        """
+        global _EMPTY
+        if arr.size == 0:
+            if _EMPTY is None:
+                _EMPTY = cls._fresh(0, _EMPTY_PROBS)
+            return _EMPTY
+        if not _INTERNING:
+            return cls._fresh(origin, arr)
+        key = (origin, arr.tobytes() if data is None else data)
+        hit = _INTERN_TABLE.get(key)
+        if hit is not None:
+            _INTERN_STATS["intern_hits"] += 1
+            return hit
+        self = cls._fresh(origin, arr)
+        _INTERN_TABLE[key] = self
+        _INTERN_STATS["interned"] += 1
+        return self
+
+    @classmethod
+    def _fresh(cls, origin: int, arr: np.ndarray) -> "PMF":
+        """Allocate an instance without interning (table misses only)."""
+        self = object.__new__(cls)
+        self._origin = origin
+        self._probs = arr
+        return self
+
     @classmethod
     def _trusted(cls, origin: int, arr: np.ndarray) -> "PMF":
         """Internal fast constructor for already-validated probability arrays.
@@ -100,21 +227,52 @@ class PMF:
         constructor is performed; validation and the defensive copy are
         skipped.  The array may be a view into another PMF's storage --
         instances are immutable, so sharing is safe.
+
+        Results are *not* registered in the intern table: this is the
+        construction path of transient intermediates (split branches, score
+        evaluations, fold chains in flight), and registering the huge churn
+        of distinct throwaway values measurably slows the simulator down --
+        both directly and through the garbage collector, which has to sweep
+        every registered weakref.  Interning happens at the *publication*
+        boundaries instead: the public constructors, unpickling, and the
+        chain tails published by the batched fold kernel
+        (:class:`repro.core.completion.ChainFolder`).  The zero-mass
+        singleton is still returned here, and a transient that is bitwise
+        equal to a canonical PMF still compares equal through the
+        :meth:`identical` fallback.
         """
-        self = object.__new__(cls)
-        nz = np.nonzero(arr)[0]
-        if nz.size == 0:
-            self._origin = 0
-            self._probs = _EMPTY_PROBS
-            return self
-        lo, hi = int(nz[0]), int(nz[-1]) + 1
-        if lo != 0 or hi != arr.size:
-            arr = arr[lo:hi]
+        if arr.size and arr[0] != 0.0 and arr[-1] != 0.0:
+            # Already trimmed (the overwhelmingly common case): skip the
+            # nonzero scan entirely.
+            lo = 0
+        else:
+            nz = arr.nonzero()[0]
+            if nz.size == 0:
+                return cls._build(0, _EMPTY_PROBS)
+            lo, hi = int(nz[0]), int(nz[-1]) + 1
+            if lo != 0 or hi != arr.size:
+                arr = arr[lo:hi]
         if arr.flags.writeable:
             arr.setflags(write=False)
-        self._origin = int(origin) + lo
-        self._probs = arr
-        return self
+        return cls._fresh(int(origin) + lo, arr)
+
+    @classmethod
+    def _from_trimmed(cls, origin: int, arr: np.ndarray,
+                      data: Optional[bytes] = None) -> "PMF":
+        """Trusted constructor for arrays that are *already* trimmed.
+
+        The fastest construction path: no validation, no trim scan, no copy.
+        ``arr`` must be a one-dimensional float64 array whose first and last
+        entries are non-zero (or an empty array) and which the caller
+        guarantees will never be mutated -- kernel-internal code that just
+        produced a canonical array hands it over here (optionally with its
+        precomputed ``tobytes()``).
+        """
+        if arr.size == 0:
+            return cls._build(0, _EMPTY_PROBS)
+        if arr.flags.writeable:
+            arr.setflags(write=False)
+        return cls._build(int(origin), arr, data)
 
     @classmethod
     def delta(cls, t: int) -> "PMF":
@@ -123,8 +281,8 @@ class PMF:
 
     @classmethod
     def empty(cls) -> "PMF":
-        """PMF with zero total mass (additive identity)."""
-        return cls(0, np.empty(0))
+        """PMF with zero total mass (additive identity); a unique singleton."""
+        return cls._build(0, _EMPTY_PROBS)
 
     @classmethod
     def from_impulses(cls, times: Sequence[int], probs: Sequence[float]) -> "PMF":
@@ -315,9 +473,11 @@ class PMF:
 
     def shift(self, dt: int) -> "PMF":
         """Translate the distribution by ``dt`` time units."""
-        if self.is_empty:
+        if self.is_empty or dt == 0:
             return self
-        return PMF._trusted(self._origin + int(dt), self._probs)
+        # Transient (non-interned) like every structural intermediate; the
+        # storage is already trimmed and read-only, so it is shared as-is.
+        return PMF._fresh(self._origin + int(dt), self._probs)
 
     def scaled(self, factor: float) -> "PMF":
         """Multiply all probabilities by ``factor`` in ``[0, 1]``."""
@@ -424,7 +584,9 @@ class PMF:
         Unlike :meth:`approx_equal` this is an exact comparison (no
         tolerance); it is the gate used by the simulator's incremental
         completion-PMF caches, where reuse is only allowed when it provably
-        cannot change any downstream result.
+        cannot change any downstream result.  Interned PMFs resolve it with
+        the ``self is other`` pointer check; the array comparison only runs
+        for instances built with interning disabled.
         """
         if self is other:
             return True
@@ -451,6 +613,15 @@ class PMF:
     def __hash__(self):  # pragma: no cover - PMFs are not meant to be hashed
         return hash((self._origin, self._probs.tobytes()))
 
+    def __reduce__(self):
+        """Pickle as ``(origin, raw bytes)`` and re-intern on unpickling.
+
+        Unpickled PMFs resolve to the canonical instance of the receiving
+        process, so identity-keyed caches (fold memo, append cache) work
+        across the worker-process boundary of ``run_trials``.
+        """
+        return (_restore_pmf, (self._origin, self._probs.tobytes()))
+
     def __repr__(self) -> str:
         if self.is_empty:
             return "PMF(empty)"
@@ -458,5 +629,11 @@ class PMF:
                 f"mass={self.total_mass:.6f}, mean={self.mean():.2f})")
 
 
-#: Shared immutable empty PMF instance.
+def _restore_pmf(origin: int, data: bytes) -> PMF:
+    """Unpickling factory: rebuild from raw bytes through the intern table."""
+    arr = np.frombuffer(data, dtype=np.float64)
+    return PMF._from_trimmed(origin, arr, data)
+
+
+#: Shared immutable empty PMF instance (the unique zero-mass PMF).
 EMPTY_PMF = PMF.empty()

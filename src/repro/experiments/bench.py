@@ -1,17 +1,29 @@
-"""Core-simulator performance benchmark harness (``repro bench``).
+"""Performance benchmark harness (``repro bench``).
 
-The harness pins a handful of oversubscribed scenarios, runs each one twice
-per seed -- once with the naive recompute-everything scheduler views
-(``incremental=False``) and once with the incremental completion-PMF caches
--- verifies that both runs produce *identical* ``TrialMetrics``, and records
-wall-clock times, speedups and the cache counters in a JSON payload
-(``BENCH_core.json``).  Scenario construction happens outside the timed
-section, so the numbers measure the simulation core only.
+Two suites share this module:
 
-The committed ``benchmarks/perf/BENCH_core.json`` is regenerated with::
+* **core** pins a handful of oversubscribed scenarios, runs each one twice
+  per seed -- once with the naive recompute-everything scheduler views
+  (``incremental=False``) and once with the incremental completion-PMF
+  machinery -- verifies that both runs produce *identical* ``TrialMetrics``,
+  and records wall-clock times, speedups and the cache counters in a JSON
+  payload (``BENCH_core.json``).  Scenario construction happens outside the
+  timed section, so the numbers measure the simulation core only.
+* **sweep** times the persistent-pool sweep executor
+  (:class:`~repro.experiments.runner.TrialPool`) against the fresh-pool-
+  per-cell behaviour on a pinned mapper x dropper grid and records the
+  multi-process throughput (``BENCH_sweep.json``).
 
-    python -m repro bench --scale 0.05 --trials 2 \
+:func:`compare_to_baseline` backs ``repro bench --baseline``: it checks a
+fresh core payload against a committed one and flags geomean-speedup
+regressions (CI runs it with ``--warn-only``).
+
+``benchmarks/perf/`` is the canonical home of the committed payloads::
+
+    python -m repro bench --suite core --scale 0.05 --trials 2 \
         --output benchmarks/perf/BENCH_core.json
+    python -m repro bench --suite sweep --trials 2 --jobs 2 \
+        --output benchmarks/perf/BENCH_sweep.json
 """
 
 from __future__ import annotations
@@ -29,7 +41,9 @@ from ..sim.perf import PerfStats
 from .runner import TrialSpec, build_system_for_trial
 
 __all__ = ["BenchCase", "BENCH_CASES", "run_perf_benchmark",
-           "format_bench_table", "write_bench_json"]
+           "run_sweep_benchmark", "compare_to_baseline",
+           "format_bench_table", "format_sweep_table",
+           "format_baseline_comparison", "write_bench_json"]
 
 
 @dataclass(frozen=True)
@@ -162,6 +176,131 @@ def run_perf_benchmark(scale: float = 0.05, trials: int = 2,
         "max_speedup": max(speedups),
         "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
     }
+
+
+def run_sweep_benchmark(scale: float = 0.02, trials: int = 2,
+                        n_jobs: int = 2, base_seed: int = 42) -> Dict[str, Any]:
+    """Benchmark the persistent-pool sweep executor (``BENCH_sweep.json``).
+
+    Runs the pinned mapper x dropper grid twice with ``n_jobs`` workers:
+    once the way PR 2 executed sweeps (one fresh worker pool per grid cell,
+    scenario rebuilt inside every worker trial) and once on a single warm
+    :class:`~repro.experiments.runner.TrialPool` (workers persist across
+    cells, scenarios shipped once through the initializer).  Both runs must
+    produce identical per-trial metrics -- the trials cross process
+    boundaries, so this also exercises PMF re-interning on unpickle.
+    """
+    from ..api.builder import Simulation
+
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be at least 1")
+    grid = {"mapper": ["PAM", "MM"], "dropper": ["heuristic", "react"]}
+    base = (Simulation.scenario("spec").level("30k").scale(scale)
+            .trials(trials, base_seed=base_seed))
+
+    # Cold: the pre-TrialPool behaviour -- each cell pays pool startup and
+    # per-trial scenario construction in the workers.
+    from ..experiments.runner import run_trials
+
+    cold_cells = []
+    start = time.perf_counter()
+    for mapper in grid["mapper"]:
+        for dropper in grid["dropper"]:
+            sim = base.mapper(mapper).dropper(dropper)
+            cold_cells.append(run_trials(sim.build_specs(), n_jobs=n_jobs))
+    cold_s = time.perf_counter() - start
+
+    # Warm: one persistent pool for the whole grid.
+    start = time.perf_counter()
+    sweep = base.parallel(n_jobs).sweep(**grid)
+    warm_s = time.perf_counter() - start
+
+    cells = []
+    equal = True
+    for run, cold_trials in zip(sweep.runs, cold_cells):
+        cell_equal = list(run.trials) == list(cold_trials)
+        equal = equal and cell_equal
+        perf = run.perf
+        cells.append({
+            "label": run.label,
+            "robustness_pct": run.robustness_pct,
+            "metrics_equal": cell_equal,
+            "perf": perf.to_dict() if perf is not None else None,
+        })
+    total_trials = len(sweep.runs) * trials
+    return {
+        "benchmark": "sweep",
+        "scale": scale,
+        "trials": trials,
+        "n_jobs": n_jobs,
+        "base_seed": base_seed,
+        "grid": grid,
+        "cells": cells,
+        "metrics_equal": equal,
+        "cold_pool_s": cold_s,
+        "warm_pool_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else 0.0,
+        "total_trials": total_trials,
+        "throughput_trials_per_s": total_trials / warm_s if warm_s > 0 else 0.0,
+    }
+
+
+def compare_to_baseline(payload: Dict[str, Any], baseline: Dict[str, Any],
+                        max_regression: float = 0.1) -> Dict[str, Any]:
+    """Compare a fresh core-bench payload against a committed baseline.
+
+    The compared figure is ``geomean_speedup`` (incremental over naive),
+    which is scale- and machine-robust in a way raw wall-clock times are
+    not.  ``regressed`` is set when the fresh geomean falls more than
+    ``max_regression`` (fractional) below the baseline's.
+    """
+    if max_regression < 0:
+        raise ValueError("max_regression cannot be negative")
+    for name, part in (("payload", payload), ("baseline", baseline)):
+        if "geomean_speedup" not in part:
+            raise ValueError(f"{name} carries no geomean_speedup; is it a "
+                             f"'core' benchmark payload?")
+    current = float(payload["geomean_speedup"])
+    reference = float(baseline["geomean_speedup"])
+    floor = reference * (1.0 - max_regression)
+    return {
+        "baseline_geomean": reference,
+        "current_geomean": current,
+        "ratio": current / reference if reference > 0 else 0.0,
+        "floor": floor,
+        "max_regression": max_regression,
+        "regressed": current < floor,
+        "baseline_scale": baseline.get("scale"),
+        "current_scale": payload.get("scale"),
+    }
+
+
+def format_baseline_comparison(comparison: Dict[str, Any]) -> str:
+    """One-line verdict of :func:`compare_to_baseline`."""
+    verdict = "REGRESSION" if comparison["regressed"] else "ok"
+    return (f"baseline geomean {comparison['baseline_geomean']:.2f}x "
+            f"(scale={comparison['baseline_scale']}) vs current "
+            f"{comparison['current_geomean']:.2f}x "
+            f"(scale={comparison['current_scale']}): "
+            f"{comparison['ratio']:.2f}x of baseline, floor "
+            f"{comparison['floor']:.2f}x -> {verdict}")
+
+
+def format_sweep_table(payload: Dict[str, Any]) -> str:
+    """Aligned human-readable summary of a sweep benchmark payload."""
+    from .reporting import format_aligned_table
+
+    headers = ["cell", "robustness", "metrics_equal"]
+    rows = [[c["label"], f"{c['robustness_pct']:.2f}%", str(c["metrics_equal"])]
+            for c in payload["cells"]]
+    return (format_aligned_table(headers, rows)
+            + f"\ncold pool: {payload['cold_pool_s']:.3f}s  warm pool: "
+              f"{payload['warm_pool_s']:.3f}s  speedup: "
+              f"{payload['speedup']:.2f}x  throughput: "
+              f"{payload['throughput_trials_per_s']:.2f} trials/s "
+              f"(n_jobs={payload['n_jobs']}, scale={payload['scale']})")
 
 
 def format_bench_table(payload: Dict[str, Any]) -> str:

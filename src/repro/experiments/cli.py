@@ -20,12 +20,18 @@ harness and the generic fluent-API runner:
   ``list-arrivals`` print the corresponding registry, including anything
   registered by user code imported via ``--plugin module``.
 
-* ``bench`` times the simulation core's incremental completion-PMF caches
-  against the naive recomputation on pinned oversubscribed scenarios and
-  can persist the result as ``BENCH_core.json``::
+* ``bench`` runs a perf suite: ``--suite core`` times the simulation
+  core's incremental machinery against the naive recomputation on pinned
+  oversubscribed scenarios (optionally gating on a committed baseline via
+  ``--baseline``/``--max-regression``/``--warn-only``); ``--suite sweep``
+  times the persistent-pool sweep executor and records multi-process
+  throughput::
 
-      python -m repro bench --scale 0.05 --trials 2 \
+      python -m repro bench --suite core --scale 0.05 --trials 2 \
           --output benchmarks/perf/BENCH_core.json
+      python -m repro bench --suite sweep --trials 2 --jobs 2 \
+          --output benchmarks/perf/BENCH_sweep.json
+      python -m repro bench --baseline benchmarks/perf/BENCH_core.json
 """
 
 from __future__ import annotations
@@ -116,17 +122,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="metric shown in sweep tables (default robustness_pct)")
 
     bench = commands.add_parser(
-        "bench", help="run the core perf benchmark (naive vs incremental "
-                      "scheduler views) and optionally write BENCH_core.json")
-    bench.add_argument("--scale", type=float, default=0.05,
+        "bench", help="run a perf benchmark suite (core: naive vs "
+                      "incremental scheduler views; sweep: persistent-pool "
+                      "sweep executor) and optionally write its JSON payload")
+    bench.add_argument("--suite", default="core", choices=["core", "sweep"],
+                       help="benchmark suite to run (default: core)")
+    bench.add_argument("--scale", type=float, default=None,
                        help="fraction of the paper's task counts (default "
-                            "0.05, oversubscribed)")
+                            "0.05 for core, 0.02 for sweep)")
     bench.add_argument("--trials", type=int, default=2,
-                       help="trials per benchmark case (default 2)")
+                       help="trials per benchmark case / grid cell "
+                            "(default 2)")
     bench.add_argument("--seed", type=int, default=42,
                        help="base random seed (default 42)")
+    bench.add_argument("--jobs", type=int, default=2,
+                       help="worker processes of the sweep suite (default 2)")
     bench.add_argument("--case", nargs="+", default=None, metavar="NAME",
-                       help="subset of benchmark case names to run")
+                       help="subset of benchmark case names to run "
+                            "(core suite only)")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="compare the fresh core payload against a "
+                            "committed BENCH_core.json and fail on "
+                            "regression (see --max-regression/--warn-only)")
+    bench.add_argument("--max-regression", type=float, default=10.0,
+                       metavar="PCT",
+                       help="allowed geomean-speedup regression vs the "
+                            "baseline, in percent (default 10)")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report a baseline regression without failing "
+                            "(exit code stays 0)")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="write the JSON payload to PATH "
                             "(e.g. benchmarks/perf/BENCH_core.json)")
@@ -242,18 +266,47 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    """The ``bench`` subcommand: time naive vs incremental scheduler views."""
+    """The ``bench`` subcommand: core or sweep perf suite."""
     import json as _json
 
-    from .bench import format_bench_table, run_perf_benchmark, write_bench_json
+    from .bench import (compare_to_baseline, format_baseline_comparison,
+                        format_bench_table, format_sweep_table,
+                        run_perf_benchmark, run_sweep_benchmark,
+                        write_bench_json)
 
-    payload = run_perf_benchmark(scale=args.scale, trials=args.trials,
-                                 base_seed=args.seed, names=args.case)
+    if args.suite == "sweep":
+        if args.baseline:
+            raise ValueError("--baseline applies to the core suite only")
+        if args.case:
+            raise ValueError("--case applies to the core suite only")
+    elif args.baseline and args.case:
+        # A case subset's geomean is not comparable to the committed
+        # full-suite baseline geomean; comparing them would report phantom
+        # regressions (or mask real ones).
+        raise ValueError("--baseline compares the full-suite geomean; "
+                         "run it without --case")
+        payload = run_sweep_benchmark(
+            scale=args.scale if args.scale is not None else 0.02,
+            trials=args.trials, n_jobs=args.jobs, base_seed=args.seed)
+        formatted = format_sweep_table(payload)
+    else:
+        payload = run_perf_benchmark(
+            scale=args.scale if args.scale is not None else 0.05,
+            trials=args.trials, base_seed=args.seed, names=args.case)
+        formatted = format_bench_table(payload)
     print(_json.dumps(payload, indent=2, sort_keys=True) if args.json
-          else format_bench_table(payload))
+          else formatted)
     if args.output:
         write_bench_json(payload, args.output)
         print(f"wrote {args.output}", file=sys.stderr)
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = _json.load(handle)
+        comparison = compare_to_baseline(
+            payload, baseline, max_regression=args.max_regression / 100.0)
+        print(format_baseline_comparison(comparison), file=sys.stderr)
+        if comparison["regressed"] and not args.warn_only:
+            return 3
     return 0
 
 

@@ -5,13 +5,21 @@ A :class:`TrialSpec` fully describes one trial with plain picklable data so
 trials can optionally be fanned out across worker processes
 (``ExperimentConfig.n_jobs > 1``); :func:`run_trial` materialises the
 scenario, builds the system, runs it and returns the collected metrics.
+
+:class:`TrialPool` is the persistent-pool sweep executor: it keeps worker
+processes warm across the grid cells of :meth:`Simulation.sweep`, ships the
+(deduplicated) scenarios -- platform, PET tables, task streams -- to every
+worker exactly once through the pool initializer instead of rebuilding them
+per trial, and streams per-cell results back as they complete.  PMFs
+re-intern themselves on unpickling (``PMF.__reduce__``), so the identity
+keys of the simulator's caches survive the process boundary.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple)
 
 import numpy as np
 
@@ -25,7 +33,8 @@ from ..workload.scenario import Scenario, build_scenario
 from .config import ExperimentConfig
 
 __all__ = ["DROPPER_REGISTRY", "make_dropper", "TrialSpec", "run_trial",
-           "run_trials", "run_configuration", "ConfigurationResult"]
+           "run_trials", "run_configuration", "ConfigurationResult",
+           "TrialPool"]
 
 
 def _legacy_dropper_factory(name: str):
@@ -157,12 +166,57 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
     return system
 
 
-def run_trial(spec: TrialSpec) -> TrialMetrics:
-    """Run one simulation trial end-to-end and collect its metrics."""
-    scenario = build_scenario(spec.scenario_name, level=spec.level, scale=spec.scale,
-                              gamma=spec.gamma, seed=spec.seed,
-                              queue_capacity=spec.queue_capacity,
-                              **spec.scenario_kwargs)
+def scenario_key(spec: TrialSpec) -> Tuple:
+    """Scenario-defining subset of a spec (mapper/dropper excluded).
+
+    Grid cells of a sweep share seeds by design, so cells that differ only
+    in mapper or dropper resolve to the *same* key -- the scenario (and its
+    PET tables) is built and shipped once and reused across all of them.
+    """
+    return (spec.scenario_name, spec.level, spec.scale, spec.gamma,
+            spec.queue_capacity, spec.seed, spec.scenario_params)
+
+
+def build_scenario_for_spec(spec: TrialSpec) -> Scenario:
+    """Materialise the scenario a spec describes."""
+    return build_scenario(spec.scenario_name, level=spec.level, scale=spec.scale,
+                          gamma=spec.gamma, seed=spec.seed,
+                          queue_capacity=spec.queue_capacity,
+                          **spec.scenario_kwargs)
+
+
+#: Scenarios pre-shipped to this worker process by :class:`TrialPool`'s
+#: initializer, keyed by :func:`scenario_key`.
+_WORKER_SCENARIOS: Dict[Tuple, Scenario] = {}
+
+
+def _pool_initializer(scenarios: Dict[Tuple, Scenario]) -> None:
+    """Install the pre-built scenario table in a worker process.
+
+    Runs once per worker; the scenarios (with their PET matrices) cross the
+    process boundary exactly once here instead of once per trial.  PMF
+    unpickling re-interns, so every worker ends up with canonical PMFs.
+    """
+    _WORKER_SCENARIOS.clear()
+    _WORKER_SCENARIOS.update(scenarios)
+
+
+def run_trial(spec: TrialSpec,
+              scenario: Optional[Scenario] = None) -> TrialMetrics:
+    """Run one simulation trial end-to-end and collect its metrics.
+
+    ``scenario`` may be supplied by a caller that already holds the
+    materialised scenario (sweep executors de-duplicate construction across
+    grid cells); otherwise the worker-local table shipped by
+    :class:`TrialPool` is consulted before falling back to building it from
+    the spec.  Scenarios are read-only templates (:meth:`Scenario.fresh_tasks`
+    / :meth:`Scenario.build_machines` hand out per-run copies), so sharing
+    one across trials cannot leak state between them.
+    """
+    if scenario is None:
+        scenario = _WORKER_SCENARIOS.get(scenario_key(spec))
+    if scenario is None:
+        scenario = build_scenario_for_spec(spec)
     # The execution-time sampling stream is decoupled from the workload
     # generation stream so that two configurations sharing a seed see the
     # same arrivals and deadlines.
@@ -230,6 +284,91 @@ def _pool_chunksize(num_specs: int, workers: int, waves: int = 4) -> int:
     if num_specs <= 0 or workers <= 0:
         return 1
     return max(1, num_specs // (workers * waves))
+
+
+class TrialPool:
+    """Persistent worker pool reused across sweep grid cells.
+
+    ``run_trials`` spins a fresh ``ProcessPoolExecutor`` up (and back down)
+    per call, which a grid sweep would pay once per cell; a ``TrialPool``
+    keeps the workers warm for its whole lifetime.  The constructor
+    de-duplicates the scenarios behind ``specs`` (cells sharing seeds share
+    scenarios), builds each distinct one once in the parent, and ships the
+    table to every worker through the pool initializer -- after that, a
+    trial crossing the process boundary is a few hundred bytes of
+    :class:`TrialSpec`.
+
+    Use as a context manager::
+
+        with TrialPool(n_jobs=4, specs=all_specs) as pool:
+            per_cell = pool.run_cells(cells, on_cell=print)
+    """
+
+    def __init__(self, n_jobs: int, specs: Sequence[TrialSpec] = ()):
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        self.scenarios: Dict[Tuple, Scenario] = {}
+        for spec in specs:
+            key = scenario_key(spec)
+            if key not in self.scenarios:
+                self.scenarios[key] = build_scenario_for_spec(spec)
+        self._pool = ProcessPoolExecutor(
+            max_workers=int(n_jobs),
+            initializer=_pool_initializer,
+            initargs=(self.scenarios,))
+
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[Sequence[TrialSpec]],
+                  on_cell: Optional[Callable[[int, List[TrialMetrics]], None]]
+                  = None) -> List[List[TrialMetrics]]:
+        """Run every cell's trials and return per-cell metrics in cell order.
+
+        All trials of all cells are submitted up front, so workers never
+        idle at cell boundaries.  As soon as the last trial of a cell
+        completes, ``on_cell(cell_index, metrics)`` is invoked (cells may
+        finish out of grid order); the returned list is in grid order.
+        """
+        futures = {}
+        for ci, cell in enumerate(cells):
+            for ti, spec in enumerate(cell):
+                futures[self._pool.submit(run_trial, spec)] = (ci, ti)
+        results: List[List[Optional[TrialMetrics]]] = [
+            [None] * len(cell) for cell in cells]
+        remaining = [len(cell) for cell in cells]
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    ci, ti = futures[future]
+                    results[ci][ti] = future.result()
+                    remaining[ci] -= 1
+                    if remaining[ci] == 0 and on_cell is not None:
+                        on_cell(ci, results[ci])
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        return results
+
+    def run_trials(self, specs: Sequence[TrialSpec]) -> List[TrialMetrics]:
+        """Run one flat list of trials on the warm pool."""
+        return self.run_cells([list(specs)])[0]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "TrialPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_trials(specs: Sequence[TrialSpec], n_jobs: int = 1) -> List[TrialMetrics]:

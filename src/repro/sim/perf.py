@@ -39,6 +39,16 @@ class PerfStats:
         Reuses versus fresh evaluations of proactive drop decisions.
     batch_expired:
         Tasks discarded through the deadline-indexed batch-queue expiry.
+    interned / intern_hits:
+        PMF intern-table activity during the run: distinct PMFs registered
+        versus constructions answered by an existing canonical instance
+        (hash-consing, see :mod:`repro.core.pmf`).
+    fold_memo_hits:
+        Eq. 1 folds answered by the :class:`~repro.core.completion.ChainFolder`
+        identity memo without touching NumPy.
+    scratch_reuses:
+        Fold mixtures served from the folder's preallocated scratch buffer
+        (no per-step output allocation).
     wall_time_s:
         Wall-clock time spent inside :meth:`HCSystem.run`.
     """
@@ -52,6 +62,10 @@ class PerfStats:
     drop_cache_hits: int = 0
     drop_evaluations: int = 0
     batch_expired: int = 0
+    interned: int = 0
+    intern_hits: int = 0
+    fold_memo_hits: int = 0
+    scratch_reuses: int = 0
     wall_time_s: float = 0.0
 
     # ------------------------------------------------------------------
@@ -68,6 +82,14 @@ class PerfStats:
         if requests == 0:
             return 0.0
         return (self.tail_cache_hits + self.tail_cache_extends) / requests
+
+    @property
+    def intern_hit_rate(self) -> float:
+        """Fraction of PMF constructions answered by the intern table."""
+        total = self.interned + self.intern_hits
+        if total == 0:
+            return 0.0
+        return self.intern_hits / total
 
     # ------------------------------------------------------------------
     def merge(self, other: "PerfStats") -> "PerfStats":
@@ -93,4 +115,5 @@ class PerfStats:
         payload: Dict[str, Any] = {f.name: getattr(self, f.name)
                                    for f in fields(self)}
         payload["tail_cache_hit_rate"] = self.tail_cache_hit_rate
+        payload["intern_hit_rate"] = self.intern_hit_rate
         return payload

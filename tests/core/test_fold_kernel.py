@@ -1,0 +1,152 @@
+"""Bit-identity and memo behaviour of the batched Eq. 1 fold kernel.
+
+``ChainFolder`` must produce results bit-for-bit identical to the plain
+``completion_pmf`` composition on every branch of the fold -- that is the
+invariant the simulator's equivalence guarantee rests on.  The memo must
+only ever return the canonical result for *identical* inputs, and the
+module-level ``active_folder`` hook must route (and un-route) the public
+functions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.completion import (ChainFolder, QueueEntry, active_folder,
+                                   chance_of_success, completion_pmf,
+                                   fold_chain, queue_completion_pmfs)
+from repro.core.pmf import EMPTY_PMF, PMF
+
+
+def _random_pmf(rng, origin_lo=0, origin_hi=40, size_lo=1, size_hi=24,
+                mass=1.0):
+    size = int(rng.integers(size_lo, size_hi + 1))
+    probs = rng.random(size) + 1e-3
+    probs = probs / probs.sum() * mass
+    return PMF(int(rng.integers(origin_lo, origin_hi)), probs)
+
+
+class TestFoldBitIdentity:
+    def test_random_folds_match_completion_pmf(self):
+        rng = np.random.default_rng(7)
+        folder = ChainFolder(prune_eps=1e-12)
+        for _ in range(300):
+            prev = _random_pmf(rng, mass=float(rng.uniform(0.2, 1.0)))
+            exec_pmf = _random_pmf(rng, origin_lo=1, origin_hi=12, size_hi=8)
+            deadline = int(rng.integers(-5, 90))
+            expected = completion_pmf(prev, exec_pmf, deadline)
+            got = folder.fold(prev, exec_pmf, deadline)
+            assert got.origin == expected.origin
+            assert np.array_equal(got.probs, expected.probs)
+
+    def test_edge_branches(self):
+        folder = ChainFolder()
+        prev = PMF(10, [0.5, 0.5])
+        exec_pmf = PMF(2, [1.0])
+        # Deadline at/before the predecessor's origin: pure pass-through.
+        assert folder.fold(prev, exec_pmf, 10).identical(prev)
+        assert folder.fold(prev, exec_pmf, 5).identical(prev)
+        # Deadline beyond the support: plain convolution.
+        conv = folder.fold(prev, exec_pmf, 100)
+        assert conv.identical(prev.convolve(exec_pmf))
+        # Empty predecessor propagates the empty PMF.
+        assert folder.fold(EMPTY_PMF, exec_pmf, 50) is EMPTY_PMF
+        # Empty execution PMF: only the dropped branch remains.
+        tail = folder.fold(prev, EMPTY_PMF, 11)
+        assert tail.identical(prev.split_at(11)[1])
+
+    def test_pruning_matches(self):
+        folder = ChainFolder(prune_eps=1e-3)
+        prev = PMF(0, [0.9985, 0.0005, 0.001])
+        exec_pmf = PMF(1, [0.999, 0.001])
+        expected = completion_pmf(prev, exec_pmf, 2, prune_eps=1e-3)
+        got = folder.fold(prev, exec_pmf, 2)
+        assert got.identical(expected)
+
+    def test_fold_chain_matches_queue_completion(self):
+        rng = np.random.default_rng(11)
+        folder = ChainFolder()
+        base = _random_pmf(rng)
+        entries = [QueueEntry(task_id=i,
+                              exec_pmf=_random_pmf(rng, origin_lo=1,
+                                                   origin_hi=8, size_hi=6),
+                              deadline=int(rng.integers(10, 120)))
+                   for i in range(6)]
+        expected = queue_completion_pmfs(base, entries)
+        got = fold_chain(base, entries, folder=folder)
+        assert len(got) == len(expected)
+        for g, e in zip(got, expected):
+            assert g.identical(e)
+
+    def test_fold_chain_rejects_mismatched_eps(self):
+        with pytest.raises(ValueError, match="prune_eps"):
+            fold_chain(PMF.delta(0), [], prune_eps=1e-6,
+                       folder=ChainFolder(prune_eps=1e-12))
+
+
+class TestMemo:
+    def test_identical_inputs_hit_the_memo(self):
+        folder = ChainFolder()
+        prev = PMF(0, [0.5, 0.5])
+        exec_pmf = PMF(3, [0.25, 0.75])
+        first = folder.fold(prev, exec_pmf, 20)
+        hits = folder.memo_hits
+        second = folder.fold(prev, exec_pmf, 20)
+        assert second is first
+        assert folder.memo_hits == hits + 1
+
+    def test_different_deadline_misses(self):
+        folder = ChainFolder()
+        prev = PMF(0, [0.5, 0.5])
+        exec_pmf = PMF(3, [0.25, 0.75])
+        folder.fold(prev, exec_pmf, 20)
+        hits = folder.memo_hits
+        folder.fold(prev, exec_pmf, 21)
+        assert folder.memo_hits == hits
+
+    def test_chance_memo_matches_mass_before(self):
+        folder = ChainFolder()
+        pmf = PMF(5, [0.25, 0.5, 0.25])
+        for deadline in (4, 5, 6, 7, 9, 6):
+            assert folder.chance(pmf, deadline) == pmf.mass_before(deadline)
+
+
+class TestActiveFolder:
+    def test_completion_pmf_routes_through_installed_folder(self):
+        folder = ChainFolder()
+        prev = PMF(0, [0.5, 0.5])
+        exec_pmf = PMF(3, [0.25, 0.75])
+        with active_folder(folder):
+            first = completion_pmf(prev, exec_pmf, 20)
+            second = completion_pmf(prev, exec_pmf, 20)
+        assert second is first
+        assert folder.memo_hits >= 1
+        # Outside the block the plain path is back (fresh objects).
+        third = completion_pmf(prev, exec_pmf, 20)
+        assert third is not first
+        assert third.identical(first)
+
+    def test_none_shields_from_outer_folder(self):
+        outer = ChainFolder()
+        prev = PMF(0, [0.5, 0.5])
+        exec_pmf = PMF(3, [0.25, 0.75])
+        with active_folder(outer):
+            with active_folder(None):
+                completion_pmf(prev, exec_pmf, 20)
+                completion_pmf(prev, exec_pmf, 20)
+            assert outer.memo_hits == 0
+
+    def test_mismatched_eps_bypasses_folder(self):
+        folder = ChainFolder(prune_eps=1e-12)
+        prev = PMF(0, [0.5, 0.5])
+        exec_pmf = PMF(3, [0.25, 0.75])
+        with active_folder(folder):
+            completion_pmf(prev, exec_pmf, 20, prune_eps=1e-6)
+            completion_pmf(prev, exec_pmf, 20, prune_eps=1e-6)
+        assert folder.memo_hits == 0
+
+    def test_chance_of_success_routes_through_folder(self):
+        folder = ChainFolder()
+        pmf = PMF(5, [0.25, 0.5, 0.25])
+        with active_folder(folder):
+            assert chance_of_success(pmf, 7) == pmf.mass_before(7)
+        assert chance_of_success(pmf, 7) == pmf.mass_before(7)

@@ -1,0 +1,180 @@
+"""Hash-consing (interning) semantics of the PMF type.
+
+Interning must never change a value -- only unify bitwise-identical
+*published* PMFs into one canonical object.  These tests pin the
+publication boundaries (public constructors, unpickling), the uniqueness of
+the zero-mass singleton, the edge cases called out for the incremental
+caches (sub-probability recombination, conditioning at/after the support
+end) and the ``REPRO_NO_INTERN`` escape hatch.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.pmf import (EMPTY_PMF, PMF, intern_stats, intern_table_size,
+                            interning_enabled)
+
+
+class TestConstructorInterning:
+    def test_public_constructor_interns(self):
+        a = PMF(5, [0.25, 0.5, 0.25])
+        b = PMF(5, [0.25, 0.5, 0.25])
+        assert a is b
+
+    def test_trim_canonicalises_before_interning(self):
+        a = PMF(5, [0.25, 0.5, 0.25])
+        b = PMF(4, [0.0, 0.25, 0.5, 0.25, 0.0])
+        assert a is b
+
+    def test_different_origin_not_unified(self):
+        assert PMF(5, [0.5, 0.5]) is not PMF(6, [0.5, 0.5])
+
+    def test_delta_interned(self):
+        assert PMF.delta(17) is PMF.delta(17)
+        assert PMF.delta(17) is not PMF.delta(18)
+
+    def test_from_impulses_interned(self):
+        a = PMF.from_impulses([3, 5], [0.5, 0.5])
+        b = PMF(3, [0.5, 0.0, 0.5])
+        assert a is b
+
+    def test_stats_count_hits(self):
+        before = intern_stats()
+        probs = np.full(7, 1.0 / 7)
+        first = PMF(123456, probs)
+        mid = intern_stats()
+        assert mid["interned"] == before["interned"] + 1
+        second = PMF(123456, probs)
+        after = intern_stats()
+        assert second is first
+        assert after["intern_hits"] == mid["intern_hits"] + 1
+
+    def test_interning_enabled_by_default(self):
+        assert interning_enabled()
+        held = PMF(31, [0.5, 0.5])  # weak table: hold a live reference
+        assert intern_table_size() > 0
+        assert held is PMF(31, [0.5, 0.5])
+
+    def test_generator_input_streams_without_list_roundtrip(self):
+        g = PMF(0, (x for x in [0.0, 0.25, 0.25, 0.0]))
+        assert g.origin == 1
+        assert g.probs.tolist() == [0.25, 0.25]
+        assert g is PMF(1, [0.25, 0.25])
+
+    def test_nested_list_still_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            PMF(0, [[0.1], [0.2]])
+
+
+class TestEmptySingleton:
+    def test_unique_zero_mass_instance(self):
+        assert PMF.empty() is EMPTY_PMF
+        assert PMF(0, []) is EMPTY_PMF
+        assert PMF(99, np.zeros(4)) is EMPTY_PMF
+
+    def test_structural_ops_return_the_singleton(self):
+        a = PMF(5, [0.5, 0.5])
+        lo, hi = a.split_at(5)
+        assert lo is EMPTY_PMF
+        assert a.scaled(0.0) is EMPTY_PMF
+        assert EMPTY_PMF.convolve(a) is EMPTY_PMF
+
+    def test_empty_is_add_identity(self):
+        a = PMF(5, [0.5, 0.5])
+        assert a.add(EMPTY_PMF) is a
+        assert EMPTY_PMF.add(a) is a
+
+    def test_empty_pickles_to_the_singleton(self):
+        assert pickle.loads(pickle.dumps(EMPTY_PMF)) is EMPTY_PMF
+
+
+class TestSubProbabilityRecombination:
+    def test_split_add_recombines_bitwise(self):
+        a = PMF(3, [0.125, 0.25, 0.375, 0.25])
+        for t in range(2, 9):
+            lo, hi = a.split_at(t)
+            back = lo.add(hi)
+            assert back.identical(a)
+            assert back.origin == a.origin
+            assert np.array_equal(back.probs, a.probs)
+
+    def test_scaled_halves_recombine_to_original_mass(self):
+        a = PMF(3, [0.25, 0.5, 0.25])
+        half = a.scaled(0.5)
+        both = half.add(half)
+        assert both.identical(a) or abs(both.total_mass - 1.0) < 1e-12
+
+
+class TestConditioningEdges:
+    def test_before_support_returns_self(self):
+        a = PMF(10, [0.5, 0.25, 0.25])
+        assert a.conditional_at_least(10) is a
+        assert a.conditional_at_least(3) is a
+
+    def test_at_support_end(self):
+        a = PMF(10, [0.5, 0.25, 0.25])
+        tail = a.conditional_at_least(a.max_time)
+        assert tail.min_time == a.max_time
+        assert tail.total_mass == pytest.approx(a.total_mass)
+
+    def test_after_support_end_degenerates_to_delta(self):
+        a = PMF(10, [0.5, 0.25, 0.25])
+        t = a.max_time + 5
+        degenerate = a.conditional_at_least(t)
+        assert degenerate.min_time == degenerate.max_time == t
+        assert degenerate.total_mass == pytest.approx(a.total_mass)
+
+    def test_after_support_end_subprobability(self):
+        sub = PMF(10, [0.25, 0.25])  # total mass 0.5
+        degenerate = sub.conditional_at_least(20)
+        assert degenerate.min_time == 20
+        assert degenerate.total_mass == pytest.approx(0.5)
+
+
+class TestPickling:
+    def test_roundtrip_reinterns_to_same_object(self):
+        a = PMF(7, [0.5, 0.25, 0.25])
+        assert pickle.loads(pickle.dumps(a)) is a
+
+    def test_transient_unpickles_to_one_canonical_instance(self):
+        a = PMF(7, [0.5, 0.25, 0.25])
+        transient = a.shift(3)  # structural intermediates are not interned
+        blob = pickle.dumps(transient)
+        first = pickle.loads(blob)
+        second = pickle.loads(blob)
+        assert first is second
+        assert first.identical(transient)
+
+    def test_values_survive_roundtrip(self):
+        a = PMF(3, [0.125, 0.25, 0.375, 0.25]).scaled(0.5)
+        back = pickle.loads(pickle.dumps(a))
+        assert back.identical(a)
+
+
+def test_repro_no_intern_escape_hatch():
+    """``REPRO_NO_INTERN=1`` disables the table but keeps the semantics."""
+    code = (
+        "from repro.core.pmf import PMF, EMPTY_PMF, interning_enabled\n"
+        "assert not interning_enabled()\n"
+        "a = PMF(5, [0.5, 0.5]); b = PMF(5, [0.5, 0.5])\n"
+        "assert a is not b\n"
+        "assert a.identical(b)\n"
+        "assert PMF.empty() is EMPTY_PMF\n"
+        "import pickle\n"
+        "assert pickle.loads(pickle.dumps(a)).identical(a)\n"
+        "print('ok')\n"
+    )
+    env = dict(os.environ, REPRO_NO_INTERN="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"),
+                    os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+        if p)
+    result = subprocess.run([sys.executable, "-c", code], env=env,
+                            capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+    assert "ok" in result.stdout

@@ -1,0 +1,114 @@
+"""Persistent-pool sweep execution and cross-process PMF identity.
+
+The ``TrialPool`` executor must produce metrics identical to the sequential
+path (trials cross a process boundary, so this exercises scenario shipping
+through the pool initializer and PMF re-interning on unpickle), stream
+per-cell results as they complete, and keep grid order in the returned
+structures.
+"""
+
+import pickle
+
+import pytest
+
+from repro.api import Simulation
+from repro.experiments.runner import (TrialPool, TrialSpec,
+                                      build_scenario_for_spec, run_trial,
+                                      run_trials, scenario_key)
+
+SCALE = 0.002  # ~40-60 tasks: heavily oversubscribed yet fast
+
+
+def _spec(mapper="PAM", dropper="react", seed=42, **kwargs):
+    return TrialSpec(scenario_name="spec", level="30k", scale=SCALE,
+                     gamma=1.0, queue_capacity=6, seed=seed,
+                     mapper_name=mapper, dropper_name=dropper, **kwargs)
+
+
+class TestScenarioSharing:
+    def test_key_ignores_mapper_and_dropper(self):
+        assert scenario_key(_spec("PAM", "react")) == scenario_key(
+            _spec("MM", "heuristic"))
+        assert scenario_key(_spec(seed=42)) != scenario_key(_spec(seed=43))
+
+    def test_run_trial_with_prebuilt_scenario_matches(self):
+        spec = _spec()
+        scenario = build_scenario_for_spec(spec)
+        assert run_trial(spec, scenario=scenario) == run_trial(spec)
+
+    def test_scenario_reuse_across_trials_is_stateless(self):
+        spec = _spec()
+        scenario = build_scenario_for_spec(spec)
+        first = run_trial(spec, scenario=scenario)
+        second = run_trial(spec, scenario=scenario)
+        assert first == second
+
+    def test_pool_deduplicates_scenarios(self):
+        specs = [_spec("PAM", "react"), _spec("MM", "react"),
+                 _spec("PAM", "heuristic"), _spec("PAM", "react", seed=43)]
+        with TrialPool(2, specs) as pool:
+            assert len(pool.scenarios) == 2  # seeds 42 and 43
+
+
+class TestTrialPool:
+    def test_pool_matches_sequential(self):
+        specs = [_spec(seed=42), _spec(seed=43), _spec("MM", seed=42)]
+        sequential = run_trials(specs, n_jobs=1)
+        with TrialPool(2, specs) as pool:
+            pooled = pool.run_trials(specs)
+        assert pooled == sequential
+
+    def test_run_cells_streams_and_keeps_grid_order(self):
+        cells = [[_spec(seed=42)], [_spec("MM", seed=42), _spec("MM", seed=43)]]
+        seen = []
+        with TrialPool(2, [s for cell in cells for s in cell]) as pool:
+            results = pool.run_cells(cells,
+                                     on_cell=lambda i, m: seen.append(i))
+        assert sorted(seen) == [0, 1]
+        assert len(results) == 2
+        assert len(results[0]) == 1 and len(results[1]) == 2
+        assert results[0][0] == run_trial(cells[0][0])
+
+    def test_interned_pmfs_pickle_through_workers(self):
+        """The satellite case: interned scenario PMFs cross the boundary."""
+        spec = _spec(dropper="heuristic")
+        scenario = build_scenario_for_spec(spec)
+        pet_pmf = scenario.pet.pmf(0, 0)
+        # Within this process the scenario's PMFs are interned canonical
+        # instances; a pickle round-trip must resolve to the same objects.
+        assert pickle.loads(pickle.dumps(pet_pmf)) is pet_pmf
+        # And the worker processes must reproduce sequential results exactly
+        # even though each of them re-interns the shipped scenario afresh.
+        specs = [spec, _spec(dropper="heuristic", seed=43)]
+        assert run_trials(specs, n_jobs=2) == run_trials(specs, n_jobs=1)
+
+
+class TestSweepIntegration:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return Simulation.scenario("spec").scale(SCALE).trials(2, base_seed=42)
+
+    def test_parallel_sweep_matches_sequential(self, base):
+        grid = {"mapper": ["PAM", "MM"], "dropper": ["react"]}
+        sequential = base.sweep(**grid)
+        parallel = base.parallel(2).sweep(**grid)
+        assert [r.label for r in sequential] == [r.label for r in parallel]
+        for s, p in zip(sequential, parallel):
+            assert s.trials == p.trials
+
+    def test_sweep_streams_results(self, base):
+        streamed = []
+        result = base.parallel(2).sweep(
+            on_result=streamed.append, mapper=["PAM", "MM"],
+            dropper=["react"])
+        assert sorted(r.label for r in streamed) == sorted(
+            r.label for r in result)
+
+    def test_sweep_perf_counters_populated(self, base):
+        result = base.parallel(2).sweep(mapper=["PAM"], dropper=["react",
+                                                                 "heuristic"])
+        perf = result.perf
+        assert perf is not None
+        assert perf.pmf_folds > 0
+        assert perf.interned > 0
+        assert "interned" in result.to_dict()["perf"]
