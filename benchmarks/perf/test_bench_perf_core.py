@@ -25,6 +25,7 @@ def test_perf_benchmark_smoke(tmp_path):
 
     assert payload["benchmark"] == "core"
     assert len(payload["scenarios"]) == len(BENCH_CASES)
+    assert any(e["compare"] == "scoring" for e in payload["scenarios"])
     for entry in payload["scenarios"]:
         # run_perf_benchmark raises on divergence; the flag records it.
         assert entry["metrics_equal"] is True
@@ -33,12 +34,21 @@ def test_perf_benchmark_smoke(tmp_path):
         perf = entry["incremental_perf"]
         assert perf["pmf_folds"] > 0
         assert perf["tail_cache_hits"] + perf["tail_cache_extends"] > 0
-        # The incremental path must actually fold less than the naive one.
-        assert perf["pmf_folds"] < entry["naive_perf"]["pmf_folds"]
+        if entry["compare"] == "incremental":
+            # The incremental path must fold less than the naive one.
+            assert perf["pmf_folds"] < entry["naive_perf"]["pmf_folds"]
+        else:
+            # Scoring cases compare loop vs vector, both incremental: the
+            # fold arithmetic is shared, only the plane bookkeeping
+            # differs.  The backends count plane work differently, so
+            # identical counts would mean the loop ran both sides.
+            assert entry["compare"] == "scoring"
+            assert perf["pmf_folds"] == entry["naive_perf"]["pmf_folds"]
+            assert perf["plane_evals"] != entry["naive_perf"]["plane_evals"]
         # The intern-table / fold-kernel counters ride along in the payload.
         assert perf["interned"] > 0
         assert "intern_hits" in perf and "scratch_reuses" in perf
-        assert "fold_memo_hits" in perf
+        assert "fold_memo_hits" in perf and "plane_rounds" in perf
     assert payload["min_speedup"] <= payload["geomean_speedup"] <= payload["max_speedup"]
 
     table = format_bench_table(payload)
@@ -53,12 +63,36 @@ def test_perf_benchmark_smoke(tmp_path):
 
     # Baseline comparison against the payload itself never regresses; a
     # doctored slow baseline is beaten outright.
-    comparison = compare_to_baseline(payload, payload, max_regression=0.1)
+    comparison = compare_to_baseline(payload, payload, max_regression=0.1,
+                                     max_regression_case=0.25)
     assert not comparison["regressed"]
+    assert not comparison["regressed_cases"]
+    assert len(comparison["cases"]) == len(BENCH_CASES)
     assert "ok" in format_baseline_comparison(comparison)
     slow = dict(payload)
     slow["geomean_speedup"] = payload["geomean_speedup"] * 10.0
     assert compare_to_baseline(payload, slow, max_regression=0.1)["regressed"]
+
+    # Per-case detection: doctor one baseline case to be 10x faster; the
+    # geomean gate would miss it, the per-case gate must flag it by name.
+    doctored = json.loads(json.dumps(payload))
+    doctored["scenarios"][0]["speedup"] *= 10.0
+    case_name = doctored["scenarios"][0]["name"]
+    per_case = compare_to_baseline(payload, doctored, max_regression=0.9,
+                                   max_regression_case=0.25)
+    assert not per_case["geomean_regressed"]
+    assert per_case["regressed"] and per_case["regressed_cases"] == [case_name]
+    assert case_name in format_baseline_comparison(per_case)
+    # Without the per-case threshold the doctored case passes unnoticed.
+    lax = compare_to_baseline(payload, doctored, max_regression=0.9)
+    assert not lax["regressed"] and lax["regressed_cases"] == []
+    # Cases present on one side only are reported, never flagged.
+    subset = json.loads(json.dumps(payload))
+    subset["scenarios"] = subset["scenarios"][1:]
+    partial = compare_to_baseline(subset, payload, max_regression=0.9,
+                                  max_regression_case=0.25)
+    assert partial["missing_cases"] == [case_name]
+    assert not partial["regressed"]
 
 
 def test_sweep_benchmark_smoke(tmp_path):

@@ -77,6 +77,7 @@ class Simulation:
     cost_enabled: bool = False
     confidence_value: float = 0.95
     incremental_enabled: bool = True
+    scoring_backend: str = "vector"
 
     # ------------------------------------------------------------------
     # Construction
@@ -208,6 +209,22 @@ class Simulation:
         """
         return replace(self, incremental_enabled=bool(enabled))
 
+    def scoring(self, backend: str = "vector") -> "Simulation":
+        """Select the two-phase score-plane backend (``"loop"``/``"vector"``).
+
+        ``"vector"`` (default) evaluates each mapping round's
+        (task x machine) score plane through the batched NumPy engine;
+        ``"loop"`` keeps the per-pair reference loop.  Assignments -- and
+        therefore all metrics -- are identical either way (the vector
+        backend's tie-break columns reproduce the loop's pick order
+        bit-for-bit), so like :meth:`incremental` this is a performance
+        switch kept switchable for equivalence testing and benchmarking.
+        """
+        if backend not in ("loop", "vector"):
+            raise ValueError(f"unknown scoring backend {backend!r}; "
+                             "expected 'loop' or 'vector'")
+        return replace(self, scoring_backend=backend)
+
     def confidence(self, confidence: float) -> "Simulation":
         """Set the confidence level of aggregated intervals."""
         if not 0.0 < confidence < 1.0:
@@ -241,7 +258,8 @@ class Simulation:
                       scenario_params=self.scenario_params,
                       batch_window=self.batch_window_value,
                       with_cost=self.cost_enabled,
-                      incremental=self.incremental_enabled)
+                      incremental=self.incremental_enabled,
+                      scoring=self.scoring_backend)
             for k in range(self.num_trials))
 
     def describe_config(self) -> Dict[str, Any]:
@@ -261,6 +279,8 @@ class Simulation:
         }
         if not self.incremental_enabled:
             config["incremental"] = False
+        if self.scoring_backend != "vector":
+            config["scoring"] = self.scoring_backend
         if self.mapper_params:
             config["mapper_params"] = dict(self.mapper_params)
         if self.dropper_params:

@@ -79,6 +79,7 @@ __all__ = [
     "active_folder",
     "completion_pmf",
     "fold_chain",
+    "batched_append_scores",
     "queue_completion_pmfs",
     "queue_completion_with_drops",
     "chance_of_success",
@@ -216,7 +217,7 @@ class ChainFolder:
     """
 
     __slots__ = ("prune_eps", "memo_limit", "memo_hits", "scratch_reuses",
-                 "_memo", "_scratch", "_rev", "_chance_memo",
+                 "_memo", "_scratch", "_rev", "_chance_memo", "_mean_memo",
                  "_probe_interns", "_pub_probes", "_pub_hits",
                  "_memo_active", "_memo_probes")
 
@@ -247,6 +248,10 @@ class ChainFolder:
         #: heuristic queries the same chance of success for the same chain
         #: PMF many times while re-walking influence zones.
         self._chance_memo: Dict[Tuple[int, int], Tuple[PMF, float]] = {}
+        #: id(pmf) -> (pmf, mean); the mapping score plane asks for the
+        #: expected completion of the same (memoised, identity-stable)
+        #: appended PMFs over and over across machines and rounds.
+        self._mean_memo: Dict[int, Tuple[PMF, float]] = {}
         self._probe_interns = bool(intern_publications) and _INTERNING
         self._pub_probes = 0
         self._pub_hits = 0
@@ -303,7 +308,25 @@ class ChainFolder:
         deadline = int(deadline)
         if not self._memo_active:
             return _fold(prev, exec_pmf, deadline, self.prune_eps, self)
-        key = (id(prev), id(exec_pmf), deadline)
+        # The fold only reads the deadline through ``k = deadline - origin``
+        # clamped to the predecessor's support: every deadline at or beyond
+        # the support end produces the *same* plain convolution, and every
+        # deadline at or before the origin the same pass-through.  Clamping
+        # the memo key unifies those entries, so e.g. same-type candidates
+        # whose (distinct) deadlines all clear the queue tail share one
+        # memoised fold.
+        key_deadline = deadline
+        if not prev.is_empty:
+            origin = prev.origin
+            if deadline <= origin:
+                key_deadline = origin
+            else:
+                support_end = origin + prev.probs.size
+                if deadline >= support_end:
+                    key_deadline = support_end
+        else:
+            key_deadline = 0
+        key = (id(prev), id(exec_pmf), key_deadline)
         hit = self._memo.get(key)
         if hit is not None and hit[0] is prev and hit[1] is exec_pmf:
             self.memo_hits += 1
@@ -336,6 +359,18 @@ class ChainFolder:
         if len(self._chance_memo) >= self.memo_limit:
             self._evict_oldest(self._chance_memo)
         self._chance_memo[key] = (pmf, value)
+        return value
+
+    def mean(self, pmf: PMF) -> float:
+        """Memoised ``pmf.mean()`` for identity-stable chain PMFs."""
+        key = id(pmf)
+        hit = self._mean_memo.get(key)
+        if hit is not None and hit[0] is pmf:
+            return hit[1]
+        value = pmf.mean()
+        if len(self._mean_memo) >= self.memo_limit:
+            self._evict_oldest(self._mean_memo)
+        self._mean_memo[key] = (pmf, value)
         return value
 
     def fold_chain(self, base: PMF, entries: Sequence[QueueEntry]) -> List[PMF]:
@@ -408,6 +443,52 @@ def completion_pmf(prev_completion: PMF, exec_pmf: PMF, deadline: int,
     if folder is not None and folder.prune_eps == prune_eps:
         return folder.fold(prev_completion, exec_pmf, deadline)
     return _fold(prev_completion, exec_pmf, int(deadline), prune_eps, None)
+
+
+def batched_append_scores(prev: PMF, exec_pmfs: Sequence[PMF],
+                          deadlines: Sequence[int],
+                          prune_eps: float = 1e-12,
+                          folder: Optional[ChainFolder] = None,
+                          want_mean: bool = True,
+                          want_chance: bool = False,
+                          ) -> Tuple[List[PMF], Optional[np.ndarray],
+                                     Optional[np.ndarray]]:
+    """Fold a *stack* of candidates onto one tail and score each of them.
+
+    This is the score-plane kernel behind the vectorised mapping backend
+    (:mod:`repro.mapping.kernel`): one call evaluates a whole column of the
+    (task x machine) plane -- every candidate task appended to the same
+    machine tail -- and writes the requested scalar scores straight into
+    NumPy arrays, with none of the per-pair tuple/closure overhead of the
+    per-call path.
+
+    Each element performs exactly the arithmetic of
+    :func:`completion_pmf` followed by :meth:`PMF.mean` /
+    :meth:`PMF.mass_before`, in the same order, so every returned score is
+    bit-identical to what the scalar path computes for the same pair.  With
+    ``folder`` the folds share the run's memo and scratch buffers.
+
+    Returns ``(pmfs, means, chances)``; ``means`` / ``chances`` are ``None``
+    unless requested.
+    """
+    n = len(exec_pmfs)
+    pmfs: List[PMF] = [None] * n  # type: ignore[list-item]
+    means = np.empty(n, dtype=np.float64) if want_mean else None
+    chances = np.empty(n, dtype=np.float64) if want_chance else None
+    for i in range(n):
+        deadline = int(deadlines[i])
+        if folder is not None:
+            pmf = folder.fold(prev, exec_pmfs[i], deadline)
+        else:
+            pmf = _fold(prev, exec_pmfs[i], deadline, prune_eps, None)
+        pmfs[i] = pmf
+        if means is not None:
+            means[i] = (folder.mean(pmf) if folder is not None
+                        else pmf.mean())
+        if chances is not None:
+            chances[i] = (folder.chance(pmf, deadline) if folder is not None
+                          else pmf.mass_before(deadline))
+    return pmfs, means, chances
 
 
 def chance_of_success(completion: PMF, deadline: int) -> float:

@@ -22,10 +22,12 @@ harness and the generic fluent-API runner:
 
 * ``bench`` runs a perf suite: ``--suite core`` times the simulation
   core's incremental machinery against the naive recomputation on pinned
-  oversubscribed scenarios (optionally gating on a committed baseline via
-  ``--baseline``/``--max-regression``/``--warn-only``); ``--suite sweep``
-  times the persistent-pool sweep executor and records multi-process
-  throughput::
+  oversubscribed scenarios, plus the vectorised score-plane backend
+  against the reference loop on the pinned mapping cases (optionally
+  gating on a committed baseline via ``--baseline``/``--max-regression``
+  with per-case detection via ``--max-regression-case``, softened by
+  ``--warn-only``); ``--suite sweep`` times the persistent-pool sweep
+  executor and records multi-process throughput::
 
       python -m repro bench --suite core --scale 0.05 --trials 2 \
           --output benchmarks/perf/BENCH_core.json
@@ -133,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trials", type=int, default=2,
                        help="trials per benchmark case / grid cell "
                             "(default 2)")
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="timed repetitions per (case, seed, side); the "
+                            "minimum is recorded (core suite; use 3 for "
+                            "committed payloads, default 1)")
     bench.add_argument("--seed", type=int, default=42,
                        help="base random seed (default 42)")
     bench.add_argument("--jobs", type=int, default=2,
@@ -148,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="allowed geomean-speedup regression vs the "
                             "baseline, in percent (default 10)")
+    bench.add_argument("--max-regression-case", type=float, default=25.0,
+                       metavar="PCT",
+                       help="allowed per-case speedup regression vs the "
+                            "baseline, in percent (default 25; cases are "
+                            "noisier than the geomean); offending cases "
+                            "are listed in the exit-3 report")
     bench.add_argument("--warn-only", action="store_true",
                        help="report a baseline regression without failing "
                             "(exit code stays 0)")
@@ -279,20 +291,21 @@ def _command_bench(args: argparse.Namespace) -> int:
             raise ValueError("--baseline applies to the core suite only")
         if args.case:
             raise ValueError("--case applies to the core suite only")
-    elif args.baseline and args.case:
-        # A case subset's geomean is not comparable to the committed
-        # full-suite baseline geomean; comparing them would report phantom
-        # regressions (or mask real ones).
-        raise ValueError("--baseline compares the full-suite geomean; "
-                         "run it without --case")
         payload = run_sweep_benchmark(
             scale=args.scale if args.scale is not None else 0.02,
             trials=args.trials, n_jobs=args.jobs, base_seed=args.seed)
         formatted = format_sweep_table(payload)
     else:
+        if args.baseline and args.case:
+            # A case subset's geomean is not comparable to the committed
+            # full-suite baseline geomean; comparing them would report
+            # phantom regressions (or mask real ones).
+            raise ValueError("--baseline compares the full-suite geomean; "
+                             "run it without --case")
         payload = run_perf_benchmark(
             scale=args.scale if args.scale is not None else 0.05,
-            trials=args.trials, base_seed=args.seed, names=args.case)
+            trials=args.trials, base_seed=args.seed, names=args.case,
+            repeats=args.repeats)
         formatted = format_bench_table(payload)
     print(_json.dumps(payload, indent=2, sort_keys=True) if args.json
           else formatted)
@@ -303,7 +316,8 @@ def _command_bench(args: argparse.Namespace) -> int:
         with open(args.baseline, encoding="utf-8") as handle:
             baseline = _json.load(handle)
         comparison = compare_to_baseline(
-            payload, baseline, max_regression=args.max_regression / 100.0)
+            payload, baseline, max_regression=args.max_regression / 100.0,
+            max_regression_case=args.max_regression_case / 100.0)
         print(format_baseline_comparison(comparison), file=sys.stderr)
         if comparison["regressed"] and not args.warn_only:
             return 3

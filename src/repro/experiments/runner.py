@@ -7,12 +7,13 @@ trials can optionally be fanned out across worker processes
 scenario, builds the system, runs it and returns the collected metrics.
 
 :class:`TrialPool` is the persistent-pool sweep executor: it keeps worker
-processes warm across the grid cells of :meth:`Simulation.sweep`, ships the
-(deduplicated) scenarios -- platform, PET tables, task streams -- to every
-worker exactly once through the pool initializer instead of rebuilding them
-per trial, and streams per-cell results back as they complete.  PMFs
-re-intern themselves on unpickling (``PMF.__reduce__``), so the identity
-keys of the simulator's caches survive the process boundary.
+processes warm across the grid cells of :meth:`Simulation.sweep`, shards
+the (deduplicated) scenarios -- platform, PET tables, task streams --
+across its workers so each shard's initializer ships only the scenarios
+its assigned trials need (instead of the whole table to every worker),
+and streams per-cell results back as they complete.  PMFs re-intern
+themselves on unpickling (``PMF.__reduce__``), so the identity keys of the
+simulator's caches survive the process boundary.
 """
 
 from __future__ import annotations
@@ -95,6 +96,10 @@ class TrialSpec:
         simulation core's incremental completion-PMF caches (default) or
         forces the naive full recomputation (used by the equivalence tests
         and the ``repro bench`` harness).
+    scoring:
+        Forwarded to :class:`~repro.sim.system.SystemConfig`: score-plane
+        backend of the two-phase mapping heuristics (``"vector"`` batched
+        NumPy engine, ``"loop"`` per-pair reference; identical results).
     """
 
     scenario_name: str
@@ -111,6 +116,7 @@ class TrialSpec:
     mapper_params: Tuple[Tuple[str, object], ...] = ()
     scenario_params: Tuple[Tuple[str, object], ...] = ()
     incremental: bool = True
+    scoring: str = "vector"
 
     @property
     def dropper_kwargs(self) -> Dict[str, float]:
@@ -153,7 +159,8 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
     dropper = make_dropper(spec.dropper_name, **spec.dropper_kwargs)
     config = SystemConfig(queue_capacity=spec.queue_capacity,
                           batch_window=spec.batch_window,
-                          incremental=spec.incremental)
+                          incremental=spec.incremental,
+                          scoring=spec.scoring)
     system = HCSystem(machine_types=list(scenario.platform.machine_types),
                       machines=scenario.build_machines(),
                       task_types=list(scenario.task_types),
@@ -189,6 +196,11 @@ def build_scenario_for_spec(spec: TrialSpec) -> Scenario:
 #: initializer, keyed by :func:`scenario_key`.
 _WORKER_SCENARIOS: Dict[Tuple, Scenario] = {}
 
+#: True in processes initialised as pool workers; gates the lazy caching of
+#: fallback-built scenarios (the parent process must not accumulate them --
+#: its sweep paths manage scenario lifetime explicitly).
+_IN_POOL_WORKER = False
+
 
 def _pool_initializer(scenarios: Dict[Tuple, Scenario]) -> None:
     """Install the pre-built scenario table in a worker process.
@@ -197,6 +209,8 @@ def _pool_initializer(scenarios: Dict[Tuple, Scenario]) -> None:
     process boundary exactly once here instead of once per trial.  PMF
     unpickling re-interns, so every worker ends up with canonical PMFs.
     """
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
     _WORKER_SCENARIOS.clear()
     _WORKER_SCENARIOS.update(scenarios)
 
@@ -214,9 +228,14 @@ def run_trial(spec: TrialSpec,
     one across trials cannot leak state between them.
     """
     if scenario is None:
-        scenario = _WORKER_SCENARIOS.get(scenario_key(spec))
-    if scenario is None:
-        scenario = build_scenario_for_spec(spec)
+        key = scenario_key(spec)
+        scenario = _WORKER_SCENARIOS.get(key)
+        if scenario is None:
+            scenario = build_scenario_for_spec(spec)
+            if _IN_POOL_WORKER:
+                # Spill-path trials (scenario unknown to the pool's shard
+                # tables) build lazily on first use, once per worker.
+                _WORKER_SCENARIOS[key] = scenario
     # The execution-time sampling stream is decoupled from the workload
     # generation stream so that two configurations sharing a seed see the
     # same arrivals and deadlines.
@@ -287,16 +306,24 @@ def _pool_chunksize(num_specs: int, workers: int, waves: int = 4) -> int:
 
 
 class TrialPool:
-    """Persistent worker pool reused across sweep grid cells.
+    """Persistent, scenario-sharded worker pool reused across sweep cells.
 
     ``run_trials`` spins a fresh ``ProcessPoolExecutor`` up (and back down)
     per call, which a grid sweep would pay once per cell; a ``TrialPool``
     keeps the workers warm for its whole lifetime.  The constructor
     de-duplicates the scenarios behind ``specs`` (cells sharing seeds share
-    scenarios), builds each distinct one once in the parent, and ships the
-    table to every worker through the pool initializer -- after that, a
-    trial crossing the process boundary is a few hundred bytes of
-    :class:`TrialSpec`.
+    scenarios) and builds each distinct one once in the parent.
+
+    Scenario shipping is *sharded*: instead of sending the whole table to
+    every worker, the scenario groups (and the trials keyed to them) are
+    partitioned across worker shards balanced by trial count, and each
+    shard's initializer ships only the scenarios its workers will actually
+    run.  A paper-scale grid with many distinct ``(level, seed)`` cells
+    therefore ships each scenario to one shard instead of ``n_jobs``
+    times.  Trials of one scenario group always run on their group's
+    shard; trials whose scenario is unknown (not in ``specs``) are
+    spread round-robin and their workers rebuild the scenario from the
+    spec on first use.
 
     Use as a context manager::
 
@@ -307,15 +334,56 @@ class TrialPool:
     def __init__(self, n_jobs: int, specs: Sequence[TrialSpec] = ()):
         if n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
+        self.n_jobs = int(n_jobs)
         self.scenarios: Dict[Tuple, Scenario] = {}
+        trials_per_key: Dict[Tuple, int] = {}
         for spec in specs:
             key = scenario_key(spec)
             if key not in self.scenarios:
                 self.scenarios[key] = build_scenario_for_spec(spec)
-        self._pool = ProcessPoolExecutor(
-            max_workers=int(n_jobs),
-            initializer=_pool_initializer,
-            initargs=(self.scenarios,))
+            trials_per_key[key] = trials_per_key.get(key, 0) + 1
+
+        # Partition the scenario groups across shards, heaviest group
+        # first onto the least-loaded shard (longest-processing-time).
+        n_shards = max(1, min(self.n_jobs, len(trials_per_key)))
+        shard_keys: List[List[Tuple]] = [[] for _ in range(n_shards)]
+        shard_load = [0] * n_shards
+        for key in sorted(trials_per_key,
+                          key=lambda k: trials_per_key[k], reverse=True):
+            idx = min(range(n_shards), key=shard_load.__getitem__)
+            shard_keys[idx].append(key)
+            shard_load[idx] += trials_per_key[key]
+        # Distribute the workers proportionally to shard load (>= 1 each),
+        # so few-scenario/many-trial grids keep their intra-cell
+        # parallelism.
+        workers = [1] * n_shards
+        for _ in range(self.n_jobs - n_shards):
+            idx = max(range(n_shards),
+                      key=lambda s: shard_load[s] / workers[s])
+            workers[idx] += 1
+
+        #: Per-shard scenario sub-tables actually shipped (tests assert the
+        #: shipping stays bounded); their union is :attr:`scenarios`.
+        self.shard_tables: Tuple[Dict[Tuple, Scenario], ...] = tuple(
+            {key: self.scenarios[key] for key in keys} for keys in shard_keys)
+        #: Worker processes per shard (sums to ``n_jobs``).
+        self.shard_workers: Tuple[int, ...] = tuple(workers)
+        self._shard_of = {key: idx for idx, keys in enumerate(shard_keys)
+                          for key in keys}
+        self._pools = [
+            ProcessPoolExecutor(max_workers=count,
+                                initializer=_pool_initializer,
+                                initargs=(table,))
+            for count, table in zip(self.shard_workers, self.shard_tables)]
+        self._spill = 0
+
+    def _pool_for(self, spec: TrialSpec) -> ProcessPoolExecutor:
+        """Executor of the shard owning the spec's scenario group."""
+        idx = self._shard_of.get(scenario_key(spec))
+        if idx is None:
+            idx = self._spill % len(self._pools)
+            self._spill += 1
+        return self._pools[idx]
 
     # ------------------------------------------------------------------
     def run_cells(self, cells: Sequence[Sequence[TrialSpec]],
@@ -331,7 +399,7 @@ class TrialPool:
         futures = {}
         for ci, cell in enumerate(cells):
             for ti, spec in enumerate(cell):
-                futures[self._pool.submit(run_trial, spec)] = (ci, ti)
+                futures[self._pool_for(spec).submit(run_trial, spec)] = (ci, ti)
         results: List[List[Optional[TrialMetrics]]] = [
             [None] * len(cell) for cell in cells]
         remaining = [len(cell) for cell in cells]
@@ -348,7 +416,7 @@ class TrialPool:
         except BaseException:
             for future in pending:
                 future.cancel()
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._shutdown(wait=False, cancel_futures=True)
             raise
         return results
 
@@ -357,9 +425,13 @@ class TrialPool:
         return self.run_cells([list(specs)])[0]
 
     # ------------------------------------------------------------------
+    def _shutdown(self, wait: bool, cancel_futures: bool = False) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        self._pool.shutdown(wait=True)
+        """Shut the worker pools down (idempotent)."""
+        self._shutdown(wait=True)
 
     def __enter__(self) -> "TrialPool":
         return self
@@ -368,7 +440,7 @@ class TrialPool:
         if exc_type is None:
             self.close()
         else:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._shutdown(wait=False, cancel_futures=True)
 
 
 def run_trials(specs: Sequence[TrialSpec], n_jobs: int = 1) -> List[TrialMetrics]:

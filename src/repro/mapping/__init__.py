@@ -1,7 +1,9 @@
 """Mapping heuristics for heterogeneous and homogeneous systems."""
 
 from .base import (Assignment, MachineState, MappingContext, MappingHeuristic,
-                   OrderedMappingHeuristic, TaskView, TwoPhaseMappingHeuristic)
+                   OrderedMappingHeuristic, ScoreSpec, TaskView,
+                   TwoPhaseMappingHeuristic)
+from .kernel import SCORE_COLUMNS, ScoreColumn, register_score_column
 from .edf import EDF
 from .fcfs import FCFS
 from .minmin import MinMin
@@ -38,6 +40,10 @@ __all__ = [
     "MappingHeuristic",
     "TwoPhaseMappingHeuristic",
     "OrderedMappingHeuristic",
+    "ScoreSpec",
+    "ScoreColumn",
+    "SCORE_COLUMNS",
+    "register_score_column",
     "TaskView",
     "MinMin",
     "MSD",

@@ -9,18 +9,25 @@ At every mapping event the simulator hands the mapping heuristic:
   completion-time computations.
 
 The heuristic returns a list of :class:`Assignment` objects.  Two-phase
-heuristics (MinMin, MSD, PAM) are expressed on top of the shared
-:class:`TwoPhaseMappingHeuristic` skeleton; simpler ordering-based heuristics
-(FCFS, SJF, EDF) subclass :class:`OrderedMappingHeuristic`.
+heuristics (MinMin, MSD, PAM) *declare* their scores as a :class:`ScoreSpec`
+-- named score columns plus explicit tie-break columns -- on top of the
+shared :class:`TwoPhaseMappingHeuristic` skeleton; the declared plane is
+executed by one of the scoring backends in :mod:`repro.mapping.kernel`
+(the reference per-pair ``loop`` or the batched NumPy ``vector`` backend,
+selected by :attr:`MappingContext.scoring`).  Simpler ordering-based
+heuristics (FCFS, SJF, EDF) subclass :class:`OrderedMappingHeuristic`.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
-from ..core.completion import ChainFolder, completion_pmf
+import numpy as np
+
+from ..core.completion import (ChainFolder, batched_append_scores,
+                               completion_pmf)
 from ..core.pet import PETMatrix
 from ..core.pmf import PMF
 
@@ -28,11 +35,64 @@ __all__ = [
     "TaskView",
     "MachineState",
     "Assignment",
+    "ScoreSpec",
     "MappingContext",
     "MappingHeuristic",
     "TwoPhaseMappingHeuristic",
     "OrderedMappingHeuristic",
 ]
+
+#: Scoring backends accepted by :class:`MappingContext` and
+#: :class:`~repro.sim.system.SystemConfig`.
+SCORING_BACKENDS = ("loop", "vector")
+
+
+@dataclass(frozen=True)
+class ScoreSpec:
+    """Declarative description of a two-phase heuristic's score plane.
+
+    Instead of overriding imperative per-pair score callables, a two-phase
+    heuristic names the *columns* of its (task x machine) score plane; a
+    scoring backend (:mod:`repro.mapping.kernel`) evaluates the plane and
+    performs the lexicographic argmin.  Column names resolve against
+    :data:`repro.mapping.kernel.SCORE_COLUMNS` (extensible via
+    :func:`repro.mapping.kernel.register_score_column`).
+
+    Attributes
+    ----------
+    phase1:
+        Columns minimised (lexicographically) when each task picks its
+        candidate machine.
+    phase2:
+        Columns minimised when resolving contention among the pairs
+        targeting one machine (or globally, see ``assign_per_machine``).
+    phase1_tiebreak / phase2_tiebreak:
+        Explicit final tie-break columns.  The defaults reproduce the
+        historical loop order exactly: phase 1 breaks ties by the lowest
+        machine id, phase 2 by the lowest task id.
+    assign_per_machine:
+        When True (MinMin/MSD) phase 2 commits one pair per machine per
+        round; when False (PAM) only the single best pair in the system.
+    """
+
+    phase1: Tuple[str, ...]
+    phase2: Tuple[str, ...]
+    phase1_tiebreak: Tuple[str, ...] = ("machine_id",)
+    phase2_tiebreak: Tuple[str, ...] = ("task_id",)
+    assign_per_machine: bool = True
+
+    def __post_init__(self):
+        if not self.phase1 or not self.phase2:
+            raise ValueError("ScoreSpec needs at least one column per phase")
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Every distinct plane column the spec references (no tie-breaks)."""
+        seen: List[str] = []
+        for name in self.phase1 + self.phase2:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
 
 
 @dataclass(frozen=True)
@@ -155,7 +215,8 @@ class MappingContext:
                  shared_cache: Optional[Dict[Tuple[int, int],
                                              Tuple[PMF, PMF]]] = None,
                  folder: Optional[ChainFolder] = None,
-                 memoize_scores: bool = False):
+                 memoize_scores: bool = False,
+                 scoring: str = "vector"):
         self.pet = pet
         self.now = int(now)
         self.prune_eps = float(prune_eps)
@@ -164,6 +225,17 @@ class MappingContext:
         if folder is not None and folder.prune_eps != self.prune_eps:
             folder = None  # a mismatched kernel would change pruning
         self._folder = folder
+        if scoring not in SCORING_BACKENDS:
+            raise ValueError(f"unknown scoring backend {scoring!r}; "
+                             f"expected one of {SCORING_BACKENDS}")
+        #: Backend declarative heuristics run their score plane on.
+        self.scoring = scoring
+        #: Work counters of the scoring backends: per-pair score
+        #: evaluations and selection rounds of this mapping event.  The
+        #: simulator folds them into :class:`~repro.sim.perf.PerfStats`
+        #: (``plane_evals`` / ``plane_rounds``) after the event.
+        self.plane_evals = 0
+        self.plane_rounds = 0
         # Scalar score memos (``memoize_scores``).  Two-phase heuristics
         # re-score every candidate (task, machine) pair on every commit
         # round even though only the committed machine's tail moved;
@@ -234,12 +306,101 @@ class MappingContext:
 
     def expected_completion(self, machine: MachineState, task: TaskView) -> float:
         """Expected completion time of ``task`` appended to ``machine``."""
-        return self._scored(self._expected, machine, task, PMF.mean)
+        folder = self._folder
+        return self._scored(self._expected, machine, task,
+                            folder.mean if folder is not None else PMF.mean)
 
     def chance_of_success(self, machine: MachineState, task: TaskView) -> float:
         """Probability that ``task`` appended to ``machine`` meets its deadline."""
-        return self._scored(self._chance, machine, task,
-                            lambda pmf: pmf.mass_before(task.deadline))
+        folder = self._folder
+        if folder is not None:
+            compute = lambda pmf: folder.chance(pmf, task.deadline)
+        else:
+            compute = lambda pmf: pmf.mass_before(task.deadline)
+        return self._scored(self._chance, machine, task, compute)
+
+    # ------------------------------------------------------------------
+    def score_block(self, machine: MachineState, tasks: Sequence[TaskView],
+                    want_mean: bool = True, want_chance: bool = False,
+                    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Appended-completion scores of many tasks on one machine, batched.
+
+        Evaluates one *column* of the (task x machine) score plane: every
+        candidate appended to the machine's current tail, scored through the
+        batched kernel (:func:`repro.core.completion.batched_append_scores`)
+        instead of one scalar call per pair.  Every value is bit-identical
+        to what :meth:`expected_completion` / :meth:`chance_of_success`
+        return for the same pair, and the appended PMFs are recorded in the
+        same caches, so a later :meth:`completion_if_appended` (the commit
+        path) is a dictionary hit.
+
+        Returns ``(means, chances)`` aligned with ``tasks``; entries not
+        requested are ``None``.
+        """
+        n = len(tasks)
+        self.plane_evals += n
+        mid = machine.machine_id
+        version = machine.version
+        means = np.empty(n, dtype=np.float64) if want_mean else None
+        chances = np.empty(n, dtype=np.float64) if want_chance else None
+        pmfs: List[Optional[PMF]] = [None] * n
+        miss: List[int] = []
+        if version == 0:
+            # An unmodified tail may already carry appends: from this event
+            # (the per-event cache) or from earlier events (the shared
+            # append cache, guarded by tail identity).
+            tail = machine.tail_pmf
+            for i, task in enumerate(tasks):
+                key = (mid, 0, task.task_id)
+                pmf = self._cache.get(key)
+                if pmf is None and self._shared is not None:
+                    hit = self._shared.get((mid, task.task_id))
+                    if hit is not None and hit[0] is tail:
+                        pmf = hit[1]
+                        self._cache[key] = pmf
+                if pmf is None:
+                    miss.append(i)
+                else:
+                    pmfs[i] = pmf
+        else:
+            # A bumped version means the tail just moved: nothing can be
+            # cached under the new key yet, so skip the probes entirely.
+            miss = list(range(n))
+        if miss:
+            tail = machine.tail_pmf
+            exec_pmfs = [self.exec_pmf(tasks[i], machine) for i in miss]
+            deadlines = [tasks[i].deadline for i in miss]
+            folded, f_means, f_chances = batched_append_scores(
+                tail, exec_pmfs, deadlines, self.prune_eps, self._folder,
+                want_mean=want_mean, want_chance=want_chance)
+            share = self._shared is not None and version == 0
+            for j, i in enumerate(miss):
+                pmf = folded[j]
+                pmfs[i] = pmf
+                self._cache[(mid, version, tasks[i].task_id)] = pmf
+                if share:
+                    self._shared[(mid, tasks[i].task_id)] = (tail, pmf)
+                if means is not None:
+                    means[i] = f_means[j]
+                if chances is not None:
+                    chances[i] = f_chances[j]
+        if len(miss) != n:
+            # Score the cache hits with the exact arithmetic of the scalar
+            # path (PMF.mean / mass_before, folder-memoised chance).
+            folder = self._folder
+            missing = set(miss)
+            for i, pmf in enumerate(pmfs):
+                if i in missing:
+                    continue
+                if means is not None:
+                    means[i] = (folder.mean(pmf) if folder is not None
+                                else pmf.mean())
+                if chances is not None:
+                    deadline = int(tasks[i].deadline)
+                    chances[i] = (folder.chance(pmf, deadline)
+                                  if folder is not None
+                                  else pmf.mass_before(deadline))
+        return means, chances
 
 
 class MappingHeuristic(abc.ABC):
@@ -265,79 +426,72 @@ class MappingHeuristic(abc.ABC):
 class TwoPhaseMappingHeuristic(MappingHeuristic):
     """Skeleton of the two-phase batch heuristics of Section V-B.
 
-    Phase 1 picks, for every unmapped task, its preferred machine according
-    to :meth:`phase1_score` (smaller is better).  Phase 2 resolves the
-    contention: among the task-machine pairs targeting each machine (or
-    globally, see :attr:`assign_per_machine`), the pair minimising
-    :meth:`phase2_score` is committed.  Rounds repeat until the queues are
-    full or the window is exhausted.
+    Phase 1 picks, for every unmapped task, its preferred machine (smaller
+    score is better).  Phase 2 resolves the contention: among the
+    task-machine pairs targeting each machine (or globally, see
+    :attr:`assign_per_machine`), the best pair is committed.  Rounds repeat
+    until the queues are full or the window is exhausted.
+
+    Subclasses *declare* their scores as a :class:`ScoreSpec`
+    (:attr:`score_spec`); the plane is then executed by the scoring backend
+    selected through :attr:`MappingContext.scoring` -- the per-pair
+    ``loop`` reference or the batched NumPy ``vector`` engine
+    (:mod:`repro.mapping.kernel`), which produce identical assignments.
+    Legacy subclasses that instead override the imperative
+    :meth:`phase1_score` / :meth:`phase2_score` callables keep working and
+    are always executed on the loop backend.
     """
+
+    #: Declarative description of the heuristic's score plane.  ``None``
+    #: only for legacy subclasses that override the score callables.
+    score_spec: ClassVar[Optional[ScoreSpec]] = None
 
     #: When True (MinMin/MSD behaviour), phase 2 commits one pair per machine
     #: per round.  When False (PAM behaviour), only the single best pair in
-    #: the system is committed per round.
+    #: the system is committed per round.  Kept in sync with
+    #: :attr:`score_spec` automatically for declarative subclasses.
     assign_per_machine: bool = True
 
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        spec = cls.__dict__.get("score_spec")
+        if spec is not None:
+            cls.assign_per_machine = spec.assign_per_machine
+
     # ------------------------------------------------------------------
-    @abc.abstractmethod
+    def _spec(self) -> ScoreSpec:
+        spec = self.score_spec
+        if spec is None:
+            raise TypeError(
+                f"{type(self).__name__} declares no score_spec; either set "
+                "one or override phase1_score/phase2_score")
+        return spec
+
     def phase1_score(self, ctx: MappingContext, machine: MachineState,
                      task: TaskView) -> float:
-        """Score used to pick each task's candidate machine (minimised)."""
+        """Score used to pick each task's candidate machine (minimised).
 
-    @abc.abstractmethod
+        The default evaluates the declared :attr:`score_spec` phase-1
+        columns; a single column yields a bare float, several a tuple.
+        """
+        from .kernel import evaluate_columns  # lazy: avoids an import cycle
+
+        values = evaluate_columns(self._spec().phase1, ctx, machine, task)
+        return values[0] if len(values) == 1 else values
+
     def phase2_score(self, ctx: MappingContext, machine: MachineState,
                      task: TaskView) -> Tuple[float, ...]:
         """Score used to pick among pairs targeting a machine (minimised)."""
+        from .kernel import evaluate_columns
+
+        return evaluate_columns(self._spec().phase2, ctx, machine, task)
 
     # ------------------------------------------------------------------
     def map_tasks(self, tasks: Sequence[TaskView], machines: Sequence[MachineState],
                   ctx: MappingContext) -> List[Assignment]:
-        unmapped: List[TaskView] = list(tasks)
-        assignments: List[Assignment] = []
+        from .kernel import run_two_phase
 
-        while unmapped and any(m.has_free_slot for m in machines):
-            free_machines = [m for m in machines if m.has_free_slot]
-
-            # Phase 1: each task picks its best machine.
-            pairs: List[Tuple[TaskView, MachineState]] = []
-            for task in unmapped:
-                best_machine = min(
-                    free_machines,
-                    key=lambda m: (self.phase1_score(ctx, m, task), m.machine_id))
-                pairs.append((task, best_machine))
-
-            # Phase 2: resolve contention per machine (or globally).
-            committed = self._phase2(pairs, ctx)
-            if not committed:
-                break
-            for task, machine in committed:
-                new_tail = ctx.completion_if_appended(machine, task)
-                machine.commit(new_tail)
-                unmapped.remove(task)
-                assignments.append(Assignment(task.task_id, machine.machine_id))
-        return assignments
-
-    # ------------------------------------------------------------------
-    def _phase2(self, pairs: Sequence[Tuple[TaskView, MachineState]],
-                ctx: MappingContext) -> List[Tuple[TaskView, MachineState]]:
-        """Pick the pairs to commit this round."""
-        if not pairs:
-            return []
-        if self.assign_per_machine:
-            by_machine: Dict[int, List[Tuple[TaskView, MachineState]]] = {}
-            for task, machine in pairs:
-                by_machine.setdefault(machine.machine_id, []).append((task, machine))
-            committed = []
-            for machine_pairs in by_machine.values():
-                task, machine = min(
-                    machine_pairs,
-                    key=lambda tm: (self.phase2_score(ctx, tm[1], tm[0]), tm[0].task_id))
-                committed.append((task, machine))
-            return committed
-        # Single global winner per round (PAM).
-        task, machine = min(
-            pairs, key=lambda tm: (self.phase2_score(ctx, tm[1], tm[0]), tm[0].task_id))
-        return [(task, machine)]
+        return run_two_phase(self, tasks, machines, ctx)
 
 
 class OrderedMappingHeuristic(MappingHeuristic):

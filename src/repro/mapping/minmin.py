@@ -5,13 +5,16 @@ expected completion time; phase 2 assigns, to every machine with a free
 slot, the provisionally paired task with the minimum expected completion
 time.  Rounds repeat until machine queues are full or the batch window is
 exhausted (Section V-B-1).
+
+The scores are *declared* (:class:`~repro.mapping.base.ScoreSpec`) and
+executed by the scoring backend selected on the
+:class:`~repro.mapping.base.MappingContext` (see
+:mod:`repro.mapping.kernel`).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from .base import MachineState, MappingContext, TaskView, TwoPhaseMappingHeuristic
+from .base import ScoreSpec, TwoPhaseMappingHeuristic
 
 __all__ = ["MinMin"]
 
@@ -20,14 +23,8 @@ class MinMin(TwoPhaseMappingHeuristic):
     """The MinMin (MM) batch-mode mapping heuristic."""
 
     name = "MM"
-    assign_per_machine = True
-
-    def phase1_score(self, ctx: MappingContext, machine: MachineState,
-                     task: TaskView) -> float:
-        """Expected completion time of the task on the candidate machine."""
-        return ctx.expected_completion(machine, task)
-
-    def phase2_score(self, ctx: MappingContext, machine: MachineState,
-                     task: TaskView) -> Tuple[float, ...]:
-        """Minimum expected completion time among the machine's candidates."""
-        return (ctx.expected_completion(machine, task),)
+    score_spec = ScoreSpec(
+        phase1=("expected_completion",),
+        phase2=("expected_completion",),
+        assign_per_machine=True,
+    )

@@ -4,13 +4,16 @@ Phase 1 is identical to MinMin (minimum expected completion time per task);
 phase 2 assigns, to every machine with a free slot, the provisionally paired
 task with the soonest deadline, breaking ties by the minimum expected
 completion time (Section V-B-2).
+
+The scores are *declared* (:class:`~repro.mapping.base.ScoreSpec`) and
+executed by the scoring backend selected on the
+:class:`~repro.mapping.base.MappingContext` (see
+:mod:`repro.mapping.kernel`).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from .base import MachineState, MappingContext, TaskView, TwoPhaseMappingHeuristic
+from .base import ScoreSpec, TwoPhaseMappingHeuristic
 
 __all__ = ["MSD"]
 
@@ -19,14 +22,8 @@ class MSD(TwoPhaseMappingHeuristic):
     """The MinCompletion-Soonest-Deadline batch-mode mapping heuristic."""
 
     name = "MSD"
-    assign_per_machine = True
-
-    def phase1_score(self, ctx: MappingContext, machine: MachineState,
-                     task: TaskView) -> float:
-        """Expected completion time of the task on the candidate machine."""
-        return ctx.expected_completion(machine, task)
-
-    def phase2_score(self, ctx: MappingContext, machine: MachineState,
-                     task: TaskView) -> Tuple[float, ...]:
-        """Soonest deadline first, ties broken by expected completion time."""
-        return (float(task.deadline), ctx.expected_completion(machine, task))
+    score_spec = ScoreSpec(
+        phase1=("expected_completion",),
+        phase2=("deadline", "expected_completion"),
+        assign_per_machine=True,
+    )

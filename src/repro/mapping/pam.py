@@ -10,13 +10,16 @@ The original PAM also performs threshold-based dropping and deferring; in
 this reproduction those are handled by the separate dropping policies (the
 paper disables PAM's deferring and replaces its dropping with the mechanisms
 under study).
+
+The scores are *declared* (:class:`~repro.mapping.base.ScoreSpec`) and
+executed by the scoring backend selected on the
+:class:`~repro.mapping.base.MappingContext` (see
+:mod:`repro.mapping.kernel`).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from .base import MachineState, MappingContext, TaskView, TwoPhaseMappingHeuristic
+from .base import ScoreSpec, TwoPhaseMappingHeuristic
 
 __all__ = ["PAM"]
 
@@ -25,15 +28,10 @@ class PAM(TwoPhaseMappingHeuristic):
     """The Pruning-Aware Mapping batch-mode heuristic (mapping phases only)."""
 
     name = "PAM"
-    assign_per_machine = False  # one globally best pair per round
-
-    def phase1_score(self, ctx: MappingContext, machine: MachineState,
-                     task: TaskView) -> float:
-        """Negated chance of success (phase 1 maximises the chance)."""
-        return -ctx.chance_of_success(machine, task)
-
-    def phase2_score(self, ctx: MappingContext, machine: MachineState,
-                     task: TaskView) -> Tuple[float, ...]:
-        """Lowest expected completion, ties broken by shortest execution."""
-        return (ctx.expected_completion(machine, task),
-                ctx.mean_execution(task, machine))
+    score_spec = ScoreSpec(
+        # Phase 1 maximises the chance of success (negated for the argmin).
+        phase1=("neg_chance_of_success",),
+        # Lowest expected completion, ties broken by shortest execution.
+        phase2=("expected_completion", "mean_execution"),
+        assign_per_machine=False,  # one globally best pair per round
+    )

@@ -49,6 +49,14 @@ class PerfStats:
     scratch_reuses:
         Fold mixtures served from the folder's preallocated scratch buffer
         (no per-step output allocation).
+    plane_evals / plane_rounds:
+        Work done by the two-phase score-plane backends
+        (:mod:`repro.mapping.kernel`): per-pair score evaluations issued
+        and selection rounds executed.  The loop backend re-issues every
+        (task, machine) score each round; the vector backend only refills
+        the columns of machines whose provisional tail moved, so the
+        ``plane_evals`` gap between the two backends is the work the
+        vectorised engine avoids.
     wall_time_s:
         Wall-clock time spent inside :meth:`HCSystem.run`.
     """
@@ -66,6 +74,8 @@ class PerfStats:
     intern_hits: int = 0
     fold_memo_hits: int = 0
     scratch_reuses: int = 0
+    plane_evals: int = 0
+    plane_rounds: int = 0
     wall_time_s: float = 0.0
 
     # ------------------------------------------------------------------

@@ -69,6 +69,15 @@ class SystemConfig:
         results are exactly those of the naive recomputation; disabling it
         exists for equivalence testing and benchmarking, not as a semantic
         switch.
+    scoring:
+        Score-plane backend of the declarative two-phase mapping
+        heuristics (:mod:`repro.mapping.kernel`): ``"vector"`` (default)
+        evaluates the whole (task x machine) plane per round through the
+        batched NumPy engine, ``"loop"`` keeps the per-pair reference
+        loop.  Both produce identical assignments (the vector backend's
+        tie-break columns reproduce the loop's pick order bit-for-bit), so
+        like ``incremental`` this is a performance switch, not a semantic
+        one.
     """
 
     queue_capacity: int = 6
@@ -77,6 +86,7 @@ class SystemConfig:
     prune_eps: float = 1e-12
     max_steps: int = 50_000_000
     incremental: bool = True
+    scoring: str = "vector"
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -85,6 +95,9 @@ class SystemConfig:
             raise ValueError("batch window must be at least 1")
         if self.prune_eps < 0:
             raise ValueError("prune_eps cannot be negative")
+        if self.scoring not in ("loop", "vector"):
+            raise ValueError(f"unknown scoring backend {self.scoring!r}; "
+                             "expected 'loop' or 'vector'")
 
 
 @dataclass
@@ -390,8 +403,11 @@ class HCSystem:
         shared = self._append_cache if self.config.incremental else None
         ctx = MappingContext(self.pet, now, self.config.prune_eps,
                              shared_cache=shared, folder=self._folder,
-                             memoize_scores=self.config.incremental)
+                             memoize_scores=self.config.incremental,
+                             scoring=self.config.scoring)
         assignments = self.mapper.map_tasks(task_views, machine_states, ctx)
+        self.perf.plane_evals += ctx.plane_evals
+        self.perf.plane_rounds += ctx.plane_rounds
         self._apply_assignments(assignments, now)
 
     def _apply_assignments(self, assignments: Sequence[Assignment], now: int) -> None:

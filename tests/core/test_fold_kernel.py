@@ -94,14 +94,38 @@ class TestMemo:
         assert second is first
         assert folder.memo_hits == hits + 1
 
-    def test_different_deadline_misses(self):
+    def test_different_effective_deadline_misses(self):
+        # Deadlines that cut the predecessor's support at different points
+        # produce different folds and must not share a memo entry.
+        folder = ChainFolder()
+        prev = PMF(0, [0.25, 0.25, 0.25, 0.25])
+        exec_pmf = PMF(3, [0.25, 0.75])
+        first = folder.fold(prev, exec_pmf, 2)
+        hits = folder.memo_hits
+        second = folder.fold(prev, exec_pmf, 3)
+        assert folder.memo_hits == hits
+        assert not np.array_equal(first.probs, second.probs)
+
+    def test_deadlines_beyond_support_share_one_entry(self):
+        # Any deadline at or past the predecessor's support end yields the
+        # same plain convolution, so the clamped memo key unifies them --
+        # the second fold is a hit returning the identical object.
         folder = ChainFolder()
         prev = PMF(0, [0.5, 0.5])
         exec_pmf = PMF(3, [0.25, 0.75])
-        folder.fold(prev, exec_pmf, 20)
+        first = folder.fold(prev, exec_pmf, 20)
         hits = folder.memo_hits
-        folder.fold(prev, exec_pmf, 21)
-        assert folder.memo_hits == hits
+        second = folder.fold(prev, exec_pmf, 21)
+        assert folder.memo_hits == hits + 1
+        assert second is first
+        assert first.identical(completion_pmf(prev, exec_pmf, 21))
+        # Deadlines at or before the origin all pass the chain through.
+        third = folder.fold(prev, exec_pmf, 0)
+        hits = folder.memo_hits
+        fourth = folder.fold(prev, exec_pmf, -5)
+        assert folder.memo_hits == hits + 1
+        assert fourth is third
+        assert fourth.identical(completion_pmf(prev, exec_pmf, -5))
 
     def test_chance_memo_matches_mass_before(self):
         folder = ChainFolder()
@@ -150,3 +174,108 @@ class TestActiveFolder:
         with active_folder(folder):
             assert chance_of_success(pmf, 7) == pmf.mass_before(7)
         assert chance_of_success(pmf, 7) == pmf.mass_before(7)
+
+
+class TestAdaptiveGates:
+    """Self-disable behaviour of the fold memo and publication interning.
+
+    The gates are heuristics (fixed hit-rate thresholds over fixed probe
+    windows); these tests pin that an oscillating workload whose repeats
+    are too rare trips them, that tripping them never changes a fold
+    result, and that the counters surfaced through ``PerfStats`` reflect
+    the frozen state.
+    """
+
+    def _oscillating_folds(self, folder, rng, rounds, repeat_every):
+        """Drive the folder with mostly-fresh folds, repeating one in
+        ``repeat_every`` (the oscillation: brief bursts of reuse inside a
+        stream of unique work), and return the (inputs, results) seen."""
+        seen = []
+        hot = None
+        for i in range(rounds):
+            if hot is not None and repeat_every and i % repeat_every == 0:
+                prev, exec_pmf, deadline = hot
+            else:
+                prev = _random_pmf(rng, size_lo=8, size_hi=24)
+                exec_pmf = _random_pmf(rng, origin_lo=1, origin_hi=6,
+                                       size_hi=6)
+                # Deadline strictly inside the predecessor support, so the
+                # fold runs the mixed (scratch/publish) branch and the
+                # clamped memo key stays distinct per deadline.
+                deadline = prev.origin + 1 + int(
+                    rng.integers(1, prev.probs.size - 1))
+                hot = (prev, exec_pmf, deadline)
+            result = folder.fold(prev, exec_pmf, deadline)
+            seen.append(((prev, exec_pmf, deadline), result))
+        return seen
+
+    def test_memo_gate_self_disables_without_corrupting_results(self, monkeypatch):
+        monkeypatch.setattr(ChainFolder, "MEMO_WINDOW", 256)
+        monkeypatch.setattr(ChainFolder, "PROBE_WINDOW", 1 << 30)
+        rng = np.random.default_rng(5)
+        folder = ChainFolder()
+        # ~3% repeats: far below the 10% break-even, so after the probe
+        # window the memo must switch itself off and drop its entries.
+        seen = self._oscillating_folds(folder, rng, rounds=600,
+                                       repeat_every=32)
+        assert folder._memo_active is False
+        assert len(folder._memo) == 0
+        hits_frozen = folder.memo_hits
+        # The folder keeps folding correctly after the gate tripped: every
+        # result (pre- and post-disable) matches the naive composition.
+        for (prev, exec_pmf, deadline), result in seen[::7]:
+            expected = completion_pmf(prev, exec_pmf, deadline)
+            assert result.identical(expected)
+        # Repeats no longer hit (or store) anything.
+        (prev, exec_pmf, deadline), result = seen[-1]
+        again = folder.fold(prev, exec_pmf, deadline)
+        assert again.identical(result)
+        assert folder.memo_hits == hits_frozen
+        assert len(folder._memo) == 0
+
+    def test_memo_gate_stays_on_for_repetitive_workloads(self, monkeypatch):
+        monkeypatch.setattr(ChainFolder, "MEMO_WINDOW", 128)
+        rng = np.random.default_rng(6)
+        folder = ChainFolder()
+        # Every other fold repeats: ~50% hit rate keeps the memo alive.
+        self._oscillating_folds(folder, rng, rounds=600, repeat_every=2)
+        assert folder._memo_active is True
+        assert folder.memo_hits > 0
+
+    def test_publication_interning_self_disables(self, monkeypatch):
+        monkeypatch.setattr(ChainFolder, "PROBE_WINDOW", 128)
+        monkeypatch.setattr(ChainFolder, "MEMO_WINDOW", 1 << 30)
+        rng = np.random.default_rng(7)
+        folder = ChainFolder()
+        # All-fresh results: the publication probe hit rate is ~0, so the
+        # folder must stop interning (and stop using scratch buffers --
+        # copying out of scratch only pays when the probe can hit).
+        seen = self._oscillating_folds(folder, rng, rounds=300,
+                                       repeat_every=0)
+        assert folder._probe_interns is False
+        scratch_frozen = folder.scratch_reuses
+        more = self._oscillating_folds(folder, rng, rounds=50,
+                                       repeat_every=0)
+        assert folder.scratch_reuses == scratch_frozen
+        for (prev, exec_pmf, deadline), result in (seen + more)[::11]:
+            assert result.identical(completion_pmf(prev, exec_pmf, deadline))
+
+    def test_perf_stats_reflect_frozen_counters(self, monkeypatch):
+        from repro.sim.perf import PerfStats
+
+        monkeypatch.setattr(ChainFolder, "MEMO_WINDOW", 256)
+        monkeypatch.setattr(ChainFolder, "PROBE_WINDOW", 128)
+        rng = np.random.default_rng(8)
+        folder = ChainFolder()
+        self._oscillating_folds(folder, rng, rounds=600, repeat_every=32)
+        assert folder._memo_active is False and folder._probe_interns is False
+        # The simulator copies the folder counters onto PerfStats at
+        # result() time; once both gates tripped the copied values must
+        # stop moving even though folds continue.
+        before = PerfStats(fold_memo_hits=folder.memo_hits,
+                           scratch_reuses=folder.scratch_reuses)
+        self._oscillating_folds(folder, rng, rounds=100, repeat_every=4)
+        after = PerfStats(fold_memo_hits=folder.memo_hits,
+                          scratch_reuses=folder.scratch_reuses)
+        assert after.fold_memo_hits == before.fold_memo_hits
+        assert after.scratch_reuses == before.scratch_reuses

@@ -50,6 +50,48 @@ class TestScenarioSharing:
             assert len(pool.scenarios) == 2  # seeds 42 and 43
 
 
+class TestScenarioSharding:
+    def test_shards_partition_the_table(self):
+        """Each scenario ships to exactly one shard, not to every worker."""
+        specs = [_spec(seed=s) for s in (42, 42, 43, 43, 44, 45)]
+        with TrialPool(2, specs) as pool:
+            assert len(pool.shard_tables) == 2
+            assert sum(pool.shard_workers) == 2
+            keys = [set(table) for table in pool.shard_tables]
+            assert keys[0].isdisjoint(keys[1])
+            assert keys[0] | keys[1] == set(pool.scenarios)
+            # Bounded shipping: no shard holds the whole table.
+            assert all(len(table) < len(pool.scenarios)
+                       for table in pool.shard_tables)
+
+    def test_workers_follow_trial_load(self):
+        """Few scenario groups with many trials keep multi-worker shards."""
+        specs = [_spec(seed=42) for _ in range(6)] + [_spec(seed=43)]
+        with TrialPool(4, specs) as pool:
+            assert sum(pool.shard_workers) == 4
+            assert len(pool.shard_tables) == 2
+            # The seed-42 group carries 6 of 7 trials; its shard must get
+            # the extra workers.
+            heavy = max(range(2), key=lambda i: pool.shard_workers[i])
+            assert scenario_key(_spec(seed=42)) in pool.shard_tables[heavy]
+
+    def test_unknown_scenarios_still_run(self):
+        """Specs outside the constructor table fall back to worker builds."""
+        known = [_spec(seed=42)]
+        with TrialPool(2, known) as pool:
+            surprise = _spec(seed=99)
+            pooled = pool.run_trials([known[0], surprise])
+        assert pooled == [run_trial(known[0]), run_trial(surprise)]
+
+    def test_sharded_pool_matches_sequential_across_shards(self):
+        specs = [_spec(seed=42), _spec(seed=43), _spec("MM", seed=42),
+                 _spec("MM", seed=43)]
+        sequential = run_trials(specs, n_jobs=1)
+        with TrialPool(2, specs) as pool:
+            pooled = pool.run_trials(specs)
+        assert pooled == sequential
+
+
 class TestTrialPool:
     def test_pool_matches_sequential(self):
         specs = [_spec(seed=42), _spec(seed=43), _spec("MM", seed=42)]

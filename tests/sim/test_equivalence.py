@@ -5,8 +5,11 @@ reuse results whose inputs are bitwise-identical to what a full
 recomputation would see, so a cached run must produce *exactly* the metrics
 of the naive run -- same robustness report, same drop breakdown, same
 makespan, same mapping-event count -- on every scenario/mapper/dropper/seed
-combination.  These tests pin that guarantee on the tier-1 grid used
-throughout the suite (tiny scale, multiple levels, every dropper family).
+combination.  The same holds along the *scoring* axis: the vectorised
+score-plane backend (``SystemConfig.scoring="vector"``) must reproduce the
+per-pair loop backend's assignments bit-for-bit.  These tests pin both
+guarantees on the tier-1 grid used throughout the suite (tiny scale,
+multiple levels, every dropper family).
 """
 
 import pytest
@@ -26,12 +29,23 @@ GRID = [
     ("20k", "PAM", "heuristic", (), 11),
 ]
 
+#: Wide-window variants whose relaxed deadlines back the batch queue up, so
+#: the vector backend actually exercises multi-row planes (the tight grid
+#: above mostly sees single-task windows, which dispatch to the loop).
+WIDE_GRID = [
+    ("40k", "PAM", "react", (), 42),
+    ("40k", "MM", "heuristic", (), 42),
+    ("40k", "MSD", "react", (), 43),
+]
 
-def _spec(level, mapper, dropper, dropper_params, seed, incremental):
+
+def _spec(level, mapper, dropper, dropper_params, seed, incremental,
+          scoring="vector", gamma=1.0, batch_window=32, queue_capacity=6):
     return TrialSpec(scenario_name="spec", level=level, scale=SCALE,
-                     gamma=1.0, queue_capacity=6, seed=seed,
+                     gamma=gamma, queue_capacity=queue_capacity, seed=seed,
                      mapper_name=mapper, dropper_name=dropper,
-                     dropper_params=dropper_params, incremental=incremental)
+                     dropper_params=dropper_params, incremental=incremental,
+                     scoring=scoring, batch_window=batch_window)
 
 
 @pytest.mark.parametrize("level,mapper,dropper,dropper_params,seed", GRID)
@@ -50,6 +64,55 @@ def test_incremental_metrics_bit_identical(level, mapper, dropper,
     assert naive.drops == fast.drops
     assert naive.makespan == fast.makespan
     assert naive.num_mapping_events == fast.num_mapping_events
+
+
+@pytest.mark.parametrize("level,mapper,dropper,dropper_params,seed", GRID)
+def test_vector_scoring_bit_identical(level, mapper, dropper,
+                                      dropper_params, seed):
+    """The vector==loop axis of the equivalence grid (incremental on)."""
+    loop = run_trial(_spec(level, mapper, dropper, dropper_params, seed,
+                           incremental=True, scoring="loop"))
+    vector = run_trial(_spec(level, mapper, dropper, dropper_params, seed,
+                             incremental=True, scoring="vector"))
+    assert loop == vector
+    assert loop.robustness == vector.robustness
+    assert loop.drops == vector.drops
+    assert loop.makespan == vector.makespan
+    assert loop.num_mapping_events == vector.num_mapping_events
+
+
+@pytest.mark.parametrize("level,mapper,dropper,dropper_params,seed",
+                         WIDE_GRID)
+def test_vector_scoring_bit_identical_wide_windows(level, mapper, dropper,
+                                                   dropper_params, seed):
+    """Same axis on backlogged workloads with genuinely wide score planes.
+
+    Relaxed deadlines plus short machine queues back the batch queue up at
+    this tiny scale, so mapping events see multi-row planes instead of the
+    single-task windows the tight grid produces.
+    """
+    kwargs = dict(gamma=4.0, batch_window=64, queue_capacity=2)
+    loop = run_trial(_spec(level, mapper, dropper, dropper_params, seed,
+                           incremental=True, scoring="loop", **kwargs))
+    vector = run_trial(_spec(level, mapper, dropper, dropper_params, seed,
+                             incremental=True, scoring="vector", **kwargs))
+    assert loop == vector
+    # The wide plane must actually have been vectorised, not dispatched to
+    # the loop wholesale: the backends count plane work differently (the
+    # loop re-scores every pair per round, the vector backend fills moved
+    # columns and gathers phase-2 diagonals), so identical counts would
+    # mean the loop ran both times.
+    assert vector.perf.plane_evals != loop.perf.plane_evals
+
+
+@pytest.mark.parametrize("scoring", ["loop", "vector"])
+def test_naive_path_matches_each_backend(scoring):
+    """Cross-check: scoring and incremental axes compose."""
+    naive = run_trial(_spec("30k", "PAM", "heuristic", (), 42,
+                            incremental=False, scoring=scoring))
+    fast = run_trial(_spec("30k", "PAM", "heuristic", (), 42,
+                           incremental=True, scoring=scoring))
+    assert naive == fast
 
 
 def test_incremental_path_actually_caches():
