@@ -10,6 +10,11 @@ of the output even at small scale.
 Run with::
 
     python examples/effective_depth_study.py [--scale 0.01] [--trials 2]
+
+The figure compiles to one declarative plan; pass ``--export-plan out.toml``
+to write it and re-run the identical grid later with
+``python -m repro plan run out.toml`` (add ``--spool`` to make it
+resumable).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import argparse
 
 from repro.experiments import (ExperimentConfig, figure5_effective_depth,
                                format_figure_table)
+from repro.experiments.figures import fig5_plan
 
 
 def main() -> None:
@@ -28,10 +34,19 @@ def main() -> None:
                         choices=["20k", "30k", "40k"])
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--export-plan", default=None, metavar="PATH",
+                        help="also write the figure's compiled plan "
+                             "(.toml/.json) for later `repro plan run`")
     args = parser.parse_args()
 
     config = ExperimentConfig(scale=args.scale, trials=args.trials,
                               base_seed=args.seed, n_jobs=args.jobs)
+    if args.export_plan:
+        plan = fig5_plan(config, etas=(1, 2, 3, 4, 5),
+                         levels=tuple(args.levels))
+        plan.to_file(args.export_plan)
+        print(f"wrote the compiled figure plan to {args.export_plan} "
+              f"({plan.num_cells()} cells x {plan.trials} trials)\n")
     figure = figure5_effective_depth(config, etas=(1, 2, 3, 4, 5),
                                      levels=tuple(args.levels))
     print(format_figure_table(figure))

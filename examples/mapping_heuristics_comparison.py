@@ -11,6 +11,11 @@ mapping heuristic and makes them perform almost identically.
 Run with::
 
     python examples/mapping_heuristics_comparison.py [--homogeneous] [--scale 0.01]
+
+``--export-plan out.toml`` writes the heterogeneous grid as a declarative
+plan file instead of (only) running it -- the file-based twin of the
+``.sweep()`` call below, runnable later with ``python -m repro plan run
+out.toml`` (add ``--spool`` for a resumable sweep).
 """
 
 from __future__ import annotations
@@ -41,14 +46,22 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--homogeneous", action="store_true",
                         help="also run the homogeneous-system comparison (Fig. 7b)")
+    parser.add_argument("--export-plan", default=None, metavar="PATH",
+                        help="also write the heterogeneous grid as a plan "
+                             "file (.toml/.json) for `repro plan run`")
     args = parser.parse_args()
 
     # Note: sweeping the dropper axis resets dropper parameters, so each
     # grid point uses the policy's defaults (heuristic: beta=1, eta=2).
     hetero_mappers = ("MSD", "MM", "PAM")
-    sweep = (Simulation.scenario("spec", level=args.level, scale=args.scale)
-             .trials(args.trials, base_seed=args.seed)
-             .sweep(mapper=list(hetero_mappers), dropper=["heuristic", "react"]))
+    base = (Simulation.scenario("spec", level=args.level, scale=args.scale)
+            .trials(args.trials, base_seed=args.seed))
+    if args.export_plan:
+        base.build_plan(mapper=list(hetero_mappers),
+                        dropper=["heuristic", "react"]).to_file(args.export_plan)
+        print(f"wrote the grid as a declarative plan to {args.export_plan}\n")
+    sweep = base.sweep(mapper=list(hetero_mappers),
+                       dropper=["heuristic", "react"])
     print("Proactive dropping in a heterogeneous system")
     print(sweep.table())
     summarize(sweep, hetero_mappers)

@@ -22,10 +22,14 @@ Quickstart::
 """
 
 from .builder import SWEEPABLE_AXES, Simulation
+from .plan import (PLAN_AXES, ExperimentPlan, PairSpec, PlanCell, PlanError,
+                   PointSpec)
 from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
 from .registry import (DuplicateNameError, Registration, Registry,
                        RegistryError, UnknownNameError)
 from .results import METRICS, RunResult, SweepResult
+from .sinks import (CallbackSink, JsonlSpoolSink, MemorySink, ResultSink,
+                    SpoolError, read_spool)
 
 __all__ = [
     "Registry",
@@ -42,4 +46,16 @@ __all__ = [
     "RunResult",
     "SweepResult",
     "METRICS",
+    "ExperimentPlan",
+    "PointSpec",
+    "PairSpec",
+    "PlanCell",
+    "PlanError",
+    "PLAN_AXES",
+    "ResultSink",
+    "MemorySink",
+    "CallbackSink",
+    "JsonlSpoolSink",
+    "SpoolError",
+    "read_spool",
 ]

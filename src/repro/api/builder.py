@@ -29,9 +29,8 @@ evaluated on identical workload trials (same arrivals, same deadlines).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, replace
-from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+from typing import (Any, Callable, Dict, Mapping, Optional, Sequence,
                     Tuple)
 
 from ..metrics.collector import aggregate_trials
@@ -305,115 +304,101 @@ class Simulation:
         specs = self.build_specs()
         return self._package(specs, run_trials(specs, self.n_jobs), label)
 
-    def sweep(self, on_result: Optional[Callable[[RunResult], None]] = None,
-              **axes: Sequence[Any]) -> SweepResult:
-        """Evaluate the cartesian product of axis values and collect results.
+    def build_plan(self, name: Optional[str] = None,
+                   **axes: Sequence[Any]) -> "ExperimentPlan":
+        """Compile the builder (plus optional sweep axes) into a plan.
 
-        Accepted axes: ``scenario``, ``level``, ``mapper``, ``dropper``,
-        ``scale`` and ``gamma`` (see :data:`SWEEPABLE_AXES`); each maps to
-        the fluent method of the same name, so ``mapper``/``dropper`` values
-        reset any previously-set parameters of that axis.  All grid points
-        share this builder's ``base_seed``, so every configuration sees the
-        identical workload trials::
-
-            Simulation.scenario("spec").trials(3).sweep(
-                mapper=["PAM", "MM"], dropper=["heuristic", "react"])
-
-        With ``n_jobs > 1`` the whole grid runs on one persistent
-        :class:`~repro.experiments.runner.TrialPool`: workers stay warm
-        across cells, scenarios (shared between cells by the common seeds)
-        are built once and shipped to each worker once, and every cell's
-        trials are in flight together.  ``on_result`` -- when given -- is
-        invoked with each cell's :class:`RunResult` as soon as that cell
-        completes (possibly out of grid order), so long sweeps can stream
-        progress; the returned :class:`SweepResult` is always in grid
-        order.  Sequential sweeps reuse each distinct scenario across cells
-        as well.
+        The returned :class:`~repro.api.plan.ExperimentPlan` is the
+        serializable twin of this configuration: ``sim.build_plan().to_file
+        ("run.toml")`` captures exactly what ``sim.run()`` / ``sim.sweep()``
+        would execute, and ``plan.execute()`` reproduces it (same specs,
+        same seeds, same grid order).  Axis keywords mirror
+        :meth:`sweep` -- swept ``mapper``/``dropper`` values reset that
+        axis's parameters and a swept ``scenario`` keeps only the
+        builder-level arrival-process choice.
         """
+        from .plan import ExperimentPlan, PointSpec
+
         unknown = sorted(set(axes) - set(SWEEPABLE_AXES))
         if unknown:
             raise ValueError(f"cannot sweep over {', '.join(map(repr, unknown))}; "
                              f"sweepable axes: {', '.join(SWEEPABLE_AXES)}")
         names = [axis for axis in SWEEPABLE_AXES if axis in axes]
-        value_lists: List[List[Any]] = []
         for axis in names:
-            values = list(axes[axis])
-            if not values:
+            if not list(axes[axis]):
                 raise ValueError(f"axis {axis!r} has no values to sweep")
-            value_lists.append(values)
-        sims: List[Simulation] = []
-        labels: List[Optional[str]] = []
-        for combo in itertools.product(*value_lists):
-            sim = self
-            for axis, value in zip(names, combo):
-                sim = sim._apply_axis(axis, value)
-            sims.append(sim)
-            labels.append(" ".join(str(v) for v in combo) or None)
-        cells = [sim.build_specs() for sim in sims]
-        runs: List[Optional[RunResult]] = [None] * len(cells)
 
-        def finish_cell(index: int, trials: Sequence[Any]) -> None:
-            runs[index] = sims[index]._package(cells[index], trials,
-                                              labels[index])
-            if on_result is not None:
-                on_result(runs[index])
-
-        total_trials = sum(len(cell) for cell in cells)
-        if self.n_jobs > 1 and total_trials > 1:
-            from ..experiments.runner import TrialPool
-
-            all_specs = [spec for cell in cells for spec in cell]
-            with TrialPool(self.n_jobs, all_specs) as pool:
-                pool.run_cells(cells, on_cell=finish_cell)
-        else:
-            from ..experiments.runner import (build_scenario_for_spec,
-                                              run_trial, scenario_key)
-
-            # Scenarios are shared across cells (common seeds) but evicted
-            # as soon as their last trial ran, so a large grid holds at
-            # most the scenarios still ahead of it -- not the whole sweep's.
-            uses: Dict[Any, int] = {}
-            for cell in cells:
-                for spec in cell:
-                    key = scenario_key(spec)
-                    uses[key] = uses.get(key, 0) + 1
-            scenarios: Dict[Any, Any] = {}
-            for index, cell in enumerate(cells):
-                trials = []
-                for spec in cell:
-                    key = scenario_key(spec)
-                    scenario = scenarios.get(key)
-                    if scenario is None:
-                        scenario = scenarios[key] = build_scenario_for_spec(spec)
-                    trials.append(run_trial(spec, scenario=scenario))
-                    uses[key] -= 1
-                    if uses[key] == 0:
-                        del scenarios[key]
-                finish_cell(index, trials)
-        return SweepResult(runs=tuple(runs), axes=tuple(names))
-
-    def _apply_axis(self, axis: str, value: Any) -> "Simulation":
-        """Route one sweep-axis value to its fluent method."""
-        if axis == "scenario":
-            entry = SCENARIOS.get(value)
-            # Like the mapper/dropper axes, selecting a scenario resets its
+        if "scenario" in axes:
+            # Like the mapper/dropper axes, sweeping scenarios resets their
             # extra parameters (they are preset-specific); the builder-level
             # arrival-process choice is kept, as every preset accepts it.
-            params = {k: v for k, v in self.scenario_params if k == "arrival"}
-            entry.validate(params)
-            return replace(self, scenario_name=entry.name,
-                           scenario_params=_freeze(params))
-        if axis == "level":
-            return self.level(value)
-        if axis == "mapper":
-            return self.mapper(value)
-        if axis == "dropper":
-            return self.dropper(value)
-        if axis == "scale":
-            return self.scale(value)
-        if axis == "gamma":
-            return self.gamma(value)
-        raise ValueError(f"unknown sweep axis {axis!r}")  # pragma: no cover
+            arrival = {k: v for k, v in self.scenario_params
+                       if k == "arrival"}
+            scenarios = [PointSpec(name=str(v), params=_freeze(arrival))
+                         for v in axes["scenario"]]
+        else:
+            scenarios = [PointSpec(name=self.scenario_name,
+                                   params=self.scenario_params)]
+        if "mapper" in axes:
+            mappers = [PointSpec(name=str(v)) for v in axes["mapper"]]
+        else:
+            mappers = [PointSpec(name=self.mapper_name,
+                                 params=self.mapper_params)]
+        if "dropper" in axes:
+            droppers = [PointSpec(name=str(v)) for v in axes["dropper"]]
+        else:
+            droppers = [PointSpec(name=self.dropper_name,
+                                  params=self.dropper_params)]
+        return ExperimentPlan(
+            name=name if name is not None else ("sweep" if names else "run"),
+            scenarios=scenarios,
+            levels=(list(axes["level"]) if "level" in axes
+                    else [self.level_name]),
+            mappers=mappers,
+            droppers=droppers,
+            scales=(list(axes["scale"]) if "scale" in axes
+                    else [self.scale_value]),
+            gammas=(list(axes["gamma"]) if "gamma" in axes
+                    else [self.gamma_value]),
+            trials=self.num_trials,
+            base_seed=self.base_seed,
+            queue_capacity=self.queue_capacity_value,
+            batch_window=self.batch_window_value,
+            confidence=self.confidence_value,
+            with_cost=self.cost_enabled,
+            incremental=self.incremental_enabled,
+            scoring=self.scoring_backend,
+            n_jobs=self.n_jobs,
+            sweep_axes=tuple(names))
+
+    def sweep(self, on_result: Optional[Callable[[RunResult], None]] = None,
+              **axes: Sequence[Any]) -> SweepResult:
+        """Evaluate the cartesian product of axis values and collect results.
+
+        Accepted axes: ``scenario``, ``level``, ``mapper``, ``dropper``,
+        ``scale`` and ``gamma`` (see :data:`SWEEPABLE_AXES`); ``mapper``/
+        ``dropper`` values reset any previously-set parameters of that axis.
+        All grid points share this builder's ``base_seed``, so every
+        configuration sees the identical workload trials::
+
+            Simulation.scenario("spec").trials(3).sweep(
+                mapper=["PAM", "MM"], dropper=["heuristic", "react"])
+
+        The grid executes through the declarative plan funnel
+        (:meth:`build_plan` + :meth:`~repro.api.plan.ExperimentPlan.execute`),
+        so this is exactly equivalent to compiling the sweep to a plan file
+        and running it.  With ``n_jobs > 1`` the whole grid runs on one
+        persistent :class:`~repro.experiments.runner.TrialPool`: workers
+        stay warm across cells, scenarios (shared between cells by the
+        common seeds) are built once and shipped to each worker once, and
+        every cell's trials are in flight together.  ``on_result`` -- when
+        given -- is invoked with each cell's :class:`RunResult` as soon as
+        that cell completes (possibly out of grid order), so long sweeps can
+        stream progress; the returned :class:`SweepResult` is always in
+        grid order.  Sequential sweeps reuse each distinct scenario across
+        cells as well.
+        """
+        return self.build_plan(**axes).execute(sink=on_result)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

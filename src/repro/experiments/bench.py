@@ -52,7 +52,8 @@ from .runner import TrialSpec, build_system_for_trial
 __all__ = ["BenchCase", "BENCH_CASES", "run_perf_benchmark",
            "run_sweep_benchmark", "compare_to_baseline",
            "format_bench_table", "format_sweep_table",
-           "format_baseline_comparison", "write_bench_json"]
+           "format_baseline_comparison", "write_bench_json",
+           "bench_history", "format_bench_trend"]
 
 
 @dataclass(frozen=True)
@@ -443,6 +444,95 @@ def format_bench_table(payload: Dict[str, Any]) -> str:
             + f"\ngeomean speedup: {payload['geomean_speedup']:.2f}x "
               f"(scale={payload['scale']}, trials={payload['trials']}"
               f"{suffix})")
+
+
+def bench_history(path: str = "benchmarks/perf/BENCH_core.json",
+                  limit: Optional[int] = None,
+                  repo_root: Optional[str] = None) -> Dict[str, Any]:
+    """Speedup history of a committed bench payload across git commits.
+
+    Walks ``git log`` for every commit touching ``path``, reads the payload
+    as of each commit (``git show <sha>:<path>``) and extracts the geomean
+    plus per-case speedups.  Commits where the file is missing or not a core
+    payload are skipped, so the history survives schema growth.  Raises
+    :class:`RuntimeError` outside a git work tree or when no commit carries
+    a readable payload -- ``repro bench --trend`` turns that into a clean
+    exit-2 message.
+    """
+    import subprocess
+
+    root = os.path.abspath(repo_root or os.getcwd())
+    absolute = path if os.path.isabs(path) else os.path.join(root, path)
+    rel = os.path.relpath(absolute, root)
+
+    def _git(*argv: str) -> "subprocess.CompletedProcess":
+        return subprocess.run(["git", *argv], cwd=root, capture_output=True,
+                              text=True)
+
+    log = _git("log", "--format=%H%x00%h%x00%ct%x00%s", "--", rel)
+    if log.returncode != 0:
+        raise RuntimeError(f"git log failed under {root!r}: "
+                           f"{log.stderr.strip() or 'is this a git repo?'}")
+    commits: List[Dict[str, Any]] = []
+    for line in log.stdout.splitlines():
+        if not line.strip():
+            continue
+        sha, short, timestamp, subject = line.split("\x00", 3)
+        show = _git("show", f"{sha}:{rel}")
+        if show.returncode != 0:
+            continue  # file absent at this commit (e.g. before it existed)
+        try:
+            payload = json.loads(show.stdout)
+        except json.JSONDecodeError:
+            continue
+        if "geomean_speedup" not in payload:
+            continue  # not a core payload at this point of history
+        commits.append({
+            "sha": sha,
+            "short": short,
+            "timestamp": int(timestamp),
+            "subject": subject,
+            "geomean_speedup": float(payload["geomean_speedup"]),
+            "scale": payload.get("scale"),
+            "cases": {e["name"]: float(e["speedup"])
+                      for e in payload.get("scenarios", ())},
+        })
+    commits.reverse()  # oldest first, so the chart reads left to right
+    if limit is not None and limit > 0:
+        commits = commits[-limit:]
+    if not commits:
+        raise RuntimeError(f"no commit under {root!r} carries a readable "
+                           f"core bench payload at {rel!r}")
+    return {"path": rel, "commits": commits}
+
+
+def format_bench_trend(history: Dict[str, Any], width: int = 60,
+                       height: int = 12) -> str:
+    """ASCII chart + table of a payload's speedup trajectory over commits."""
+    from ..viz.ascii_charts import line_chart
+    from .reporting import format_aligned_table
+
+    commits = history["commits"]
+    x_values = [c["short"] for c in commits]
+    series: Dict[str, List[float]] = {
+        "geomean": [c["geomean_speedup"] for c in commits]}
+    # Only cases present at every commit chart cleanly; newcomers are still
+    # visible in the table below.
+    common = set(commits[0]["cases"])
+    for commit in commits[1:]:
+        common &= set(commit["cases"])
+    for name in sorted(common):
+        series[name] = [c["cases"][name] for c in commits]
+    chart = ""
+    if len(commits) > 1:
+        chart = line_chart(series, x_values, height=height, width=width,
+                           title=f"speedup history of {history['path']} "
+                                 f"({len(commits)} commits)",
+                           y_label="x") + "\n\n"
+    headers = ["commit", "geomean", "scale", "subject"]
+    rows = [[c["short"], f"{c['geomean_speedup']:.2f}x", str(c["scale"]),
+             c["subject"][:56]] for c in commits]
+    return chart + format_aligned_table(headers, rows)
 
 
 def write_bench_json(payload: Dict[str, Any], path: str) -> None:

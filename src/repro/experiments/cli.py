@@ -1,7 +1,7 @@
 """Command-line interface of the package.
 
-``python -m repro <command> [options]`` exposes both the paper's figure
-harness and the generic fluent-API runner:
+``python -m repro <command> [options]`` exposes the paper's figure harness,
+the generic runner and the declarative plan workflow:
 
 * figure commands regenerate one of the paper's figures (or the §V-F
   drop-share analysis) and print the corresponding table::
@@ -9,12 +9,23 @@ harness and the generic fluent-API runner:
       python -m repro fig7a --scale 0.02 --trials 3
       python -m repro fig8 --levels 20k 30k --no-optimal
 
-* ``run`` executes an arbitrary configuration through the
-  :class:`repro.api.Simulation` builder; passing several values for
-  ``--mapper`` / ``--dropper`` / ``--level`` evaluates the cartesian sweep::
+* ``run`` executes an arbitrary configuration; the flags compile to a
+  declarative :class:`repro.api.plan.ExperimentPlan` internally, and
+  passing several values for ``--mapper`` / ``--dropper`` / ``--level``
+  evaluates the cartesian sweep::
 
       python -m repro run --mapper PAM --dropper heuristic --param beta=1.5
       python -m repro run --mapper PAM MM --dropper heuristic react --trials 3
+
+* ``plan`` works with serialized plans: ``plan run`` executes a
+  ``.toml``/``.json`` plan file (``--spool`` makes the sweep resumable),
+  ``plan resume`` finishes an interrupted spooled sweep, ``plan describe``
+  validates and summarises a plan, and ``plan export`` compiles run-style
+  flags -- or one of the paper's figures -- into a plan file::
+
+      python -m repro plan export --figure fig8 --output fig8.toml
+      python -m repro plan run fig8.toml --spool fig8.jsonl
+      python -m repro plan resume fig8.jsonl
 
 * ``list-mappers`` / ``list-droppers`` / ``list-scenarios`` /
   ``list-arrivals`` print the corresponding registry, including anything
@@ -27,13 +38,14 @@ harness and the generic fluent-API runner:
   gating on a committed baseline via ``--baseline``/``--max-regression``
   with per-case detection via ``--max-regression-case``, softened by
   ``--warn-only``); ``--suite sweep`` times the persistent-pool sweep
-  executor and records multi-process throughput::
+  executor and records multi-process throughput; ``--trend`` renders the
+  committed payload's speedup history across git commits as an ASCII
+  chart::
 
       python -m repro bench --suite core --scale 0.05 --trials 2 \
           --output benchmarks/perf/BENCH_core.json
-      python -m repro bench --suite sweep --trials 2 --jobs 2 \
-          --output benchmarks/perf/BENCH_sweep.json
       python -m repro bench --baseline benchmarks/perf/BENCH_core.json
+      python -m repro bench --trend
 """
 
 from __future__ import annotations
@@ -74,6 +86,29 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                              "mappers/droppers/scenarios (repeatable)")
 
 
+def _add_run_style_options(parser: argparse.ArgumentParser) -> None:
+    """Configuration flags shared by ``run`` and ``plan export``."""
+    parser.add_argument("--scenario", nargs="+", default=["spec"],
+                        help="scenario preset name(s) (default: spec)")
+    parser.add_argument("--level", nargs="+", default=["30k"],
+                        choices=["20k", "30k", "40k"],
+                        help="oversubscription level(s) (default: 30k)")
+    parser.add_argument("--mapper", nargs="+", default=["PAM"],
+                        help="mapping heuristic registry name(s) (default: PAM)")
+    parser.add_argument("--dropper", nargs="+", default=["heuristic"],
+                        help="dropping policy registry name(s) (default: heuristic)")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="dropping-policy parameter, e.g. --param beta=1.5 "
+                             "(repeatable; single-dropper runs only)")
+    parser.add_argument("--arrival", default=None,
+                        help="arrival process registry name (default: poisson)")
+    parser.add_argument("--gamma", type=float, default=1.0,
+                        help="deadline slack coefficient (default 1.0)")
+    parser.add_argument("--cost", action="store_true",
+                        help="track the cost metrics of every trial")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser of the experiment CLI."""
     parser = argparse.ArgumentParser(
@@ -98,30 +133,84 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the exhaustive-search policy in fig8")
 
     run = commands.add_parser(
-        "run", help="run one configuration (or a sweep) through the fluent API")
+        "run", help="run one configuration (or a sweep); the flags compile "
+                    "to a declarative plan internally")
     _add_common_options(run)
-    run.add_argument("--scenario", nargs="+", default=["spec"],
-                     help="scenario preset name(s) (default: spec)")
-    run.add_argument("--level", nargs="+", default=["30k"],
-                     choices=["20k", "30k", "40k"],
-                     help="oversubscription level(s) (default: 30k)")
-    run.add_argument("--mapper", nargs="+", default=["PAM"],
-                     help="mapping heuristic registry name(s) (default: PAM)")
-    run.add_argument("--dropper", nargs="+", default=["heuristic"],
-                     help="dropping policy registry name(s) (default: heuristic)")
-    run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
-                     help="dropping-policy parameter, e.g. --param beta=1.5 "
-                          "(repeatable; single-dropper runs only)")
-    run.add_argument("--arrival", default=None,
-                     help="arrival process registry name (default: poisson)")
-    run.add_argument("--gamma", type=float, default=1.0,
-                     help="deadline slack coefficient (default 1.0)")
-    run.add_argument("--cost", action="store_true",
-                     help="track the cost metrics of every trial")
+    _add_run_style_options(run)
     run.add_argument("--json", action="store_true",
                      help="print the result as JSON instead of text")
     run.add_argument("--metric", default="robustness_pct",
                      help="metric shown in sweep tables (default robustness_pct)")
+
+    plan = commands.add_parser(
+        "plan", help="work with declarative experiment plans "
+                     "(run/resume/describe/export)")
+    plan_commands = plan.add_subparsers(dest="plan_command", required=True,
+                                        metavar="action")
+
+    plan_run = plan_commands.add_parser(
+        "run", help="execute a .toml/.json plan file")
+    plan_run.add_argument("plan_file", help="path to the plan (.toml or .json)")
+    plan_run.add_argument("--jobs", type=int, default=None,
+                          help="override the plan's worker-process count")
+    plan_run.add_argument("--spool", default=None, metavar="PATH",
+                          help="record completed cells to a JSONL spool so "
+                               "the sweep can be resumed after interruption")
+    plan_run.add_argument("--max-cells", type=int, default=None, metavar="N",
+                          help="stop after N fresh cells (deterministic "
+                               "interruption; pair with --spool and resume)")
+    plan_run.add_argument("--json", action="store_true",
+                          help="print the result as JSON instead of text")
+    plan_run.add_argument("--metric", default=None,
+                          help="metric shown in the summary table "
+                               "(default: the plan's first metric)")
+    plan_run.add_argument("--plugin", action="append", default=[],
+                          metavar="MODULE",
+                          help="import MODULE first so it can register "
+                               "custom mappers/droppers/scenarios")
+
+    plan_resume = plan_commands.add_parser(
+        "resume", help="finish an interrupted spooled sweep")
+    plan_resume.add_argument("spool", help="JSONL spool written by plan run "
+                                           "--spool (pins the plan)")
+    plan_resume.add_argument("--jobs", type=int, default=None,
+                             help="override the plan's worker-process count")
+    plan_resume.add_argument("--json", action="store_true",
+                             help="print the result as JSON instead of text")
+    plan_resume.add_argument("--metric", default=None,
+                             help="metric shown in the summary table "
+                                  "(default: the plan's first metric)")
+    plan_resume.add_argument("--plugin", action="append", default=[],
+                             metavar="MODULE",
+                             help="import MODULE first so it can register "
+                                  "custom mappers/droppers/scenarios")
+
+    plan_describe = plan_commands.add_parser(
+        "describe", help="validate a plan file and summarise its grid")
+    plan_describe.add_argument("plan_file",
+                               help="path to the plan (.toml or .json)")
+    plan_describe.add_argument("--plugin", action="append", default=[],
+                               metavar="MODULE",
+                               help="import MODULE first so it can register "
+                                    "custom mappers/droppers/scenarios")
+
+    plan_export = plan_commands.add_parser(
+        "export", help="compile run-style flags (or a figure) to a plan file")
+    _add_common_options(plan_export)
+    _add_run_style_options(plan_export)
+    plan_export.add_argument("--figure", dest="export_figure", default=None,
+                             choices=FIGURE_COMMANDS,
+                             help="export the compiled plan of a paper "
+                                  "figure instead of run-style flags")
+    plan_export.add_argument("--levels", nargs="+", default=None,
+                             choices=["20k", "30k", "40k"],
+                             help="oversubscription levels of the exported "
+                                  "figure (figures 5/6/8/9)")
+    plan_export.add_argument("--no-optimal", action="store_true",
+                             help="skip the exhaustive-search policy in fig8")
+    plan_export.add_argument("--output", default=None, metavar="PATH",
+                             help="write the plan to PATH (.toml or .json); "
+                                  "prints TOML to stdout when omitted")
 
     bench = commands.add_parser(
         "bench", help="run a perf benchmark suite (core: naive vs "
@@ -168,6 +257,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(e.g. benchmarks/perf/BENCH_core.json)")
     bench.add_argument("--json", action="store_true",
                        help="print the payload as JSON instead of a table")
+    bench.add_argument("--trend", action="store_true",
+                       help="instead of running a suite, chart the committed "
+                            "payload's speedup history across git commits")
+    bench.add_argument("--trend-path", default="benchmarks/perf/BENCH_core.json",
+                       metavar="PATH",
+                       help="committed payload whose history is charted "
+                            "(default benchmarks/perf/BENCH_core.json)")
+    bench.add_argument("--trend-limit", type=int, default=None, metavar="N",
+                       help="chart only the last N commits touching the "
+                            "payload (default: all)")
 
     for command in LIST_COMMANDS:
         sub = commands.add_parser(
@@ -180,8 +279,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(scale=args.scale, trials=args.trials,
-                            base_seed=args.seed, n_jobs=args.jobs)
+    """Figure-command knobs, routed through the plan spec.
+
+    The flags populate an :class:`~repro.api.plan.ExperimentPlan` (the
+    package's single configuration description) and the harness config is
+    its thin view -- so the figure commands and the plan workflow can never
+    drift apart on defaults.
+    """
+    from ..api.plan import ExperimentPlan
+
+    plan = ExperimentPlan(scales=[args.scale], trials=args.trials,
+                          base_seed=args.seed, n_jobs=args.jobs)
+    return ExperimentConfig.from_plan(plan)
 
 
 def _load_plugins(args: argparse.Namespace) -> None:
@@ -230,8 +339,13 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, float]:
     return params
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    """The generic ``run`` subcommand: single run or cartesian sweep."""
+def _plan_from_run_args(args: argparse.Namespace) -> "ExperimentPlan":
+    """Compile run-style flags into the declarative plan they describe.
+
+    Shared by ``repro run`` (which then executes the plan) and ``repro plan
+    export`` (which serialises it): the flags are a front-end for plans, not
+    a parallel configuration pipeline.
+    """
     from ..api import Simulation
 
     params = _parse_params(args.param)
@@ -263,17 +377,99 @@ def _command_run(args: argparse.Namespace) -> int:
 
     sim = (sim.level(args.level[0]).mapper(args.mapper[0])
            .dropper(args.dropper[0], **params))
-    if axes:
-        sweep = sim.sweep(**axes)
-        print(sweep.to_json() if args.json else sweep.summary(args.metric))
+    return sim.build_plan(**axes)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    """The generic ``run`` subcommand: single run or cartesian sweep.
+
+    The flags compile to an :class:`~repro.api.plan.ExperimentPlan` and
+    execute through the plan funnel, so ``repro run`` and ``repro plan run``
+    on the equivalent exported file produce identical results.
+    """
+    plan = _plan_from_run_args(args)
+    result = plan.execute()
+    if plan.swept_axes():
+        print(result.to_json() if args.json else result.summary(args.metric))
     else:
-        result = sim.run()
+        run = result.runs[0]
         if args.json:
-            print(result.to_json())
+            print(run.to_json())
         else:
-            print(result.summary())
+            print(run.summary())
             if args.metric != "robustness_pct":
-                print(f"  {args.metric:<28}: {result.metric(args.metric)}")
+                print(f"  {args.metric:<28}: {run.metric(args.metric)}")
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    """The ``plan`` subcommand family: run / resume / describe / export."""
+    from ..api.plan import ExperimentPlan
+
+    if args.plan_command == "describe":
+        print(ExperimentPlan.from_file(args.plan_file).describe())
+        return 0
+
+    if args.plan_command == "export":
+        if args.export_figure:
+            from .figures import figure_plan
+
+            plan = figure_plan(args.export_figure, _config_from_args(args),
+                               levels=args.levels, level=args.level[0],
+                               include_optimal=not args.no_optimal)
+        else:
+            plan = _plan_from_run_args(args)
+        if args.output:
+            plan.to_file(args.output)
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(plan.to_toml(), end="")
+        return 0
+
+    # run / resume share the progress + summary plumbing.
+    if args.plan_command == "resume":
+        plan = ExperimentPlan.from_spool(args.spool)
+        spool: Optional[str] = args.spool
+        max_cells = None
+    else:
+        plan = ExperimentPlan.from_file(args.plan_file)
+        spool = args.spool
+        max_cells = args.max_cells
+    metric = args.metric or plan.metrics[0]
+    total = plan.num_cells()
+    progress = {"done": 0}
+
+    def on_cell(run) -> None:
+        progress["done"] += 1
+        print(f"[{progress['done']}/{total}] {run.label}: "
+              f"{metric}={run.metric(metric):.4f}", file=sys.stderr)
+
+    try:
+        if spool is not None:
+            result = plan.run_spooled(spool, sink=on_cell, n_jobs=args.jobs,
+                                      max_cells=max_cells)
+        else:
+            result = plan.execute(sink=on_cell, n_jobs=args.jobs,
+                                  max_cells=max_cells)
+    except KeyboardInterrupt:
+        if spool is not None:
+            print(f"\ninterrupted; completed cells are spooled -- finish "
+                  f"with: repro plan resume {spool}", file=sys.stderr)
+        else:
+            print("\ninterrupted (no --spool, nothing persisted)",
+                  file=sys.stderr)
+        return 130
+
+    if len(result) < total:
+        print(f"stopped after {len(result)} of {total} cells"
+              + (f"; finish with: repro plan resume {spool}" if spool else ""),
+              file=sys.stderr)
+    if args.json:
+        print(result.to_json())
+    elif total == 1:
+        print(result.runs[0].summary())
+    else:
+        print(result.summary(metric))
     return 0
 
 
@@ -281,11 +477,16 @@ def _command_bench(args: argparse.Namespace) -> int:
     """The ``bench`` subcommand: core or sweep perf suite."""
     import json as _json
 
-    from .bench import (compare_to_baseline, format_baseline_comparison,
-                        format_bench_table, format_sweep_table,
+    from .bench import (bench_history, compare_to_baseline,
+                        format_baseline_comparison, format_bench_table,
+                        format_bench_trend, format_sweep_table,
                         run_perf_benchmark, run_sweep_benchmark,
                         write_bench_json)
 
+    if args.trend:
+        history = bench_history(args.trend_path, limit=args.trend_limit)
+        print(format_bench_trend(history))
+        return 0
     if args.suite == "sweep":
         if args.baseline:
             raise ValueError("--baseline applies to the core suite only")
@@ -356,6 +557,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # hints and parameter validation raises TypeError; show the
             # message without a traceback.
             print(f"repro run: error: {exc}", file=sys.stderr)
+            return 2
+    if args.figure == "plan":
+        try:
+            return _command_plan(args)
+        except (KeyError, TypeError, ValueError, OSError) as exc:
+            # PlanError/SpoolError are ValueErrors, registry typos KeyErrors
+            # and missing plan/spool files OSErrors; all print cleanly.
+            print(f"repro plan: error: {exc}", file=sys.stderr)
             return 2
     config = _config_from_args(args)
     figure = _run_figure(args, config)

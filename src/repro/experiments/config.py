@@ -1,10 +1,18 @@
-"""Experiment configuration shared by all figure reproductions."""
+"""Experiment configuration shared by all figure reproductions.
+
+:class:`ExperimentConfig` is a thin view over the defaults of a declarative
+:class:`~repro.api.plan.ExperimentPlan`: :meth:`ExperimentConfig.plan`
+compiles the knobs into a plan (the package's single execution funnel) and
+:meth:`ExperimentConfig.from_plan` projects a plan's shared knobs back into
+a config.  The figure harness builds its grids through these two hooks, so
+a figure is just a plan plus a mapping of cells onto series.
+"""
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Optional
 
 __all__ = ["ExperimentConfig", "bench_config"]
 
@@ -62,6 +70,42 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Copy of the configuration with some fields replaced."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Plan view
+    # ------------------------------------------------------------------
+    def plan(self, **overrides: Any) -> "ExperimentPlan":
+        """Compile the configuration into an :class:`ExperimentPlan`.
+
+        The config's knobs become the plan's shared defaults (one-value
+        scale/gamma axes, trials/seeds, queue/window/confidence, worker
+        count); ``overrides`` are any :class:`ExperimentPlan` constructor
+        arguments -- typically the grid axes (``levels=…``, ``mappers=…``,
+        ``droppers=…``, ``pairs=…``).  Imported lazily so this module never
+        depends on :mod:`repro.api` at import time.
+        """
+        from ..api.plan import ExperimentPlan
+
+        kwargs: dict = dict(
+            scales=[self.scale], gammas=[self.gamma], trials=self.trials,
+            base_seed=self.base_seed, queue_capacity=self.queue_capacity,
+            batch_window=self.batch_window, confidence=self.confidence,
+            n_jobs=self.n_jobs)
+        kwargs.update(overrides)
+        return ExperimentPlan(**kwargs)
+
+    @classmethod
+    def from_plan(cls, plan: "ExperimentPlan") -> "ExperimentConfig":
+        """Project a plan's shared knobs into a config (the thin view).
+
+        Multi-valued scale/gamma axes keep their first value -- a config
+        describes one point of those axes by construction.
+        """
+        return cls(scale=plan.scales[0], trials=plan.trials,
+                   base_seed=plan.base_seed, gamma=plan.gammas[0],
+                   queue_capacity=plan.queue_capacity,
+                   batch_window=plan.batch_window,
+                   confidence=plan.confidence, n_jobs=plan.n_jobs)
 
 
 def bench_config(scale: Optional[float] = None, trials: Optional[int] = None,

@@ -1,12 +1,14 @@
 """Reproduction of every figure in the paper's evaluation section.
 
-Each ``figureN_*`` function sweeps the corresponding parameter space, runs
-the configured number of workload trials per point, and returns a
-:class:`FigureResult` whose rows mirror the series plotted in the paper.
-Every configuration is executed through the fluent
-:class:`repro.api.Simulation` builder (via :func:`run_configuration`), so
-custom mappers/droppers/scenarios registered in
-:mod:`repro.api.registries` can be swept by name here too:
+Each figure *compiles to one declarative plan*: a ``figN_plan`` builder
+turns the :class:`ExperimentConfig` into an
+:class:`~repro.api.plan.ExperimentPlan` whose grid cells are exactly the
+paper's configurations, the plan executes through the package's single
+funnel (:meth:`ExperimentPlan.execute`, persistent worker pool included),
+and the ``figureN_*`` function maps the resulting cells onto the figure's
+series.  :func:`figure_plan` exposes the compiled plan of any figure by id
+(``repro plan export --figure fig8`` serialises it to a file), so a figure
+grid can be shipped, diffed, resumed and sharded like any other plan.
 
 * Fig. 5  -- effective depth η sweep (PAM + heuristic dropping);
 * Fig. 6  -- robustness improvement factor β sweep (PAM + heuristic);
@@ -28,11 +30,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .config import ExperimentConfig
-from .runner import ConfigurationResult, run_configuration
+from .runner import ConfigurationResult
 
 __all__ = [
     "FigurePoint",
     "FigureResult",
+    "figure_plan",
     "figure5_effective_depth",
     "figure6_beta",
     "figure7a_heterogeneous",
@@ -117,8 +120,43 @@ class FigureResult:
 
 
 # ----------------------------------------------------------------------
+# Plan execution helpers
+# ----------------------------------------------------------------------
+
+def _run_plan(plan) -> List[ConfigurationResult]:
+    """Execute a figure's plan and wrap each cell as a ConfigurationResult.
+
+    Results come back in grid order (the plan's canonical axis order), so
+    the figure functions can zip them against the loops that generated the
+    grid.  Labels default to the trial spec's pretty name
+    (``"PAM+Heuristic"``); figures that need parameterised labels relabel
+    the results they place.
+    """
+    sweep = plan.execute()
+    return [ConfigurationResult(label=run.specs[0].label, specs=run.specs,
+                                aggregate=run.aggregate)
+            for run in sweep.runs]
+
+
+def _relabel(result: ConfigurationResult, label: str) -> ConfigurationResult:
+    return ConfigurationResult(label=label, specs=result.specs,
+                               aggregate=result.aggregate)
+
+
+# ----------------------------------------------------------------------
 # Figure 5: effective depth sweep
 # ----------------------------------------------------------------------
+
+def fig5_plan(config: ExperimentConfig, etas: Sequence[int] = (1, 2, 3, 4, 5),
+              levels: Sequence[str] = DEFAULT_LEVELS,
+              mapper: str = "PAM"):
+    """Compile Fig. 5 (effective-depth sweep) to one plan."""
+    return config.plan(
+        name="fig5-effective-depth", levels=list(levels), mappers=[mapper],
+        droppers=[{"name": "heuristic",
+                   "params": {"beta": 1.0, "eta": int(eta)},
+                   "label": f"Heuristic(eta={int(eta)})"} for eta in etas])
+
 
 def figure5_effective_depth(config: ExperimentConfig,
                             etas: Sequence[int] = (1, 2, 3, 4, 5),
@@ -129,12 +167,12 @@ def figure5_effective_depth(config: ExperimentConfig,
                        title="Impact of effective depth on system robustness",
                        x_label="Effective depth (eta)",
                        y_label="Tasks completed on time (%)")
+    results = iter(_run_plan(fig5_plan(config, etas, levels, mapper)))
     for level in levels:
         series = f"{level} tasks"
         for eta in etas:
-            result = run_configuration(config, "spec", level, mapper, "heuristic",
-                                       {"beta": 1.0, "eta": int(eta)},
-                                       label=f"{mapper}+Heuristic(eta={eta})")
+            result = _relabel(next(results),
+                              f"{mapper}+Heuristic(eta={int(eta)})")
             fig.add_point(series, int(eta), result)
     return fig
 
@@ -142,6 +180,19 @@ def figure5_effective_depth(config: ExperimentConfig,
 # ----------------------------------------------------------------------
 # Figure 6: robustness improvement factor sweep
 # ----------------------------------------------------------------------
+
+def fig6_plan(config: ExperimentConfig,
+              betas: Sequence[float] = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+              levels: Sequence[str] = DEFAULT_LEVELS,
+              mapper: str = "PAM", eta: int = 2):
+    """Compile Fig. 6 (β sweep) to one plan."""
+    return config.plan(
+        name="fig6-beta", levels=list(levels), mappers=[mapper],
+        droppers=[{"name": "heuristic",
+                   "params": {"beta": float(beta), "eta": int(eta)},
+                   "label": f"Heuristic(beta={float(beta)})"}
+                  for beta in betas])
+
 
 def figure6_beta(config: ExperimentConfig,
                  betas: Sequence[float] = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
@@ -152,12 +203,12 @@ def figure6_beta(config: ExperimentConfig,
                        title="Impact of robustness improvement factor",
                        x_label="Robustness improvement factor (beta)",
                        y_label="Tasks completed on time (%)")
+    results = iter(_run_plan(fig6_plan(config, betas, levels, mapper, eta)))
     for level in levels:
         series = f"{level} tasks"
         for beta in betas:
-            result = run_configuration(config, "spec", level, mapper, "heuristic",
-                                       {"beta": float(beta), "eta": eta},
-                                       label=f"{mapper}+Heuristic(beta={beta})")
+            result = _relabel(next(results),
+                              f"{mapper}+Heuristic(beta={float(beta)})")
             fig.add_point(series, float(beta), result)
     return fig
 
@@ -166,17 +217,29 @@ def figure6_beta(config: ExperimentConfig,
 # Figures 7a / 7b / 10: mapping heuristics with and without proactive dropping
 # ----------------------------------------------------------------------
 
+def _mapping_comparison_plan(config: ExperimentConfig, scenario_name: str,
+                             level: str, mappers: Sequence[str], name: str,
+                             eta: int = 2, beta: float = 1.0):
+    return config.plan(
+        name=name, scenarios=[scenario_name], levels=[level],
+        mappers=list(mappers),
+        droppers=[{"name": "heuristic",
+                   "params": {"beta": float(beta), "eta": int(eta)}},
+                  "react"])
+
+
 def _mapping_comparison(config: ExperimentConfig, scenario_name: str, level: str,
                         mappers: Sequence[str], figure_id: str, title: str,
                         eta: int = 2, beta: float = 1.0) -> FigureResult:
     fig = FigureResult(figure_id=figure_id, title=title,
                        x_label="Mapping heuristic",
                        y_label="Tasks completed on time (%)")
+    plan = _mapping_comparison_plan(config, scenario_name, level, mappers,
+                                    f"{figure_id}-comparison", eta, beta)
+    results = iter(_run_plan(plan))
     for mapper in mappers:
-        with_drop = run_configuration(config, scenario_name, level, mapper,
-                                      "heuristic", {"beta": beta, "eta": eta})
-        without_drop = run_configuration(config, scenario_name, level, mapper,
-                                         "react")
+        with_drop = next(results)     # heuristic dropper varies fastest,
+        without_drop = next(results)  # so each mapper yields two cells
         fig.add_point(f"{mapper}+Heuristic", mapper, with_drop)
         fig.add_point(f"{mapper}+ReactDrop", mapper, without_drop)
     return fig
@@ -208,6 +271,21 @@ def figure10_transcoding(config: ExperimentConfig, level: str = "20k",
 # Figure 8: dropping-policy comparison
 # ----------------------------------------------------------------------
 
+def fig8_plan(config: ExperimentConfig,
+              levels: Sequence[str] = DEFAULT_LEVELS, mapper: str = "PAM",
+              include_optimal: bool = True):
+    """Compile Fig. 8 (dropping-policy comparison) to one plan."""
+    droppers: List[object] = []
+    if include_optimal:
+        droppers.append({"name": "optimal"})
+    droppers.extend([
+        {"name": "heuristic", "params": {"beta": 1.0, "eta": 2}},
+        {"name": "threshold-adaptive"},
+    ])
+    return config.plan(name="fig8-dropping-policies", levels=list(levels),
+                       mappers=[mapper], droppers=droppers)
+
+
 def figure8_dropping_policies(config: ExperimentConfig,
                               levels: Sequence[str] = DEFAULT_LEVELS,
                               mapper: str = "PAM",
@@ -217,24 +295,39 @@ def figure8_dropping_policies(config: ExperimentConfig,
                        title="Proactive dropping vs threshold-based dropping",
                        x_label="Oversubscription level",
                        y_label="Tasks completed on time (%)")
-    policies: List[Tuple[str, str, Dict[str, float]]] = []
+    labels: List[str] = []
     if include_optimal:
-        policies.append((f"{mapper}+Optimal", "optimal", {}))
-    policies.extend([
-        (f"{mapper}+Heuristic", "heuristic", {"beta": 1.0, "eta": 2}),
-        (f"{mapper}+Threshold", "threshold-adaptive", {}),
-    ])
+        labels.append(f"{mapper}+Optimal")
+    labels.extend([f"{mapper}+Heuristic", f"{mapper}+Threshold"])
+    plan = fig8_plan(config, levels, mapper, include_optimal)
+    results = iter(_run_plan(plan))
     for level in levels:
-        for label, dropper, params in policies:
-            result = run_configuration(config, "spec", level, mapper, dropper,
-                                       params, label=label)
-            fig.add_point(label, level, result)
+        for label in labels:
+            fig.add_point(label, level, _relabel(next(results), label))
     return fig
 
 
 # ----------------------------------------------------------------------
 # Figure 9: incurred cost
 # ----------------------------------------------------------------------
+
+def fig9_plan(config: ExperimentConfig,
+              levels: Sequence[str] = DEFAULT_LEVELS):
+    """Compile Fig. 9 (incurred cost) to one plan.
+
+    The paper compares three *matched* configurations, so the grid is an
+    explicit pair list rather than a mapper x dropper product.
+    """
+    return config.plan(
+        name="fig9-cost", levels=list(levels), with_cost=True,
+        pairs=[
+            {"mapper": "PAM", "dropper": {"name": "threshold-adaptive"}},
+            {"mapper": "PAM",
+             "dropper": {"name": "heuristic",
+                         "params": {"beta": 1.0, "eta": 2}}},
+            {"mapper": "MM", "dropper": "react"},
+        ])
+
 
 def figure9_cost(config: ExperimentConfig,
                  levels: Sequence[str] = DEFAULT_LEVELS) -> FigureResult:
@@ -243,22 +336,27 @@ def figure9_cost(config: ExperimentConfig,
                        title="Incurred cost of using resources",
                        x_label="Oversubscription level",
                        y_label="Cost / tasks completed on time (%)")
-    configurations = [
-        ("PAM+Threshold", "PAM", "threshold-adaptive", {}),
-        ("PAM+Heuristic", "PAM", "heuristic", {"beta": 1.0, "eta": 2}),
-        ("MM+ReactDrop", "MM", "react", {}),
-    ]
+    labels = ["PAM+Threshold", "PAM+Heuristic", "MM+ReactDrop"]
+    results = iter(_run_plan(fig9_plan(config, levels)))
     for level in levels:
-        for label, mapper, dropper, params in configurations:
-            result = run_configuration(config, "spec", level, mapper, dropper,
-                                       params, with_cost=True, label=label)
-            fig.add_point(label, level, result, metric="cost")
+        for label in labels:
+            fig.add_point(label, level, _relabel(next(results), label),
+                          metric="cost")
     return fig
 
 
 # ----------------------------------------------------------------------
 # Section V-F: reactive share of drops
 # ----------------------------------------------------------------------
+
+def drops_plan(config: ExperimentConfig, level: str = "30k",
+               mapper: str = "PAM"):
+    """Compile the §V-F reactive-share analysis to one plan."""
+    return config.plan(
+        name="vF-reactive-share", levels=[level], mappers=[mapper],
+        droppers=[{"name": "heuristic", "params": {"beta": 1.0, "eta": 2}},
+                  "react"])
+
 
 def reactive_share_analysis(config: ExperimentConfig, level: str = "30k",
                             mapper: str = "PAM") -> FigureResult:
@@ -272,11 +370,51 @@ def reactive_share_analysis(config: ExperimentConfig, level: str = "30k",
                        title="Reactive share of machine-queue drops",
                        x_label="Configuration",
                        y_label="Reactive share of queue drops")
-    with_drop = run_configuration(config, "spec", level, mapper, "heuristic",
-                                  {"beta": 1.0, "eta": 2})
-    without_drop = run_configuration(config, "spec", level, mapper, "react")
+    with_drop, without_drop = _run_plan(drops_plan(config, level, mapper))
     fig.add_point(f"{mapper}+Heuristic", f"{mapper}+Heuristic", with_drop,
                   metric="reactive_share")
     fig.add_point(f"{mapper}+ReactDrop", f"{mapper}+ReactDrop", without_drop,
                   metric="reactive_share")
     return fig
+
+
+# ----------------------------------------------------------------------
+# Plan export
+# ----------------------------------------------------------------------
+
+def figure_plan(figure_id: str, config: ExperimentConfig,
+                levels: Optional[Sequence[str]] = None,
+                level: Optional[str] = None,
+                include_optimal: bool = True):
+    """The compiled :class:`ExperimentPlan` of a figure, by id.
+
+    This is what ``repro plan export --figure figN`` serialises: running the
+    exported plan executes exactly the grid the figure command would, cell
+    for cell and seed for seed.
+    """
+    levels = tuple(levels) if levels else DEFAULT_LEVELS
+    if figure_id == "fig5":
+        return fig5_plan(config, levels=levels)
+    if figure_id == "fig6":
+        return fig6_plan(config, levels=levels)
+    if figure_id == "fig7a":
+        return _mapping_comparison_plan(config, "spec", level or "30k",
+                                        ("MSD", "MM", "PAM"),
+                                        "fig7a-comparison")
+    if figure_id == "fig7b":
+        return _mapping_comparison_plan(config, "homogeneous", level or "30k",
+                                        ("FCFS", "EDF", "SJF", "PAM"),
+                                        "fig7b-comparison")
+    if figure_id == "fig8":
+        return fig8_plan(config, levels=levels,
+                         include_optimal=include_optimal)
+    if figure_id == "fig9":
+        return fig9_plan(config, levels=levels)
+    if figure_id == "fig10":
+        return _mapping_comparison_plan(config, "transcoding", level or "20k",
+                                        ("MSD", "MM", "PAM"),
+                                        "fig10-comparison")
+    if figure_id == "drops":
+        return drops_plan(config, level=level or "30k")
+    raise ValueError(f"unknown figure {figure_id!r}; known: fig5, fig6, "
+                     f"fig7a, fig7b, fig8, fig9, fig10, drops")

@@ -276,20 +276,19 @@ def run_configuration(config: ExperimentConfig, scenario_name: str, level: str,
 
     Trials use seeds ``base_seed + k`` so that every configuration sharing an
     :class:`ExperimentConfig` is evaluated on identical workload trials.
-    Implemented as a thin adapter over the fluent
-    :class:`repro.api.builder.Simulation` builder, so the figure harness and
-    the high-level API execute configurations identically.
+    Implemented as a thin shim over the declarative plan funnel
+    (:meth:`ExperimentConfig.plan` + :meth:`ExperimentPlan.execute`), so
+    the legacy harness, the fluent builder and plan files all execute
+    configurations identically.
     """
-    from ..api.builder import Simulation
-
-    sim = (Simulation.scenario(scenario_name)
-           .configure(config)
-           .level(level)
-           .mapper(mapper_name)
-           .dropper(dropper_name, **(dropper_params or {}))
-           .with_cost(with_cost))
-    run = sim.run(label=label)
-    return ConfigurationResult(label=run.label, specs=run.specs,
+    plan = config.plan(
+        name=f"{mapper_name}+{dropper_name}",
+        scenarios=[scenario_name], levels=[level], mappers=[mapper_name],
+        droppers=[{"name": dropper_name,
+                   "params": dict(dropper_params or {})}],
+        with_cost=with_cost)
+    run = plan.execute().runs[0]
+    return ConfigurationResult(label=label or run.label, specs=run.specs,
                                aggregate=run.aggregate)
 
 

@@ -500,14 +500,78 @@ class OrderedMappingHeuristic(MappingHeuristic):
     Tasks are sorted by :meth:`task_priority` (ascending) and greedily
     assigned, in that order, to the free machine minimising the expected
     completion time.
+
+    Like the two-phase heuristics, ordered heuristics *declare* their
+    ordering: :attr:`priority_columns` names the task-kind score columns of
+    the priority key (most significant first), from which a one-phase
+    :class:`ScoreSpec` is derived -- phase 1 minimises
+    ``expected_completion`` (each task's machine choice), phase 2 the
+    priority columns with a single global winner per round, which is
+    exactly the greedy take-the-most-urgent-task-next loop.  Under
+    ``scoring="vector"`` the declared plane runs on the batched engine of
+    :mod:`repro.mapping.kernel` (identical assignments bit-for-bit, pinned
+    alongside the two-phase heuristics in the equivalence grid); the loop
+    backend -- and any legacy subclass that overrides
+    :meth:`task_priority` -- keeps the historical greedy reference.
     """
 
-    @abc.abstractmethod
+    #: Task-kind score-column names of the priority key, most significant
+    #: first (see :data:`repro.mapping.kernel.SCORE_COLUMNS`).  ``None``
+    #: only for legacy subclasses that override :meth:`task_priority`.
+    priority_columns: ClassVar[Optional[Tuple[str, ...]]] = None
+
+    #: One-phase spec derived from :attr:`priority_columns` (``None`` for
+    #: legacy subclasses); consumed by the vector dispatch below.
+    score_spec: ClassVar[Optional[ScoreSpec]] = None
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        columns = cls.__dict__.get("priority_columns")
+        if columns:
+            cls.score_spec = ScoreSpec(
+                phase1=("expected_completion",),
+                phase2=tuple(columns),
+                assign_per_machine=False)
+
+    def __init__(self):
+        # task_priority used to be @abstractmethod, failing broken
+        # subclasses at instantiation; keep that contract for classes that
+        # declare neither priority_columns nor an override instead of
+        # surfacing a TypeError at the first mapping event of a run.
+        if self.score_spec is None and not self._overrides_priority():
+            raise TypeError(
+                f"{type(self).__name__} must declare priority_columns or "
+                "override task_priority")
+
     def task_priority(self, ctx: MappingContext, task: TaskView) -> Tuple[float, ...]:
-        """Ordering key of a task; smaller values are mapped first."""
+        """Ordering key of a task; smaller values are mapped first.
+
+        The default evaluates the declared :attr:`priority_columns`;
+        legacy subclasses may override it instead (and are then always
+        executed on the greedy reference loop).
+        """
+        columns = self.priority_columns
+        if columns is None:
+            raise TypeError(
+                f"{type(self).__name__} declares no priority_columns; "
+                "either set them or override task_priority")
+        from .kernel import evaluate_columns  # lazy: avoids an import cycle
+
+        return evaluate_columns(columns, ctx, None, task)
+
+    def _overrides_priority(self) -> bool:
+        return (type(self).task_priority
+                is not OrderedMappingHeuristic.task_priority)
 
     def map_tasks(self, tasks: Sequence[TaskView], machines: Sequence[MachineState],
                   ctx: MappingContext) -> List[Assignment]:
+        from .kernel import SMALL_PLANE_TASKS, run_ordered_plane
+
+        spec = self.score_spec
+        if (spec is not None and ctx.scoring == "vector"
+                and len(tasks) >= SMALL_PLANE_TASKS
+                and not self._overrides_priority()):
+            return run_ordered_plane(spec, tasks, machines, ctx)
         ordered = sorted(tasks, key=lambda t: (self.task_priority(ctx, t), t.task_id))
         assignments: List[Assignment] = []
         for task in ordered:

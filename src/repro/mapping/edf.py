@@ -7,18 +7,18 @@ homogeneous-system baselines of Fig. 7b.
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from .base import MappingContext, OrderedMappingHeuristic, TaskView
+from .base import OrderedMappingHeuristic
 
 __all__ = ["EDF"]
 
 
 class EDF(OrderedMappingHeuristic):
-    """Map the most urgent (soonest-deadline) tasks first."""
+    """Map the most urgent (soonest-deadline) tasks first.
+
+    Declared as a one-phase spec (soonest deadline first, arrival order on
+    ties), so the vector scoring backend batches the expected-completion
+    plane instead of scoring machine candidates pair by pair.
+    """
 
     name = "EDF"
-
-    def task_priority(self, ctx: MappingContext, task: TaskView) -> Tuple[float, ...]:
-        """Sooner deadlines are mapped first."""
-        return (float(task.deadline), float(task.arrival))
+    priority_columns = ("deadline", "arrival")

@@ -8,18 +8,18 @@ homogeneous-system baselines of Fig. 7b.
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from .base import MappingContext, OrderedMappingHeuristic, TaskView
+from .base import OrderedMappingHeuristic
 
 __all__ = ["FCFS"]
 
 
 class FCFS(OrderedMappingHeuristic):
-    """Map tasks in arrival order."""
+    """Map tasks in arrival order.
+
+    Declared as a one-phase spec (earlier arrivals win each round), so the
+    vector scoring backend batches the expected-completion plane instead of
+    scoring machine candidates pair by pair.
+    """
 
     name = "FCFS"
-
-    def task_priority(self, ctx: MappingContext, task: TaskView) -> Tuple[float, ...]:
-        """Earlier arrivals are mapped first."""
-        return (float(task.arrival),)
+    priority_columns = ("arrival",)

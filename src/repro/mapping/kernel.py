@@ -39,7 +39,7 @@ from .base import (Assignment, MachineState, MappingContext, ScoreSpec,
                    TaskView, TwoPhaseMappingHeuristic)
 
 __all__ = ["ScoreColumn", "SCORE_COLUMNS", "register_score_column",
-           "evaluate_columns", "run_two_phase"]
+           "evaluate_columns", "run_two_phase", "run_ordered_plane"]
 
 #: Column kinds understood by the vector backend (see :class:`ScoreColumn`).
 COLUMN_KINDS = ("appended_mean", "appended_chance", "task", "static_pair",
@@ -117,6 +117,14 @@ register_score_column(
     "mean_execution",
     lambda ctx, machine, task: ctx.mean_execution(task, machine),
     kind="static_pair")
+register_score_column(
+    "arrival",
+    lambda ctx, machine, task: float(task.arrival),
+    kind="task")
+register_score_column(
+    "mean_execution_over_types",
+    lambda ctx, machine, task: ctx.mean_execution_over_types(task),
+    kind="task")
 
 
 def _column(name: str) -> ScoreColumn:
@@ -174,6 +182,22 @@ def run_two_phase(heuristic: TwoPhaseMappingHeuristic,
             and not _overrides_scores(heuristic)):
         return _map_vector(spec, tasks, machines, ctx)
     return _map_loop(heuristic, tasks, machines, ctx)
+
+
+def run_ordered_plane(spec: ScoreSpec, tasks: Sequence[TaskView],
+                      machines: Sequence[MachineState],
+                      ctx: MappingContext) -> List[Assignment]:
+    """Execute an ordered heuristic's one-phase spec on the vector engine.
+
+    The spec (built by ``OrderedMappingHeuristic.__init_subclass__``) maps
+    the greedy most-urgent-task-first loop onto the two-phase plane: phase 1
+    is the machine choice (minimum expected completion, lowest machine id on
+    ties) and phase 2 the static priority key with one global winner per
+    round -- so the engine commits tasks in exactly the order the reference
+    loop's pre-sort would, while the expected-completion column is filled
+    through the batched kernel and only refilled for moved machines.
+    """
+    return _map_vector(spec, tasks, machines, ctx)
 
 
 def _overrides_scores(heuristic: TwoPhaseMappingHeuristic) -> bool:

@@ -8,18 +8,19 @@ Fig. 7b.
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from .base import MappingContext, OrderedMappingHeuristic, TaskView
+from .base import OrderedMappingHeuristic
 
 __all__ = ["SJF"]
 
 
 class SJF(OrderedMappingHeuristic):
-    """Map the shortest expected tasks first."""
+    """Map the shortest expected tasks first.
+
+    Declared as a one-phase spec (shortest type-averaged execution first,
+    arrival order on ties), so the vector scoring backend batches the
+    expected-completion plane instead of scoring machine candidates pair by
+    pair.
+    """
 
     name = "SJF"
-
-    def task_priority(self, ctx: MappingContext, task: TaskView) -> Tuple[float, ...]:
-        """Shorter expected execution times are mapped first."""
-        return (ctx.mean_execution_over_types(task), float(task.arrival))
+    priority_columns = ("mean_execution_over_types", "arrival")

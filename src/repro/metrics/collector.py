@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..cost.accounting import CostReport, compute_cost_report
 from ..cost.pricing import PricingModel
@@ -14,7 +14,8 @@ from .robustness import RobustnessReport, default_exclusion, robustness_report
 from .stats import MeanCI, mean_confidence_interval
 
 __all__ = ["TrialMetrics", "AggregateMetrics", "collect_trial_metrics",
-           "aggregate_trials"]
+           "aggregate_trials", "trial_metrics_to_dict",
+           "trial_metrics_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,65 @@ def collect_trial_metrics(result: SimulationResult,
                         num_mapping_events=result.num_mapping_events,
                         makespan=result.makespan,
                         perf=result.perf)
+
+
+def trial_metrics_to_dict(metrics: TrialMetrics) -> Dict[str, Any]:
+    """Lossless JSON-serialisable representation of one trial's metrics.
+
+    This is the persistence format of the resumable sweep spool
+    (:class:`repro.api.sinks.JsonlSpoolSink`): every scalar survives a JSON
+    round-trip bit-for-bit (Python's ``repr``-based float serialisation is
+    exact), so :func:`trial_metrics_from_dict` reconstructs a
+    :class:`TrialMetrics` that compares equal to the original.
+    """
+    payload: Dict[str, Any] = {
+        "robustness": {f.name: getattr(metrics.robustness, f.name)
+                       for f in fields(metrics.robustness)},
+        "drops": {f.name: getattr(metrics.drops, f.name)
+                  for f in fields(metrics.drops)},
+        "cost": None,
+        "num_mapping_events": metrics.num_mapping_events,
+        "makespan": metrics.makespan,
+    }
+    if metrics.cost is not None:
+        payload["cost"] = {
+            "total_cost": metrics.cost.total_cost,
+            # JSON objects key by string; the type ids convert back below.
+            "cost_by_machine_type": {
+                str(k): v
+                for k, v in metrics.cost.cost_by_machine_type.items()},
+            "robustness_pct": metrics.cost.robustness_pct,
+            "cost_per_completed_pct": metrics.cost.cost_per_completed_pct,
+        }
+    if metrics.perf is not None:
+        payload["perf"] = {f.name: getattr(metrics.perf, f.name)
+                           for f in fields(metrics.perf)}
+    return payload
+
+
+def trial_metrics_from_dict(payload: Dict[str, Any]) -> TrialMetrics:
+    """Rebuild a :class:`TrialMetrics` from :func:`trial_metrics_to_dict`."""
+    cost = None
+    if payload.get("cost") is not None:
+        raw = payload["cost"]
+        cost = CostReport(
+            total_cost=raw["total_cost"],
+            cost_by_machine_type={int(k): v for k, v
+                                  in raw["cost_by_machine_type"].items()},
+            robustness_pct=raw["robustness_pct"],
+            cost_per_completed_pct=raw["cost_per_completed_pct"])
+    perf = None
+    if payload.get("perf") is not None:
+        known = {f.name for f in fields(PerfStats)}
+        perf = PerfStats(**{k: v for k, v in payload["perf"].items()
+                            if k in known})
+    return TrialMetrics(
+        robustness=RobustnessReport(**payload["robustness"]),
+        drops=DropBreakdown(**payload["drops"]),
+        cost=cost,
+        num_mapping_events=payload["num_mapping_events"],
+        makespan=payload["makespan"],
+        perf=perf)
 
 
 def aggregate_trials(trials: Sequence[TrialMetrics],

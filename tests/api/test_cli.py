@@ -108,6 +108,72 @@ class TestRunCommand:
         assert "accepted: beta, eta" in err
 
 
+class TestPlanCommand:
+    def _export(self, tmp_path, name="p.json", extra=()):
+        out = tmp_path / name
+        code = main(["plan", "export", "--mapper", "PAM", "MM",
+                     "--dropper", "react", "--scale", "0.002",
+                     "--trials", "1", "--seed", "3", "--output", str(out),
+                     *extra])
+        assert code == 0
+        return out
+
+    def test_export_and_describe(self, capsys, tmp_path):
+        out = self._export(tmp_path)
+        capsys.readouterr()
+        assert main(["plan", "describe", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "2 cells" in text and "PAM + react" in text
+
+    def test_export_to_stdout_is_toml(self, capsys):
+        assert main(["plan", "export", "--scale", "0.002",
+                     "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[workload]" in out and "[execution]" in out
+
+    def test_export_figure_plan(self, capsys, tmp_path):
+        out = tmp_path / "fig8.json"
+        assert main(["plan", "export", "--figure", "fig8", "--levels", "20k",
+                     "--no-optimal", "--scale", "0.002", "--trials", "1",
+                     "--output", str(out)]) == 0
+        from repro.api import ExperimentPlan
+
+        plan = ExperimentPlan.from_file(str(out))
+        assert plan.num_cells() == 2  # heuristic + threshold at one level
+
+    def test_plan_run_matches_run_command(self, capsys, tmp_path):
+        out = self._export(tmp_path)
+        assert main(["plan", "run", str(out)]) == 0
+        plan_out = capsys.readouterr().out
+        assert main(["run", "--mapper", "PAM", "MM", "--dropper", "react",
+                     "--scale", "0.002", "--trials", "1", "--seed", "3"]) == 0
+        run_out = capsys.readouterr().out
+        assert plan_out == run_out
+
+    def test_plan_run_interrupt_and_resume(self, capsys, tmp_path):
+        out = self._export(tmp_path)
+        spool = tmp_path / "sweep.jsonl"
+        assert main(["plan", "run", str(out), "--spool", str(spool),
+                     "--max-cells", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "stopped after 1 of 2 cells" in captured.err
+        assert main(["plan", "resume", str(spool), "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 2
+
+    def test_plan_errors_are_clean(self, capsys, tmp_path):
+        assert main(["plan", "run", str(tmp_path / "missing.toml")]) == 2
+        err = capsys.readouterr().err
+        assert "repro plan: error" in err and "Traceback" not in err
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"workloads": {}}')
+        assert main(["plan", "describe", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'workload'" in err
+
+
 class TestBenchCommand:
     def test_bench_parses(self):
         parser = build_parser()

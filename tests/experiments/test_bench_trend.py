@@ -1,0 +1,103 @@
+"""Tests for the bench trajectory chart (``repro bench --trend``)."""
+
+import json
+import shutil
+import subprocess
+
+import pytest
+
+from repro.experiments.bench import bench_history, format_bench_trend
+
+pytestmark = pytest.mark.skipif(shutil.which("git") is None,
+                                reason="git not available")
+
+
+def _payload(geomean, cases):
+    return {
+        "benchmark": "core",
+        "scale": 0.05,
+        "geomean_speedup": geomean,
+        "scenarios": [{"name": name, "speedup": speedup}
+                      for name, speedup in cases.items()],
+    }
+
+
+@pytest.fixture()
+def bench_repo(tmp_path):
+    """A git repo with three commits of a BENCH_core.json history."""
+    root = tmp_path / "repo"
+    root.mkdir()
+    env_args = ["-c", "user.name=bench", "-c", "user.email=bench@test"]
+
+    def git(*argv):
+        subprocess.run(["git", *env_args, *argv], cwd=root, check=True,
+                       capture_output=True)
+
+    git("init", "-q")
+    payload_path = root / "benchmarks" / "perf" / "BENCH_core.json"
+    payload_path.parent.mkdir(parents=True)
+    history = [
+        (1.30, {"case-a": 1.2, "case-b": 1.4}),
+        (1.45, {"case-a": 1.3, "case-b": 1.6}),
+        (1.52, {"case-a": 1.4, "case-b": 1.65, "case-new": 2.0}),
+    ]
+    for i, (geomean, cases) in enumerate(history):
+        payload_path.write_text(json.dumps(_payload(geomean, cases)))
+        git("add", "-A")
+        git("commit", "-q", "-m", f"bench update {i}")
+    return root
+
+
+def test_history_walks_commits_oldest_first(bench_repo):
+    history = bench_history("benchmarks/perf/BENCH_core.json",
+                            repo_root=str(bench_repo))
+    commits = history["commits"]
+    assert len(commits) == 3
+    assert [c["geomean_speedup"] for c in commits] == [1.30, 1.45, 1.52]
+    assert commits[0]["subject"] == "bench update 0"
+    assert commits[-1]["cases"]["case-new"] == 2.0
+
+
+def test_history_limit_keeps_most_recent(bench_repo):
+    history = bench_history("benchmarks/perf/BENCH_core.json",
+                            repo_root=str(bench_repo), limit=2)
+    assert [c["geomean_speedup"] for c in history["commits"]] == [1.45, 1.52]
+
+
+def test_trend_chart_renders_common_cases(bench_repo):
+    history = bench_history("benchmarks/perf/BENCH_core.json",
+                            repo_root=str(bench_repo))
+    text = format_bench_trend(history)
+    # Chart header + legend: geomean and the cases present at every commit;
+    # the newcomer only shows in the table.
+    assert "speedup history" in text
+    assert "geomean" in text and "case-a" in text and "case-b" in text
+    assert "1.52x" in text and "bench update 2" in text
+
+
+def test_outside_git_repo_raises(tmp_path):
+    with pytest.raises(RuntimeError):
+        bench_history("BENCH_core.json", repo_root=str(tmp_path))
+
+
+def test_no_payload_in_history_raises(bench_repo):
+    with pytest.raises(RuntimeError, match="no commit"):
+        bench_history("benchmarks/perf/OTHER.json",
+                      repo_root=str(bench_repo))
+
+
+def test_single_commit_history_renders_table_only(tmp_path):
+    root = tmp_path / "one"
+    root.mkdir()
+    env_args = ["-c", "user.name=bench", "-c", "user.email=bench@test"]
+    subprocess.run(["git", "init", "-q"], cwd=root, check=True,
+                   capture_output=True)
+    (root / "BENCH_core.json").write_text(
+        json.dumps(_payload(1.5, {"case-a": 1.5})))
+    subprocess.run(["git", *env_args, "add", "-A"], cwd=root, check=True,
+                   capture_output=True)
+    subprocess.run(["git", *env_args, "commit", "-q", "-m", "only"],
+                   cwd=root, check=True, capture_output=True)
+    history = bench_history("BENCH_core.json", repo_root=str(root))
+    text = format_bench_trend(history)
+    assert "1.50x" in text and "speedup history" not in text

@@ -4,7 +4,8 @@ import pytest
 
 from repro.experiments.cli import build_parser, main
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.figures import (FigureResult, figure5_effective_depth,
+from repro.experiments.figures import (FigureResult, figure_plan,
+                                       figure5_effective_depth,
                                        figure7a_heterogeneous,
                                        figure8_dropping_policies, figure9_cost,
                                        reactive_share_analysis)
@@ -76,6 +77,41 @@ class TestFigureHarness:
         assert 0.0 <= with_heuristic <= 1.0
         # Without proactive dropping every queue drop is reactive.
         assert react_only == pytest.approx(1.0) or react_only == 0.0
+
+
+class TestFigurePlans:
+    def test_every_figure_compiles_to_a_plan(self):
+        expected_cells = {"fig5": 15, "fig6": 21, "fig7a": 6, "fig7b": 8,
+                          "fig8": 9, "fig9": 9, "fig10": 6, "drops": 2}
+        for figure_id, cells in expected_cells.items():
+            plan = figure_plan(figure_id, TINY)
+            assert plan.num_cells() == cells, figure_id
+            # The compiled plan survives serialisation unchanged.
+            from repro.api import ExperimentPlan
+
+            assert ExperimentPlan.from_dict(plan.to_dict()) == plan
+
+    def test_fig9_uses_matched_pairs(self):
+        plan = figure_plan("fig9", TINY, levels=("20k",))
+        assert plan.with_cost
+        assert [(p.mapper.name, p.dropper.name) for p in plan.pairs] == \
+            [("PAM", "threshold-adaptive"), ("PAM", "heuristic"),
+             ("MM", "react")]
+
+    def test_exported_plan_reproduces_figure_cells(self):
+        # Executing the compiled plan yields exactly the per-cell metrics
+        # the figure function places on its series.
+        plan = figure_plan("drops", TINY)
+        runs = plan.execute().runs
+        fig = reactive_share_analysis(TINY)
+        assert fig.series["PAM+Heuristic"][0].result.aggregate == \
+            runs[0].aggregate
+        assert fig.series["PAM+ReactDrop"][0].result.aggregate == \
+            runs[1].aggregate
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            figure_plan("fig99", TINY)
 
 
 class TestReporting:

@@ -170,6 +170,36 @@ class TestPAM:
 
 
 class TestOrderedHeuristics:
+    def test_declared_priority_columns_build_one_phase_specs(self):
+        for cls, phase2 in ((FCFS, ("arrival",)),
+                            (SJF, ("mean_execution_over_types", "arrival")),
+                            (EDF, ("deadline", "arrival"))):
+            spec = cls.score_spec
+            assert spec is not None
+            assert spec.phase1 == ("expected_completion",)
+            assert spec.phase2 == phase2
+            assert spec.assign_per_machine is False
+
+    def test_undeclared_subclass_fails_at_instantiation(self):
+        from repro.mapping.base import OrderedMappingHeuristic
+
+        class Broken(OrderedMappingHeuristic):
+            name = "broken"
+
+        with pytest.raises(TypeError, match="priority_columns"):
+            Broken()
+
+    def test_legacy_task_priority_override_still_instantiates(self):
+        from repro.mapping.base import OrderedMappingHeuristic
+
+        class Legacy(OrderedMappingHeuristic):
+            name = "legacy"
+
+            def task_priority(self, ctx, task):
+                return (float(task.task_id),)
+
+        assert Legacy().score_spec is None  # pinned to the greedy loop
+
     def test_fcfs_arrival_order(self):
         pet = make_pet([[10]])
         ctx = MappingContext(pet, now=0)

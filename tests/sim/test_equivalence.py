@@ -23,6 +23,8 @@ GRID = [
     ("30k", "PAM", "heuristic", (), 42),
     ("30k", "MM", "heuristic", (("beta", 1.5), ("eta", 3)), 43),
     ("30k", "FCFS", "threshold", (("threshold", 0.4),), 42),
+    ("30k", "SJF", "heuristic", (), 42),
+    ("30k", "EDF", "react", (), 43),
     ("30k", "MSD", "threshold-adaptive", (), 44),
     ("40k", "PAM", "heuristic", (), 7),
     ("40k", "MM", "react", (), 7),
@@ -36,6 +38,16 @@ WIDE_GRID = [
     ("40k", "PAM", "react", (), 42),
     ("40k", "MM", "heuristic", (), 42),
     ("40k", "MSD", "react", (), 43),
+]
+
+#: Ordered heuristics on the same backlogged setup: their declared
+#: one-phase specs must reproduce the greedy reference loop bit-for-bit
+#: while actually running on the plane engine.
+ORDERED_WIDE_GRID = [
+    ("40k", "FCFS", "react", (), 42),
+    ("40k", "SJF", "heuristic", (), 42),
+    ("40k", "EDF", "threshold", (("threshold", 0.4),), 43),
+    ("30k", "FCFS", "heuristic", (), 7),
 ]
 
 
@@ -103,6 +115,30 @@ def test_vector_scoring_bit_identical_wide_windows(level, mapper, dropper,
     # columns and gathers phase-2 diagonals), so identical counts would
     # mean the loop ran both times.
     assert vector.perf.plane_evals != loop.perf.plane_evals
+
+
+@pytest.mark.parametrize("level,mapper,dropper,dropper_params,seed",
+                         ORDERED_WIDE_GRID)
+def test_ordered_heuristics_vector_bit_identical(level, mapper, dropper,
+                                                 dropper_params, seed):
+    """FCFS/SJF/EDF declared specs == greedy reference, on real planes.
+
+    Relaxed deadlines and short queues back the batch queue up into
+    multi-task windows, so the declared one-phase spec actually runs on the
+    vector engine (the loop side never touches the plane, so its round
+    counter stays at zero).
+    """
+    kwargs = dict(gamma=4.0, batch_window=64, queue_capacity=2)
+    loop = run_trial(_spec(level, mapper, dropper, dropper_params, seed,
+                           incremental=True, scoring="loop", **kwargs))
+    vector = run_trial(_spec(level, mapper, dropper, dropper_params, seed,
+                             incremental=True, scoring="vector", **kwargs))
+    assert loop == vector
+    assert loop.robustness == vector.robustness
+    assert loop.drops == vector.drops
+    assert loop.makespan == vector.makespan
+    assert vector.perf.plane_rounds > 0
+    assert loop.perf.plane_rounds == 0
 
 
 @pytest.mark.parametrize("scoring", ["loop", "vector"])

@@ -33,6 +33,20 @@ class TestScenarioSpec:
                 < OVERSUBSCRIPTION_LEVELS["40k"])
         assert PAPER_TASK_COUNTS == {"20k": 20_000, "30k": 30_000, "40k": 40_000}
 
+    def test_serialisation_round_trip(self):
+        spec = ScenarioSpec(name="transcoding", level="40k", scale=0.004,
+                            gamma=2.5, queue_capacity=4, seed=9,
+                            rate_multiplier=1.5, arrival="uniform")
+        payload = spec.to_dict()
+        assert ScenarioSpec.from_dict(payload) == spec
+        import json
+
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown ScenarioSpec key"):
+            ScenarioSpec.from_dict({"level": "30k", "scales": 0.1})
+
 
 class TestScenarioPresets:
     def test_spec_scenario_structure(self):
