@@ -26,6 +26,7 @@ def test_perf_benchmark_smoke(tmp_path):
     assert payload["benchmark"] == "core"
     assert len(payload["scenarios"]) == len(BENCH_CASES)
     assert any(e["compare"] == "scoring" for e in payload["scenarios"])
+    assert any(e["compare"] == "stream" for e in payload["scenarios"])
     for entry in payload["scenarios"]:
         # run_perf_benchmark raises on divergence; the flag records it.
         assert entry["metrics_equal"] is True
@@ -34,8 +35,10 @@ def test_perf_benchmark_smoke(tmp_path):
         perf = entry["incremental_perf"]
         assert perf["pmf_folds"] > 0
         assert perf["tail_cache_hits"] + perf["tail_cache_extends"] > 0
-        if entry["compare"] == "incremental":
-            # The incremental path must fold less than the naive one.
+        if entry["compare"] in ("incremental", "stream"):
+            # The incremental path must fold less than the naive one.  The
+            # stream case compares the same two sides, but driven through
+            # the always-on streaming service instead of a batch trial.
             assert perf["pmf_folds"] < entry["naive_perf"]["pmf_folds"]
         else:
             # Scoring cases compare loop vs vector, both incremental: the

@@ -21,7 +21,9 @@ The public API is organised into subpackages:
 * :mod:`repro.cost` -- machine pricing and cost accounting;
 * :mod:`repro.metrics` -- robustness measurement and statistics;
 * :mod:`repro.experiments` -- the harness reproducing every evaluation
-  figure of the paper.
+  figure of the paper;
+* :mod:`repro.stream` -- service mode: an always-on system fed by live
+  traffic generators, with windowed metrics and snapshot/resume.
 
 Quickstart::
 
@@ -49,6 +51,7 @@ from .core.dropping import (AdaptiveThresholdDropping, NoProactiveDropping,
 from .mapping import EDF, FCFS, MSD, PAM, SJF, MinMin, make_heuristic
 from .metrics import TrialMetrics, collect_trial_metrics
 from .sim import HCSystem, Machine, MachineType, SystemConfig, Task, TaskStatus, TaskType
+from .stream import StreamPlan, StreamSpec, StreamingSimulation
 from .workload import (Scenario, homogeneous_scenario, spec_scenario,
                        transcoding_scenario)
 
@@ -89,6 +92,9 @@ __all__ = [
     "spec_scenario",
     "homogeneous_scenario",
     "transcoding_scenario",
+    "StreamSpec",
+    "StreamingSimulation",
+    "StreamPlan",
     "TrialMetrics",
     "collect_trial_metrics",
     "quick_run",

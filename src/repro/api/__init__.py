@@ -5,7 +5,8 @@ This subpackage is the recommended way to drive the reproduction:
 * :mod:`repro.api.registry` -- the generic :class:`Registry` powering all
   pluggable extension points;
 * :mod:`repro.api.registries` -- the built-in registries (:data:`MAPPERS`,
-  :data:`DROPPERS`, :data:`SCENARIOS`, :data:`ARRIVALS`);
+  :data:`DROPPERS`, :data:`SCENARIOS`, :data:`ARRIVALS`, :data:`TRAFFIC`,
+  :data:`UNCERTAINTY`);
 * :mod:`repro.api.builder` -- the fluent, immutable :class:`Simulation`
   builder with ``run()`` and ``sweep()``;
 * :mod:`repro.api.results` -- :class:`RunResult` / :class:`SweepResult`
@@ -24,7 +25,8 @@ Quickstart::
 from .builder import SWEEPABLE_AXES, Simulation
 from .plan import (PLAN_AXES, ExperimentPlan, PairSpec, PlanCell, PlanError,
                    PointSpec)
-from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
+from .registries import (ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, TRAFFIC,
+                         UNCERTAINTY)
 from .registry import (DuplicateNameError, Registration, Registry,
                        RegistryError, UnknownNameError)
 from .results import METRICS, RunResult, SweepResult
@@ -41,6 +43,8 @@ __all__ = [
     "DROPPERS",
     "SCENARIOS",
     "ARRIVALS",
+    "TRAFFIC",
+    "UNCERTAINTY",
     "Simulation",
     "SWEEPABLE_AXES",
     "RunResult",

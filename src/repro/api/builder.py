@@ -35,7 +35,7 @@ from typing import (Any, Callable, Dict, Mapping, Optional, Sequence,
 
 from ..metrics.collector import aggregate_trials
 from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
-from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
+from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, UNCERTAINTY
 from .results import RunResult, SweepResult
 
 __all__ = ["Simulation", "SWEEPABLE_AXES"]
@@ -77,6 +77,8 @@ class Simulation:
     confidence_value: float = 0.95
     incremental_enabled: bool = True
     scoring_backend: str = "vector"
+    uncertainty_name: str = "none"
+    uncertainty_params: Tuple[Tuple[str, Any], ...] = ()
 
     # ------------------------------------------------------------------
     # Construction
@@ -141,6 +143,20 @@ class Simulation:
         scenario_params = dict(self.scenario_params)
         scenario_params["arrival"] = entry.name
         return replace(self, scenario_params=_freeze(scenario_params))
+
+    def uncertainty(self, name: str = "none", **params: Any) -> "Simulation":
+        """Inject unmodelled execution delay by registry name.
+
+        Selects a model from the :data:`repro.api.registries.UNCERTAINTY`
+        registry ("none", "network_latency", "machine_stall", "composed");
+        every sampled execution time is perturbed through it, emulating the
+        gap between the PET's model and a real platform.  ``"none"``
+        (default) disables the injection.
+        """
+        entry = UNCERTAINTY.get(name)
+        entry.validate(params)
+        return replace(self, uncertainty_name=entry.name,
+                       uncertainty_params=_freeze(params))
 
     def level(self, level: str) -> "Simulation":
         """Set the oversubscription level label ("20k", "30k", "40k")."""
@@ -258,7 +274,9 @@ class Simulation:
                       batch_window=self.batch_window_value,
                       with_cost=self.cost_enabled,
                       incremental=self.incremental_enabled,
-                      scoring=self.scoring_backend)
+                      scoring=self.scoring_backend,
+                      uncertainty_name=self.uncertainty_name,
+                      uncertainty_params=self.uncertainty_params)
             for k in range(self.num_trials))
 
     def describe_config(self) -> Dict[str, Any]:
@@ -280,6 +298,10 @@ class Simulation:
             config["incremental"] = False
         if self.scoring_backend != "vector":
             config["scoring"] = self.scoring_backend
+        if self.uncertainty_name != "none":
+            config["uncertainty"] = self.uncertainty_name
+            if self.uncertainty_params:
+                config["uncertainty_params"] = dict(self.uncertainty_params)
         if self.mapper_params:
             config["mapper_params"] = dict(self.mapper_params)
         if self.dropper_params:
@@ -368,6 +390,8 @@ class Simulation:
             with_cost=self.cost_enabled,
             incremental=self.incremental_enabled,
             scoring=self.scoring_backend,
+            uncertainty=self.uncertainty_name,
+            uncertainty_params=self.uncertainty_params,
             n_jobs=self.n_jobs,
             sweep_axes=tuple(names))
 

@@ -53,7 +53,7 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
 
 from ..metrics.collector import aggregate_trials, trial_metrics_from_dict
 from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
-from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
+from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, UNCERTAINTY
 from .results import METRICS, RunResult, SweepResult
 from .sinks import (CallbackSink, JsonlSpoolSink, ResultSink, SpoolError,
                     read_spool)
@@ -237,6 +237,12 @@ class ExperimentPlan:
     with_cost: bool = False
     incremental: bool = True
     scoring: str = "vector"
+    #: Unmodelled-delay injector applied to every trial ("none" disables).
+    #: Kept out of the serialised execution section when unset, so plans
+    #: written before the axis existed keep their fingerprints (and
+    #: spools).
+    uncertainty: str = "none"
+    uncertainty_params: Tuple[Tuple[str, Any], ...] = ()
     n_jobs: int = 1
     metrics: Tuple[str, ...] = ("robustness_pct",)
     #: Axes to report on the resulting :class:`SweepResult` (and to build
@@ -289,6 +295,11 @@ class ExperimentPlan:
         set_(self, "with_cost", bool(self.with_cost))
         set_(self, "incremental", bool(self.incremental))
         set_(self, "scoring", str(self.scoring))
+        set_(self, "uncertainty", str(self.uncertainty))
+        params = self.uncertainty_params
+        set_(self, "uncertainty_params",
+             _freeze(params) if isinstance(params, Mapping)
+             else tuple((str(k), v) for k, v in params))
         set_(self, "n_jobs", int(self.n_jobs))
         self._validate()
 
@@ -353,6 +364,13 @@ class ExperimentPlan:
         if self.scoring not in _SCORING_BACKENDS:
             raise PlanError(f"unknown scoring backend {self.scoring!r}; "
                             f"expected one of {_SCORING_BACKENDS}")
+        try:
+            entry = UNCERTAINTY.get(self.uncertainty)
+            entry.validate(dict(self.uncertainty_params))
+        except PlanError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanError(str(exc)) from None
         if self.n_jobs < 1:
             raise PlanError("n_jobs must be at least 1")
         for metric in self.metrics:
@@ -438,7 +456,10 @@ class ExperimentPlan:
                                         batch_window=self.batch_window,
                                         with_cost=self.with_cost,
                                         incremental=self.incremental,
-                                        scoring=self.scoring)
+                                        scoring=self.scoring,
+                                        uncertainty_name=self.uncertainty,
+                                        uncertainty_params=(
+                                            self.uncertainty_params))
                                     for k in range(self.trials))
                                 axis_values = (
                                     ("scenario", scenario.name),
@@ -510,6 +531,10 @@ class ExperimentPlan:
             config["incremental"] = False
         if self.scoring != "vector":
             config["scoring"] = self.scoring
+        if self.uncertainty != "none":
+            config["uncertainty"] = self.uncertainty
+            if self.uncertainty_params:
+                config["uncertainty_params"] = dict(self.uncertainty_params)
         if mapper.params:
             config["mapper_params"] = dict(mapper.params)
         if dropper.params:
@@ -548,6 +573,10 @@ class ExperimentPlan:
             "with_cost": self.with_cost,
             "confidence": self.confidence,
         }
+        if self.uncertainty != "none":
+            execution["uncertainty"] = self.uncertainty
+            if self.uncertainty_params:
+                execution["uncertainty_params"] = dict(self.uncertainty_params)
         payload: Dict[str, Any] = {
             "name": self.name,
             "metrics": list(self.metrics),
@@ -580,7 +609,8 @@ class ExperimentPlan:
         execution = payload.get("execution", {})
         _check_keys(execution, ("trials", "base_seed", "n_jobs",
                                 "incremental", "scoring", "with_cost",
-                                "confidence"), "plan execution")
+                                "confidence", "uncertainty",
+                                "uncertainty_params"), "plan execution")
         if "pairs" in grid and ("mappers" in grid or "droppers" in grid):
             raise PlanError("plan grid takes either 'pairs' or "
                             "'mappers'/'droppers', not both")
@@ -602,7 +632,8 @@ class ExperimentPlan:
             if key in grid:
                 kwargs[key] = grid[key]
         for key in ("trials", "base_seed", "n_jobs", "incremental",
-                    "scoring", "with_cost", "confidence"):
+                    "scoring", "with_cost", "confidence", "uncertainty",
+                    "uncertainty_params"):
             if key in execution:
                 kwargs[key] = execution[key]
         return cls(**kwargs)

@@ -23,12 +23,18 @@ from ..core.dropping import (AdaptiveThresholdDropping, DroppingPolicy,
                              NoProactiveDropping, OptimalProactiveDropping,
                              ProactiveHeuristicDropping, ThresholdDropping)
 from ..mapping import EDF, FCFS, MSD, PAM, SJF, MinMin
+from ..sim.faults import (ComposedUncertainty, MachineStallModel,
+                          NetworkLatencyModel, NoUncertainty,
+                          UncertaintyModel)
+from ..stream.traffic import (BurstTraffic, DiurnalTraffic, MixedTraffic,
+                              SteadyTraffic)
 from ..workload.arrivals import PoissonArrivals, UniformArrivals
 from ..workload.scenario import (homogeneous_scenario, spec_scenario,
                                  transcoding_scenario)
 from .registry import Registry
 
-__all__ = ["MAPPERS", "DROPPERS", "SCENARIOS", "ARRIVALS"]
+__all__ = ["MAPPERS", "DROPPERS", "SCENARIOS", "ARRIVALS", "TRAFFIC",
+           "UNCERTAINTY"]
 
 
 # ----------------------------------------------------------------------
@@ -116,3 +122,88 @@ ARRIVALS.add("poisson", PoissonArrivals, params=("rate", "start_time"),
              summary="Homogeneous Poisson process (the paper's arrivals).")
 ARRIVALS.add("uniform", UniformArrivals, params=("rate", "start_time"),
              summary="Deterministic evenly-spaced arrivals.")
+
+
+# ----------------------------------------------------------------------
+# Streaming traffic processes (the open-ended counterpart of ARRIVALS)
+# ----------------------------------------------------------------------
+TRAFFIC: Registry = Registry("traffic process")
+TRAFFIC.add("steady", SteadyTraffic, params=("rate", "start_time"),
+            summary="Constant-rate open-ended traffic.")
+TRAFFIC.add("burst", BurstTraffic,
+            params=("rate", "burst_multiplier", "burst_period",
+                    "burst_length", "start_time"),
+            summary="Base rate with periodic burst windows at a multiplier.")
+TRAFFIC.add("diurnal", DiurnalTraffic,
+            params=("rate", "amplitude", "period", "start_time"),
+            summary="Sinusoidally modulated day/night traffic.")
+
+
+@TRAFFIC.register("mixed",
+                  params=("rate", "steady_weight", "burst_weight",
+                          "diurnal_weight", "burst_multiplier",
+                          "burst_period", "burst_length", "amplitude",
+                          "period", "start_time"),
+                  summary="Weighted mixture of steady + burst + diurnal "
+                          "traffic at a shared mean rate.")
+def _make_mixed_traffic(rate: float, steady_weight: float = 1.0,
+                        burst_weight: float = 1.0,
+                        diurnal_weight: float = 0.0,
+                        burst_multiplier: float = 4.0,
+                        burst_period: int = 2_000, burst_length: int = 400,
+                        amplitude: float = 0.5, period: int = 10_000,
+                        start_time: int = 0) -> MixedTraffic:
+    """Standard three-way mixture; weights are normalised so the mixture's
+    *base* rate stays ``rate`` regardless of the weight split."""
+    total = steady_weight + burst_weight + diurnal_weight
+    if total <= 0:
+        raise ValueError("at least one mixture weight must be positive")
+    components = [
+        (steady_weight / total, SteadyTraffic(rate=rate,
+                                              start_time=start_time)),
+        (burst_weight / total, BurstTraffic(rate=rate,
+                                            burst_multiplier=burst_multiplier,
+                                            burst_period=burst_period,
+                                            burst_length=burst_length,
+                                            start_time=start_time)),
+        (diurnal_weight / total, DiurnalTraffic(rate=rate,
+                                                amplitude=amplitude,
+                                                period=period,
+                                                start_time=start_time)),
+    ]
+    return MixedTraffic([(w, p) for w, p in components if w > 0],
+                        start_time=start_time)
+
+
+# ----------------------------------------------------------------------
+# Uncertainty (unmodelled-delay) injectors
+# ----------------------------------------------------------------------
+UNCERTAINTY: Registry = Registry("uncertainty model")
+UNCERTAINTY.add("none", NoUncertainty, params=(),
+                summary="No unmodelled delay (PET samples used as drawn).")
+UNCERTAINTY.add("network_latency", NetworkLatencyModel,
+                params=("mean_latency", "jitter_probability", "jitter_scale"),
+                summary="Additive network latency with occasional jitter "
+                        "spikes.")
+UNCERTAINTY.add("machine_stall", MachineStallModel,
+                params=("stall_probability", "min_stall", "max_stall"),
+                summary="Rare long machine stalls (GC pauses, contention).")
+
+
+@UNCERTAINTY.register("composed", params=("models",),
+                      summary="Composition of named uncertainty models, "
+                              "applied in order.")
+def _make_composed_uncertainty(models=("network_latency", "machine_stall"),
+                               ) -> UncertaintyModel:
+    """Compose registered models by name; each name may also be a
+    ``(name, params_dict)`` pair for per-component parameters."""
+    built = []
+    for entry in models:
+        if isinstance(entry, str):
+            name, params = entry, {}
+        else:
+            name, params = entry
+        if name == "composed":
+            raise ValueError("composed uncertainty cannot nest itself")
+        built.append(UNCERTAINTY.create(name, **dict(params)))
+    return ComposedUncertainty(built)

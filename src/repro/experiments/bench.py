@@ -70,6 +70,12 @@ class BenchCase:
       suite.  The payload keeps the ``naive_s`` / ``incremental_s`` keys
       (baseline = first backend, contender = second) so schemas stay
       stable.
+    * ``"stream"`` -- the streaming service driver
+      (:class:`~repro.stream.service.StreamingSimulation`) pumping steady
+      traffic to a scale-derived horizon, naive scheduler views against
+      the incremental machinery; pins the service mode's hot path.
+      ``level`` is unused (streaming rates come from the spec's
+      oversubscription factor).
     """
 
     name: str
@@ -99,6 +105,7 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
               batch_window=64, compare="scoring"),
     BenchCase(name="spec-40k-MSD-plane-g5-w64", level="40k", mapper="MSD",
               gamma=5.0, batch_window=64, compare="scoring"),
+    BenchCase(name="stream-steady", dropper="heuristic", compare="stream"),
 )
 
 
@@ -120,6 +127,38 @@ def _spec_for(case: BenchCase, scale: float, seed: int,
                      incremental=incremental, scoring=scoring)
 
 
+def _timed_stream_trial(case: BenchCase, scale: float, seed: int,
+                        baseline: bool, repeats: int = 1,
+                        ) -> Tuple[float, TrialMetrics]:
+    """Time the streaming service driver over a scale-derived horizon.
+
+    The horizon is chosen so the run handles roughly the task count of a
+    batch trial at the same ``scale`` (30k-level arrivals), keeping stream
+    and batch cases comparable in the same payload.  Service construction
+    (scenario/PET build) happens outside the timed section.
+    """
+    from ..stream import StreamSpec, StreamingSimulation
+
+    spec = StreamSpec(scenario_name=case.scenario, traffic_name="steady",
+                      gamma=case.gamma, batch_window=case.batch_window,
+                      seed=seed, mapper_name=case.mapper,
+                      dropper_name=case.dropper,
+                      dropper_params=case.dropper_params,
+                      incremental=not baseline)
+    best = None
+    metrics = None
+    for _ in range(max(1, int(repeats))):
+        service = StreamingSimulation(spec)
+        horizon = int(round(30_000 * scale / service.arrival_rate))
+        start = time.perf_counter()
+        service.run_until(horizon)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            metrics = service.metrics()
+    return best, metrics
+
+
 def _timed_trial(case: BenchCase, scale: float, seed: int,
                  baseline: bool, repeats: int = 1,
                  ) -> Tuple[float, TrialMetrics]:
@@ -132,6 +171,8 @@ def _timed_trial(case: BenchCase, scale: float, seed: int,
     """
     from ..workload.scenario import build_scenario
 
+    if case.compare == "stream":
+        return _timed_stream_trial(case, scale, seed, baseline, repeats)
     spec = _spec_for(case, scale, seed, baseline)
     scenario = build_scenario(spec.scenario_name, level=spec.level,
                               scale=spec.scale, gamma=spec.gamma,

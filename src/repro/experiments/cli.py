@@ -27,9 +27,19 @@ the generic runner and the declarative plan workflow:
       python -m repro plan run fig8.toml --spool fig8.jsonl
       python -m repro plan resume fig8.jsonl
 
+* ``serve`` runs the streaming service mode: an always-on system fed by a
+  live traffic process, with per-window dashboard lines, periodic
+  snapshots and bit-identical resume::
+
+      python -m repro serve --traffic burst --rate 1.55 --horizon 20000
+      python -m repro serve --horizon 20000 --snapshot-every 5000 \
+          --snapshot service.json
+      python -m repro serve --restore service.json --horizon 40000
+
 * ``list-mappers`` / ``list-droppers`` / ``list-scenarios`` /
-  ``list-arrivals`` print the corresponding registry, including anything
-  registered by user code imported via ``--plugin module``.
+  ``list-arrivals`` / ``list-traffic`` / ``list-uncertainty`` print the
+  corresponding registry, including anything registered by user code
+  imported via ``--plugin module``.
 
 * ``bench`` runs a perf suite: ``--suite core`` times the simulation
   core's incremental machinery against the naive recomputation on pinned
@@ -67,7 +77,7 @@ __all__ = ["main", "build_parser"]
 FIGURE_COMMANDS = ("fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
                    "drops")
 LIST_COMMANDS = ("list-mappers", "list-droppers", "list-scenarios",
-                 "list-arrivals")
+                 "list-arrivals", "list-traffic", "list-uncertainty")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +117,13 @@ def _add_run_style_options(parser: argparse.ArgumentParser) -> None:
                         help="deadline slack coefficient (default 1.0)")
     parser.add_argument("--cost", action="store_true",
                         help="track the cost metrics of every trial")
+    parser.add_argument("--uncertainty", default=None,
+                        help="unmodelled-delay injector registry name "
+                             "(e.g. network_latency; default: none)")
+    parser.add_argument("--uncertainty-param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="uncertainty-model parameter, e.g. "
+                             "--uncertainty-param mean_latency=5 (repeatable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,6 +285,75 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chart only the last N commits touching the "
                             "payload (default: all)")
 
+    serve = commands.add_parser(
+        "serve", help="run the streaming service mode: live traffic into an "
+                      "always-on system with windowed metrics and "
+                      "snapshot/resume")
+    serve.add_argument("--plan", default=None, metavar="FILE",
+                       help="load a StreamPlan (.toml/.json) instead of "
+                            "building one from the flags below")
+    serve.add_argument("--restore", default=None, metavar="PATH",
+                       help="resume from a snapshot file written by "
+                            "--snapshot (bit-identical continuation)")
+    serve.add_argument("--scenario", default="spec",
+                       help="scenario preset supplying platform and PET "
+                            "(default: spec)")
+    serve.add_argument("--traffic", default="steady",
+                       help="traffic process registry name "
+                            "(default: steady; see list-traffic)")
+    serve.add_argument("--rate", type=float, default=1.55,
+                       help="mean arrival rate as a multiple of platform "
+                            "capacity (default 1.55, the paper's mid level)")
+    serve.add_argument("--traffic-param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="traffic-process parameter, e.g. "
+                            "--traffic-param burst_multiplier=6 (repeatable)")
+    serve.add_argument("--horizon", type=int, default=50_000,
+                       help="simulation time to advance the service to "
+                            "(default 50000)")
+    serve.add_argument("--mapper", default="PAM",
+                       help="mapping heuristic registry name (default: PAM)")
+    serve.add_argument("--dropper", default="heuristic",
+                       help="dropping policy registry name "
+                            "(default: heuristic)")
+    serve.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="dropping-policy parameter, e.g. --param beta=1.5 "
+                            "(repeatable)")
+    serve.add_argument("--gamma", type=float, default=1.0,
+                       help="deadline slack coefficient (default 1.0)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="base random seed (default 0)")
+    serve.add_argument("--uncertainty", default=None,
+                       help="unmodelled-delay injector registry name "
+                            "(default: none; see list-uncertainty)")
+    serve.add_argument("--uncertainty-param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="uncertainty-model parameter (repeatable)")
+    serve.add_argument("--window", type=int, default=500,
+                       help="tumbling metrics window length (default 500)")
+    serve.add_argument("--decay", type=float, default=0.2,
+                       help="EWMA smoothing factor of the live metrics "
+                            "(default 0.2)")
+    serve.add_argument("--snapshot-every", type=int, default=0,
+                       metavar="DT",
+                       help="write a snapshot every DT time units "
+                            "(0 disables; requires --snapshot)")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="snapshot file to write (at --snapshot-every "
+                            "checkpoints, and always at the final horizon)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the per-window dashboard lines")
+    serve.add_argument("--chart", action="store_true",
+                       help="render the timeline as an ASCII chart at the "
+                            "end of the run")
+    serve.add_argument("--json", action="store_true",
+                       help="print final metrics and timeline as JSON")
+    serve.add_argument("--plugin", action="append", default=[],
+                       metavar="MODULE",
+                       help="import MODULE first so it can register custom "
+                            "traffic/mappers/droppers")
+
     for command in LIST_COMMANDS:
         sub = commands.add_parser(
             command, help=f"list registered {command.split('-', 1)[1]}")
@@ -377,6 +463,11 @@ def _plan_from_run_args(args: argparse.Namespace) -> "ExperimentPlan":
 
     sim = (sim.level(args.level[0]).mapper(args.mapper[0])
            .dropper(args.dropper[0], **params))
+    if args.uncertainty:
+        sim = sim.uncertainty(args.uncertainty,
+                              **_parse_params(args.uncertainty_param))
+    elif args.uncertainty_param:
+        raise SystemExit("--uncertainty-param requires --uncertainty")
     return sim.build_plan(**axes)
 
 
@@ -525,13 +616,113 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: streaming service mode.
+
+    Builds (or restores) a :class:`~repro.stream.service.StreamingSimulation`,
+    advances it to the horizon -- pausing at ``--snapshot-every`` checkpoints
+    to persist the state -- and reports the windowed timeline.
+    """
+    import json as _json
+
+    from ..stream import (StreamPlan, StreamSpec, StreamingSimulation,
+                          read_snapshot, write_snapshot)
+
+    if args.snapshot_every and not args.snapshot:
+        raise ValueError("--snapshot-every needs --snapshot PATH to write to")
+
+    on_window = None
+    if not args.quiet and not args.json:
+        def on_window(stats):
+            # format_window is an instance method but keeps no state; bind
+            # lazily so restored services report through their own live view.
+            print(service.live.format_window(stats), file=sys.stderr)
+
+    if args.restore:
+        service = StreamingSimulation.restore(read_snapshot(args.restore),
+                                              on_window=on_window)
+        plan = StreamPlan(name="resumed", stream=service.spec,
+                          horizon=args.horizon,
+                          snapshot_every=args.snapshot_every)
+    elif args.plan:
+        plan = StreamPlan.from_file(args.plan)
+        service = StreamingSimulation(plan.stream, on_window=on_window)
+    else:
+        uncertainty_params = _parse_params(args.uncertainty_param)
+        if uncertainty_params and not args.uncertainty:
+            raise ValueError("--uncertainty-param requires --uncertainty")
+        spec = StreamSpec(
+            scenario_name=args.scenario,
+            traffic_name=args.traffic,
+            oversubscription=args.rate,
+            gamma=args.gamma,
+            seed=args.seed,
+            mapper_name=args.mapper,
+            dropper_name=args.dropper,
+            dropper_params=_parse_params(args.param),
+            traffic_params=_parse_params(args.traffic_param),
+            uncertainty_name=args.uncertainty or "none",
+            uncertainty_params=uncertainty_params,
+            metrics_window=args.window,
+            metrics_decay=args.decay)
+        plan = StreamPlan(name="serve", stream=spec, horizon=args.horizon,
+                          snapshot_every=args.snapshot_every)
+        service = StreamingSimulation(spec, on_window=on_window)
+
+    if plan.horizon <= service.horizon:
+        raise ValueError(f"--horizon {plan.horizon} does not advance the "
+                         f"service (already at {service.horizon})")
+    if not args.json:
+        print(service.describe(), file=sys.stderr)
+    for point in plan.checkpoints():
+        if point <= service.horizon:
+            continue
+        service.run_until(point)
+        if args.snapshot and point < plan.horizon:
+            write_snapshot(service, args.snapshot)
+            print(f"snapshot at t={point} -> {args.snapshot}",
+                  file=sys.stderr)
+    if args.snapshot:
+        write_snapshot(service, args.snapshot)
+        print(f"snapshot at t={service.horizon} -> {args.snapshot}",
+              file=sys.stderr)
+
+    from ..metrics.collector import trial_metrics_to_dict
+
+    metrics = service.metrics()
+    timeline = service.timeline()
+    if args.json:
+        print(_json.dumps({"spec": service.spec.to_dict(),
+                           "horizon": service.horizon,
+                           "metrics": trial_metrics_to_dict(metrics),
+                           "timeline": timeline.to_dict()},
+                          indent=2, sort_keys=True))
+    else:
+        if args.chart:
+            print(timeline.chart(keys=("completion_rate", "drop_rate",
+                                       "ewma_drop_rate")))
+        rob = metrics.robustness
+        print(f"{service.describe()}\n"
+              f"  windows closed : {len(timeline)}\n"
+              f"  robustness     : {metrics.robustness_pct:.2f}% "
+              f"({rob.on_time}/{rob.measured_tasks} on time)\n"
+              f"  completed late : {rob.completed_late}\n"
+              f"  dropped        : {rob.dropped_proactive} proactive, "
+              f"{rob.dropped_reactive} reactive, "
+              f"{rob.expired_batch} expired")
+    return 0
+
+
 def _command_list(args: argparse.Namespace) -> int:
     """The ``list-*`` subcommands: print one registry."""
-    from ..api import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS
+    from ..api import (ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, TRAFFIC,
+                       UNCERTAINTY)
 
     registry = {"list-mappers": MAPPERS, "list-droppers": DROPPERS,
                 "list-scenarios": SCENARIOS,
-                "list-arrivals": ARRIVALS}[args.figure]
+                "list-arrivals": ARRIVALS,
+                "list-traffic": TRAFFIC,
+                "list-uncertainty": UNCERTAINTY}[args.figure]
     print(registry.describe())
     return 0
 
@@ -557,6 +748,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # hints and parameter validation raises TypeError; show the
             # message without a traceback.
             print(f"repro run: error: {exc}", file=sys.stderr)
+            return 2
+    if args.figure == "serve":
+        try:
+            return _command_serve(args)
+        except (KeyError, TypeError, ValueError, OSError) as exc:
+            # Registry typos, bad snapshot payloads and missing plan or
+            # snapshot files all print cleanly without a traceback.
+            print(f"repro serve: error: {exc}", file=sys.stderr)
             return 2
     if args.figure == "plan":
         try:

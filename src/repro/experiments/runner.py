@@ -100,6 +100,10 @@ class TrialSpec:
         Forwarded to :class:`~repro.sim.system.SystemConfig`: score-plane
         backend of the two-phase mapping heuristics (``"vector"`` batched
         NumPy engine, ``"loop"`` per-pair reference; identical results).
+    uncertainty_name / uncertainty_params:
+        Unmodelled-delay injector from the
+        :data:`repro.api.registries.UNCERTAINTY` registry, applied to every
+        sampled execution time (``"none"`` disables, the default).
     """
 
     scenario_name: str
@@ -117,6 +121,8 @@ class TrialSpec:
     scenario_params: Tuple[Tuple[str, object], ...] = ()
     incremental: bool = True
     scoring: str = "vector"
+    uncertainty_name: str = "none"
+    uncertainty_params: Tuple[Tuple[str, object], ...] = ()
 
     @property
     def dropper_kwargs(self) -> Dict[str, float]:
@@ -132,6 +138,11 @@ class TrialSpec:
     def scenario_kwargs(self) -> Dict[str, object]:
         """Extra scenario-factory parameters as a dictionary."""
         return dict(self.scenario_params)
+
+    @property
+    def uncertainty_kwargs(self) -> Dict[str, object]:
+        """Uncertainty-model parameters as a dictionary."""
+        return dict(self.uncertainty_params)
 
     @property
     def label(self) -> str:
@@ -157,6 +168,11 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
     """Assemble a simulator instance for one trial of ``scenario``."""
     mapper = make_heuristic(spec.mapper_name, **spec.mapper_kwargs)
     dropper = make_dropper(spec.dropper_name, **spec.dropper_kwargs)
+    uncertainty = None
+    if spec.uncertainty_name != "none":
+        from ..api.registries import UNCERTAINTY
+        uncertainty = UNCERTAINTY.create(spec.uncertainty_name,
+                                         **spec.uncertainty_kwargs)
     config = SystemConfig(queue_capacity=spec.queue_capacity,
                           batch_window=spec.batch_window,
                           incremental=spec.incremental,
@@ -168,7 +184,8 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
                       mapper=mapper,
                       dropper=dropper,
                       config=config,
-                      rng=rng)
+                      rng=rng,
+                      uncertainty=uncertainty)
     system.submit(scenario.fresh_tasks())
     return system
 

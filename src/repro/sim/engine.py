@@ -8,6 +8,21 @@ heap-based engine provides everything the HC-system simulator needs:
 * a monotonically advancing integer clock, and
 * a run loop that dispatches events to a handler until the event queue
   drains or a step/time limit is reached.
+
+Clock semantics, pinned by ``tests/sim/test_engine_clock.py`` (the
+streaming driver performs many back-to-back ``run(until=...)`` calls and
+depends on them exactly):
+
+* :meth:`SimulationEngine.schedule` rejects events strictly before ``now``
+  but accepts events *at* ``now`` -- a handler may schedule more work at
+  the current instant.
+* ``run(until=t)`` leaves the clock exactly at ``t`` even when the last
+  event fired earlier (or no event fired at all), so repeated horizons
+  observe the full span they asked for.
+* An early ``stop_when`` exit intentionally leaves the clock at the last
+  *dispatched* event, not at ``until``: the remaining span was never
+  simulated, and pretending otherwise would let callers schedule "past"
+  events into it.
 """
 
 from __future__ import annotations
@@ -80,6 +95,33 @@ class SimulationEngine:
     def peek_time(self) -> Optional[int]:
         """Time of the next event, or ``None`` if the queue is empty."""
         return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    def pending_snapshot(self) -> List[Event]:
+        """Pending events in dispatch order (time, priority, insertion).
+
+        The returned list is decoupled from the heap; together with
+        :meth:`load_state` it lets a snapshot serialise and later rebuild
+        the queue with the dispatch order exactly preserved.
+        """
+        return [entry[3] for entry in sorted(self._heap, key=lambda e: e[:3])]
+
+    def load_state(self, now: int, dispatched: int,
+                   events: List[Event]) -> None:
+        """Reset the engine to a snapshotted state.
+
+        ``events`` must be in dispatch order (as produced by
+        :meth:`pending_snapshot`): re-scheduling them in that order assigns
+        fresh insertion sequence numbers that reproduce the original
+        tie-breaking.  Only valid on a fresh engine -- nothing may have
+        been scheduled or dispatched yet.
+        """
+        if self._heap or self._dispatched or self._sequence:
+            raise RuntimeError("load_state requires a fresh engine")
+        self._now = int(now)
+        self._dispatched = int(dispatched)
+        for event in events:
+            self.schedule(event)
 
     def step(self, handler: EventHandler) -> Optional[Event]:
         """Dispatch the next event (if any) and return it."""

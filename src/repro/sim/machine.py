@@ -132,6 +132,25 @@ class Machine:
         self.started_tasks += 1
         return task_id
 
+    def restore_runtime_state(self, running_task: Optional[int],
+                              pending: List[int], busy_time: int,
+                              started_tasks: int) -> None:
+        """Overwrite the runtime state wholesale (streaming snapshot restore).
+
+        Bypasses the per-transition guards of the normal API on purpose:
+        the snapshot records a state those transitions already produced.
+        """
+        if len(pending) + (1 if running_task is not None else 0) \
+                > self.queue_capacity:
+            raise ValueError(f"snapshot overfills machine {self.id} "
+                             f"(capacity {self.queue_capacity})")
+        if busy_time < 0 or started_tasks < 0:
+            raise ValueError("busy_time/started_tasks cannot be negative")
+        self.running_task = None if running_task is None else int(running_task)
+        self._pending = deque(int(t) for t in pending)
+        self.busy_time = int(busy_time)
+        self.started_tasks = int(started_tasks)
+
     def finish_running(self, task_id: int, busy: int) -> None:
         """Clear the running slot after the given task completes."""
         if self.running_task != task_id:

@@ -1,0 +1,44 @@
+"""Streaming service mode: always-on simulation of live traffic.
+
+The batch funnel (scenario -> finite task stream -> run to drain) answers
+"what happened over this workload"; this package answers "what is
+happening *right now*" for a service that never drains:
+
+* :mod:`~repro.stream.traffic` -- open-ended, seeded ``(time, task_type)``
+  generators (steady / burst / diurnal / mixed), registered in
+  :data:`repro.api.registries.TRAFFIC`;
+* :mod:`~repro.stream.service` -- :class:`StreamingSimulation`, pumping a
+  traffic stream into a long-lived :class:`~repro.sim.system.HCSystem` in
+  bounded chunks, advanced through explicit horizons;
+* :mod:`~repro.stream.live_metrics` -- tumbling-window + EWMA views of
+  completion/drop/miss rates and queue depths, as a chartable timeline;
+* :mod:`~repro.stream.snapshot` -- bit-identical snapshot/resume of the
+  full live state as a JSON artifact;
+* :mod:`~repro.stream.plan` -- :class:`StreamPlan`, the declarative
+  one-file description of a service run (``repro serve --plan ...``).
+"""
+
+from .live_metrics import LiveMetrics, MetricsTimeline, WindowStats
+from .plan import StreamPlan
+from .service import StreamingSimulation, StreamSpec
+from .snapshot import read_snapshot, restore_state, snapshot_state, write_snapshot
+from .traffic import (BurstTraffic, DiurnalTraffic, MixedTraffic,
+                      SteadyTraffic, TrafficProcess)
+
+__all__ = [
+    "TrafficProcess",
+    "SteadyTraffic",
+    "BurstTraffic",
+    "DiurnalTraffic",
+    "MixedTraffic",
+    "StreamSpec",
+    "StreamingSimulation",
+    "LiveMetrics",
+    "MetricsTimeline",
+    "WindowStats",
+    "StreamPlan",
+    "snapshot_state",
+    "restore_state",
+    "write_snapshot",
+    "read_snapshot",
+]

@@ -1,0 +1,387 @@
+"""The streaming driver: an always-on HC system fed by live traffic.
+
+:class:`StreamingSimulation` is the service-mode counterpart of the batch
+trial runner.  Instead of generating all ``n_tasks`` arrivals up front and
+running the event loop to drain, it wraps one long-lived
+:class:`~repro.sim.system.HCSystem` and pumps an *infinite* traffic stream
+(:mod:`repro.stream.traffic`) into it in bounded chunks, so the event heap
+never holds more than a small slice of the future.  Callers advance the
+service through explicit horizons (:meth:`StreamingSimulation.run_until` /
+:meth:`run_for`); between horizons a :class:`~repro.stream.live_metrics.
+LiveMetrics` observer folds the trace into tumbling windows.
+
+Chunking is invisible: arrivals are submitted in stream order, completions
+always fire at least one time unit after they are scheduled, and
+simultaneous events dispatch in a fixed (priority, sequence) order -- so
+any sequence of ``run_until`` horizons and any chunk size produce the same
+event dispatch sequence, the same :class:`~repro.metrics.collector.
+TrialMetrics` and the same metrics timeline.  The snapshot/resume pin
+(:mod:`repro.stream.snapshot`) is built on exactly this property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..mapping import make_heuristic
+from ..metrics.collector import TrialMetrics, collect_trial_metrics
+from ..sim.system import HCSystem, SystemConfig
+from ..sim.task import Task
+from ..workload.arrivals import rate_for_oversubscription
+from ..workload.deadlines import PaperDeadlinePolicy
+from ..workload.scenario import build_scenario
+from .live_metrics import LiveMetrics, MetricsTimeline, WindowStats
+
+__all__ = ["StreamSpec", "StreamingSimulation"]
+
+#: Seed offset of the traffic-generation stream.  Decoupled from workload
+#: generation (seed) and execution sampling (seed + EXECUTION_SEED_OFFSET)
+#: so the three streams never alias.
+TRAFFIC_SEED_OFFSET = 7_919
+
+#: Seed offset of the execution-time sampling stream -- the same split the
+#: batch runner uses, so a streaming run and a batch trial sharing a seed
+#: draw execution times from the same generator state.
+EXECUTION_SEED_OFFSET = 1_000_003
+
+
+def _freeze(params: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    """Normalise a params mapping to a sorted, hashable tuple of pairs."""
+    return tuple(sorted(dict(params).items()))
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Fully serialisable description of one streaming service.
+
+    The streaming analogue of :class:`repro.experiments.runner.TrialSpec`:
+    everything needed to (re)build the service -- platform, traffic shape,
+    policies, seeds, metric windowing -- as plain data, so snapshots and
+    stream plans can embed it.
+
+    Attributes
+    ----------
+    scenario_name:
+        Scenario family providing the platform and PET ("spec",
+        "homogeneous", "transcoding"); its finite task stream is ignored.
+    traffic_name:
+        Name in the :data:`repro.api.registries.TRAFFIC` registry.
+    oversubscription:
+        Mean arrival rate as a multiple of the platform's processing
+        capacity (1.0 = arrivals match capacity; the paper's levels are
+        1.05/1.55/2.05).
+    traffic_params:
+        Extra traffic-factory parameters beyond ``rate`` (which is derived
+        from ``oversubscription``), e.g. ``burst_multiplier``.
+    mapper_name / mapper_params / dropper_name / dropper_params:
+        Mapping heuristic and dropping policy, by registry name.
+    uncertainty_name / uncertainty_params:
+        Unmodelled-delay injector from the
+        :data:`repro.api.registries.UNCERTAINTY` registry ("none" disables).
+    metrics_window / metrics_decay:
+        Tumbling-window length and EWMA factor of the live metrics.
+    gamma / queue_capacity / batch_window / seed / scenario_params /
+    incremental / scoring:
+        As in :class:`~repro.experiments.runner.TrialSpec`.
+    """
+
+    scenario_name: str = "spec"
+    traffic_name: str = "steady"
+    oversubscription: float = 1.55
+    gamma: float = 1.0
+    queue_capacity: int = 6
+    batch_window: int = 32
+    seed: int = 0
+    mapper_name: str = "PAM"
+    dropper_name: str = "heuristic"
+    mapper_params: Tuple[Tuple[str, object], ...] = ()
+    dropper_params: Tuple[Tuple[str, object], ...] = ()
+    traffic_params: Tuple[Tuple[str, object], ...] = ()
+    scenario_params: Tuple[Tuple[str, object], ...] = ()
+    uncertainty_name: str = "none"
+    uncertainty_params: Tuple[Tuple[str, object], ...] = ()
+    incremental: bool = True
+    scoring: str = "vector"
+    metrics_window: int = 500
+    metrics_decay: float = 0.2
+
+    def __post_init__(self):
+        # Accept plain dicts for all *_params fields and freeze them, so
+        # StreamSpec(dropper_params={"beta": 1.0}) just works.
+        for name in ("mapper_params", "dropper_params", "traffic_params",
+                     "scenario_params", "uncertainty_params"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, _freeze(value))
+            else:
+                object.__setattr__(self, name,
+                                   tuple((str(k), v) for k, v in value))
+        if self.oversubscription <= 0:
+            raise ValueError("oversubscription must be positive")
+        if self.gamma < 0:
+            raise ValueError("gamma cannot be negative")
+        if self.metrics_window < 1:
+            raise ValueError("metrics window must be positive")
+        if not 0 < self.metrics_decay <= 1:
+            raise ValueError("metrics decay must be within (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Short configuration label, e.g. ``"steady/PAM+heuristic"``."""
+        return f"{self.traffic_name}/{self.mapper_name}+{self.dropper_name}"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON/TOML-serialisable representation (params as dicts)."""
+        payload: Dict[str, object] = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            payload[f.name] = dict(value) if f.name.endswith("_params") else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "StreamSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys are rejected with the accepted set in the message, so
+        a hand-edited snapshot or stream plan cannot silently drop a
+        parameter.
+        """
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown StreamSpec key(s) {', '.join(map(repr, unknown))}; "
+                f"accepted: {', '.join(sorted(known))}")
+        return cls(**dict(payload))
+
+
+class StreamingSimulation:
+    """An always-on HC system pumped by an open-ended traffic process.
+
+    Parameters
+    ----------
+    spec:
+        Full service description (platform, traffic, policies, seeds).
+    on_window:
+        Optional callback invoked with each
+        :class:`~repro.stream.live_metrics.WindowStats` as its tumbling
+        window closes -- the CLI's live dashboard hook.
+    chunk_tasks:
+        Number of tasks submitted to the event heap per pump iteration.
+        Any positive value yields bit-identical results (see the module
+        docstring); it only bounds heap memory.
+
+    Usage::
+
+        service = StreamingSimulation(StreamSpec(traffic_name="burst"))
+        service.run_until(50_000)     # or run_for(dt), repeatedly
+        print(service.live.timeline().chart())
+        state = service.snapshot()    # JSON-serialisable dict
+    """
+
+    def __init__(self, spec: StreamSpec,
+                 on_window: Optional[Callable[[WindowStats], None]] = None,
+                 chunk_tasks: int = 512):
+        # The registries live in repro.api, which imports this package for
+        # its TRAFFIC entries; import lazily to keep the module graph
+        # acyclic (the same idiom the workload layer uses for ARRIVALS).
+        from ..api.registries import DROPPERS, TRAFFIC, UNCERTAINTY
+
+        if chunk_tasks < 1:
+            raise ValueError("chunk_tasks must be positive")
+        self.spec = spec
+        self.chunk_tasks = int(chunk_tasks)
+
+        # The scenario preset supplies the platform and PET; its finite
+        # task stream is discarded (traffic replaces it).  PET sampling is
+        # independent of level/scale, so the tiny scale only shrinks the
+        # throwaway stream.
+        scenario = build_scenario(spec.scenario_name, level="20k", scale=0.001,
+                                  gamma=spec.gamma, seed=spec.seed,
+                                  queue_capacity=spec.queue_capacity,
+                                  **dict(spec.scenario_params))
+        self.platform = scenario.platform
+        self.pet = scenario.pet
+        self.task_types = tuple(scenario.task_types)
+        #: Mean arrivals per time unit implied by the oversubscription
+        #: factor (scenario presets may correct the capacity estimate via
+        #: their ``rate_multiplier``, which is honoured here too).
+        self.arrival_rate = rate_for_oversubscription(
+            self.pet, self.platform.num_machines,
+            spec.oversubscription * scenario.spec.rate_multiplier)
+
+        self.traffic = TRAFFIC.create(spec.traffic_name,
+                                      rate=self.arrival_rate,
+                                      **dict(spec.traffic_params))
+        uncertainty = None
+        if spec.uncertainty_name != "none":
+            uncertainty = UNCERTAINTY.create(spec.uncertainty_name,
+                                             **dict(spec.uncertainty_params))
+
+        self.live = LiveMetrics(window=spec.metrics_window,
+                                decay=spec.metrics_decay,
+                                perf_source=self._perf_counters,
+                                on_window=on_window)
+        config = SystemConfig(queue_capacity=spec.queue_capacity,
+                              batch_window=spec.batch_window,
+                              incremental=spec.incremental,
+                              scoring=spec.scoring)
+        self.system = HCSystem(
+            machine_types=list(self.platform.machine_types),
+            machines=scenario.build_machines(),
+            task_types=list(self.task_types),
+            pet=self.pet,
+            mapper=make_heuristic(spec.mapper_name,
+                                  **dict(spec.mapper_params)),
+            dropper=DROPPERS.create(spec.dropper_name,
+                                    **dict(spec.dropper_params)),
+            config=config,
+            rng=np.random.default_rng(spec.seed + EXECUTION_SEED_OFFSET),
+            trace=self.live,
+            uncertainty=uncertainty)
+
+        self._deadline_policy = PaperDeadlinePolicy(gamma=spec.gamma)
+        self._events: Iterator[Tuple[int, int]] = self.traffic.events(
+            len(self.task_types),
+            np.random.default_rng(spec.seed + TRAFFIC_SEED_OFFSET))
+        #: Accepted traffic events handed to the system so far.  The
+        #: lookahead-buffered event is *not* counted: a restored service
+        #: regenerates it from the traffic stream.
+        self._consumed = 0
+        self._buffered: Optional[Tuple[int, int]] = None
+        self._next_task_id = 0
+        self._horizon = 0
+
+    # ------------------------------------------------------------------
+    # Advancing the service
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Simulation time the service has been advanced to."""
+        return self._horizon
+
+    @property
+    def now(self) -> int:
+        """Current engine clock (equals :attr:`horizon` between calls)."""
+        return self.system.engine.now
+
+    def run_until(self, t: int) -> "StreamingSimulation":
+        """Advance the service to absolute time ``t`` (inclusive).
+
+        All traffic with arrival time <= ``t`` is generated, submitted in
+        bounded chunks and simulated; tumbling windows ending at or before
+        ``t`` are closed.  Returns ``self`` for chaining.
+        """
+        t = int(t)
+        if t < self._horizon:
+            raise ValueError(f"cannot run backwards: horizon is already "
+                             f"{self._horizon}, got until={t}")
+        while True:
+            batch = self._pull_tasks(t, self.chunk_tasks)
+            if len(batch) == self.chunk_tasks:
+                # Full chunk: more traffic may lie before t.  Drain the
+                # heap only up to the last submitted arrival -- everything
+                # earlier can no longer be affected by future submissions.
+                self.system.submit(batch)
+                self.system.run(until=batch[-1].arrival)
+            else:
+                if batch:
+                    self.system.submit(batch)
+                self.system.run(until=t)
+                break
+        self._horizon = t
+        self.live.advance_to(t)
+        return self
+
+    def run_for(self, dt: int) -> "StreamingSimulation":
+        """Advance the service by ``dt`` time units past the current horizon."""
+        if dt < 0:
+            raise ValueError("dt cannot be negative")
+        return self.run_until(self._horizon + dt)
+
+    def _pull_tasks(self, horizon: int, limit: int) -> List[Task]:
+        """Materialise up to ``limit`` traffic events arriving at or before
+        ``horizon`` as submission-ready tasks (deadlines per the paper's
+        formula)."""
+        tasks: List[Task] = []
+        while len(tasks) < limit:
+            if self._buffered is None:
+                self._buffered = next(self._events)
+            arrival, type_id = self._buffered
+            if arrival > horizon:
+                break
+            self._buffered = None
+            self._consumed += 1
+            deadline = self._deadline_policy.deadline(arrival, type_id,
+                                                      self.pet)
+            tasks.append(Task(id=self._next_task_id, type_id=type_id,
+                              arrival=arrival, deadline=deadline))
+            self._next_task_id += 1
+        return tasks
+
+    def _fast_forward_traffic(self, consumed: int) -> None:
+        """Discard ``consumed`` accepted events from a fresh traffic stream
+        (restore path; the stream is a pure function of the seed)."""
+        if self._consumed:
+            raise RuntimeError("traffic stream was already consumed")
+        for _ in range(consumed):
+            next(self._events)
+        self._consumed = consumed
+
+    def _perf_counters(self) -> Dict[str, float]:
+        """Cumulative perf counters for per-window delta attribution."""
+        return {k: float(v) for k, v in self.system.perf.to_dict().items()
+                if isinstance(v, (int, float))}
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def metrics(self) -> TrialMetrics:
+        """Aggregate metrics over everything simulated so far.
+
+        No warm-up/cool-down exclusion is applied (the batch default): a
+        service measures steady-state behaviour through its windowed
+        timeline instead, and in-flight tasks simply have no terminal
+        status yet.
+        """
+        return collect_trial_metrics(self.system.result(), warmup=0,
+                                     cooldown=0)
+
+    def timeline(self) -> MetricsTimeline:
+        """Timeline of all closed tumbling windows so far."""
+        return self.live.timeline()
+
+    def describe(self) -> str:
+        """One-line human-readable description of the service."""
+        return (f"StreamingSimulation({self.spec.label}, "
+                f"rate={self.arrival_rate:.4f}/u "
+                f"({self.spec.oversubscription:.2f}x capacity), "
+                f"horizon={self._horizon}, tasks={self._next_task_id})")
+
+    # ------------------------------------------------------------------
+    # Snapshot / resume
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Full live state as a JSON-serialisable dict (see
+        :mod:`repro.stream.snapshot`)."""
+        from .snapshot import snapshot_state
+        return snapshot_state(self)
+
+    @classmethod
+    def restore(cls, payload: Mapping[str, object],
+                on_window: Optional[Callable[[WindowStats], None]] = None,
+                chunk_tasks: int = 512) -> "StreamingSimulation":
+        """Rebuild a service from :meth:`snapshot` output.
+
+        The restored service continues bit-identically: running it to any
+        later horizon produces the same metrics and timeline as a service
+        that never snapshotted (perf counters excepted).
+        """
+        from .snapshot import restore_state
+        return restore_state(payload, on_window=on_window,
+                             chunk_tasks=chunk_tasks)

@@ -1,0 +1,222 @@
+"""Snapshot/resume of a live streaming service, bit-identically.
+
+A snapshot captures everything that determines the future of a
+:class:`~repro.stream.service.StreamingSimulation` as plain JSON:
+
+* the :class:`~repro.stream.service.StreamSpec` (so the platform, PET and
+  policies rebuild from seeds alone),
+* the engine clock, dispatch count and every pending event in dispatch
+  order,
+* every task ever submitted (status, timestamps, placement),
+* per-machine runtime state (running task, pending queue, busy time),
+* the batch queue in FIFO order,
+* the execution-sampling RNG state (PCG64 state dict -- exact integers),
+* the traffic stream position (count of accepted events; the stream is a
+  pure function of the seed, so the count alone re-derives it), and
+* the live-metrics accumulators (closed windows, open window, EWMA state).
+
+What is deliberately *not* serialised: the simulator's incremental
+completion-PMF caches.  Every cache is gated on bitwise-identical inputs,
+so a restored system with cold caches recomputes exactly the values the
+warm caches would have returned -- only the perf counters (cache hits,
+wall time) differ, and those are ``compare=False`` everywhere.  This is
+what makes the pin provable: run-to-T -> snapshot -> restore -> run-to-U
+equals run-straight-to-U on :class:`~repro.metrics.collector.TrialMetrics`
+and the metrics timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields as dataclass_fields
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional
+
+from ..sim.events import Event, SimulationEnd, TaskArrival, TaskCompletion
+from ..sim.perf import PerfStats
+from ..sim.task import Task, TaskStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .live_metrics import WindowStats
+    from .service import StreamingSimulation
+
+__all__ = ["SNAPSHOT_FORMAT", "snapshot_state", "restore_state",
+           "write_snapshot", "read_snapshot"]
+
+#: Format marker embedded in every snapshot; bumped on breaking layout
+#: changes so stale artifacts fail loudly instead of restoring garbage.
+SNAPSHOT_FORMAT = "repro-stream-snapshot/v1"
+
+_TASK_FIELDS = ("id", "type_id", "arrival", "deadline", "machine_id",
+                "queued_time", "start_time", "finish_time", "drop_time")
+
+
+def _event_to_dict(event: Event) -> Dict[str, object]:
+    if isinstance(event, TaskArrival):
+        return {"kind": "arrival", "time": event.time,
+                "task_id": event.task_id}
+    if isinstance(event, TaskCompletion):
+        return {"kind": "completion", "time": event.time,
+                "task_id": event.task_id, "machine_id": event.machine_id}
+    if isinstance(event, SimulationEnd):
+        return {"kind": "end", "time": event.time}
+    raise TypeError(f"cannot serialise event {event!r}")
+
+
+def _event_from_dict(payload: Mapping[str, object]) -> Event:
+    kind = payload["kind"]
+    if kind == "arrival":
+        return TaskArrival(time=int(payload["time"]),
+                           task_id=int(payload["task_id"]))
+    if kind == "completion":
+        return TaskCompletion(time=int(payload["time"]),
+                              task_id=int(payload["task_id"]),
+                              machine_id=int(payload["machine_id"]))
+    if kind == "end":
+        return SimulationEnd(time=int(payload["time"]))
+    raise ValueError(f"unknown event kind {kind!r} in snapshot")
+
+
+def _task_to_dict(task: Task) -> Dict[str, object]:
+    payload = {name: getattr(task, name) for name in _TASK_FIELDS}
+    payload["status"] = task.status.value
+    return payload
+
+
+def _task_from_dict(payload: Mapping[str, object]) -> Task:
+    kwargs = {name: payload[name] for name in _TASK_FIELDS}
+    return Task(status=TaskStatus(payload["status"]), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Capture
+# ----------------------------------------------------------------------
+
+def snapshot_state(service: "StreamingSimulation") -> Dict[str, object]:
+    """Serialise the full live state of a service to a JSON-ready dict."""
+    system = service.system
+    engine = system.engine
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "spec": service.spec.to_dict(),
+        "horizon": service.horizon,
+        "next_task_id": service._next_task_id,
+        "traffic_consumed": service._consumed,
+        "engine": {
+            "now": engine.now,
+            "dispatched": engine.dispatched_events,
+            "pending": [_event_to_dict(e) for e in engine.pending_snapshot()],
+        },
+        "tasks": [_task_to_dict(t) for t in system.tasks.values()],
+        "machines": [
+            {"id": m.id, "running_task": m.running_task,
+             "pending": m.pending_tasks, "busy_time": m.busy_time,
+             "started_tasks": m.started_tasks}
+            for m in system.machines],
+        "batch_queue": [[task_id, system.tasks[task_id].deadline]
+                        for task_id in system.batch_queue.snapshot()],
+        "counters": {
+            "num_mapping_events": system.num_mapping_events,
+            "num_proactive_drops": system.num_proactive_drops,
+            "num_reactive_queue_drops": system.num_reactive_queue_drops,
+            "num_batch_expired_drops": system.num_batch_expired_drops,
+        },
+        "perf": {f.name: getattr(system.perf, f.name)
+                 for f in dataclass_fields(PerfStats)},
+        "rng_state": system.rng.bit_generator.state,
+        "live": service.live.state_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+
+def restore_state(payload: Mapping[str, object],
+                  on_window: Optional[Callable[["WindowStats"], None]] = None,
+                  chunk_tasks: int = 512) -> "StreamingSimulation":
+    """Rebuild a live service from :func:`snapshot_state` output."""
+    from .service import StreamingSimulation, StreamSpec
+
+    marker = payload.get("format")
+    if marker != SNAPSHOT_FORMAT:
+        raise ValueError(f"not a stream snapshot (format {marker!r}; "
+                         f"expected {SNAPSHOT_FORMAT!r})")
+    spec = StreamSpec.from_dict(payload["spec"])
+    service = StreamingSimulation(spec, on_window=on_window,
+                                  chunk_tasks=chunk_tasks)
+    system = service.system
+
+    # Traffic position: regenerate and discard the already-consumed prefix
+    # of the (seed-determined) stream.
+    service._fast_forward_traffic(int(payload["traffic_consumed"]))
+    service._next_task_id = int(payload["next_task_id"])
+    service._horizon = int(payload["horizon"])
+
+    # Tasks, machines and the batch queue (FIFO order preserved so expiry
+    # tie-breaking reproduces exactly).
+    system.tasks.clear()
+    for entry in payload["tasks"]:
+        task = _task_from_dict(entry)
+        system.tasks[task.id] = task
+    machines_by_id = {m.id: m for m in system.machines}
+    for entry in payload["machines"]:
+        machine = machines_by_id.get(int(entry["id"]))
+        if machine is None:
+            raise ValueError(f"snapshot references unknown machine "
+                             f"{entry['id']}")
+        machine.restore_runtime_state(
+            running_task=entry["running_task"],
+            pending=list(entry["pending"]),
+            busy_time=int(entry["busy_time"]),
+            started_tasks=int(entry["started_tasks"]))
+    for task_id, deadline in payload["batch_queue"]:
+        system.batch_queue.push(int(task_id), int(deadline))
+
+    counters = payload["counters"]
+    system.num_mapping_events = int(counters["num_mapping_events"])
+    system.num_proactive_drops = int(counters["num_proactive_drops"])
+    system.num_reactive_queue_drops = int(counters["num_reactive_queue_drops"])
+    system.num_batch_expired_drops = int(counters["num_batch_expired_drops"])
+
+    known_perf = {f.name for f in dataclass_fields(PerfStats)}
+    for name, value in payload["perf"].items():
+        if name in known_perf:
+            setattr(system.perf, name, value)
+
+    # RNG: the PCG64 state dict round-trips through JSON exactly (plain
+    # Python integers), so execution sampling continues draw-for-draw.
+    state = dict(payload["rng_state"])
+    if isinstance(state.get("state"), Mapping):
+        state["state"] = {k: int(v) for k, v in state["state"].items()}
+    system.rng.bit_generator.state = state
+
+    # Engine: replay the pending events (already in dispatch order) into
+    # the fresh heap; new sequence numbers preserve the tie-breaking.
+    engine_state = payload["engine"]
+    system.engine.load_state(
+        now=int(engine_state["now"]),
+        dispatched=int(engine_state["dispatched"]),
+        events=[_event_from_dict(e) for e in engine_state["pending"]])
+
+    service.live.load_state(payload["live"])
+    return service
+
+
+# ----------------------------------------------------------------------
+# File helpers (CLI `repro serve --snapshot/--restore`)
+# ----------------------------------------------------------------------
+
+def write_snapshot(service: "StreamingSimulation",
+                   path: str) -> Dict[str, object]:
+    """Snapshot a service to a JSON file; returns the payload."""
+    payload = snapshot_state(service)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload
+
+
+def read_snapshot(path: str) -> Dict[str, object]:
+    """Read a snapshot payload back from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,115 @@
+"""The snapshot/resume bit-identity pin.
+
+The acceptance property of the streaming subsystem: run-to-T -> snapshot ->
+JSON round-trip -> restore -> run-to-U must equal run-straight-to-U on
+``TrialMetrics`` and the metrics timeline (perf counters are
+``compare=False`` -- a restored service has cold caches by design).
+"""
+
+import json
+
+import pytest
+
+from repro.stream import (StreamSpec, StreamingSimulation, read_snapshot,
+                          restore_state, snapshot_state, write_snapshot)
+
+
+def comparable(service):
+    return service.metrics(), service.timeline()
+
+
+def snapshot_round_trip(service):
+    """Snapshot through an actual JSON encode/decode, as the CLI does."""
+    return json.loads(json.dumps(snapshot_state(service)))
+
+
+# Two traffic shapes x two mapper/dropper pairs, per the acceptance
+# criteria; one extra case exercises the uncertainty injector's RNG state.
+PIN_SPECS = [
+    StreamSpec(traffic_name="steady", mapper_name="PAM",
+               dropper_name="heuristic", seed=11),
+    StreamSpec(traffic_name="steady", mapper_name="MM",
+               dropper_name="react", seed=12),
+    StreamSpec(traffic_name="burst", mapper_name="PAM",
+               dropper_name="heuristic", seed=13,
+               traffic_params={"burst_period": 1_000, "burst_length": 250}),
+    StreamSpec(traffic_name="burst", mapper_name="MM",
+               dropper_name="react", seed=14),
+    StreamSpec(traffic_name="diurnal", mapper_name="PAM",
+               dropper_name="heuristic", seed=15,
+               uncertainty_name="network_latency",
+               uncertainty_params={"mean_latency": 10.0}),
+]
+
+
+class TestBitIdentityPin:
+    @pytest.mark.parametrize(
+        "spec", PIN_SPECS,
+        ids=[f"{s.traffic_name}-{s.mapper_name}+{s.dropper_name}"
+             + ("-uncertain" if s.uncertainty_name != "none" else "")
+             for s in PIN_SPECS])
+    def test_restore_continues_bit_identically(self, spec):
+        T, U = 1_500, 3_000
+        straight = StreamingSimulation(spec).run_until(U)
+
+        paused = StreamingSimulation(spec).run_until(T)
+        payload = snapshot_round_trip(paused)
+        resumed = StreamingSimulation.restore(payload).run_until(U)
+
+        assert comparable(resumed) == comparable(straight)
+
+    def test_restored_service_can_snapshot_again(self):
+        spec = PIN_SPECS[0]
+        first = StreamingSimulation(spec).run_until(1_000)
+        second = restore_state(snapshot_round_trip(first)).run_until(2_000)
+        third = restore_state(snapshot_round_trip(second)).run_until(3_000)
+        straight = StreamingSimulation(spec).run_until(3_000)
+        assert comparable(third) == comparable(straight)
+
+    def test_restore_with_different_chunk_size_is_identical(self):
+        spec = PIN_SPECS[2]
+        paused = StreamingSimulation(spec).run_until(1_500)
+        payload = snapshot_round_trip(paused)
+        resumed = StreamingSimulation.restore(payload,
+                                              chunk_tasks=5).run_until(3_000)
+        straight = StreamingSimulation(spec).run_until(3_000)
+        assert comparable(resumed) == comparable(straight)
+
+
+class TestSnapshotPayload:
+    def test_payload_is_json_serialisable(self):
+        service = StreamingSimulation(PIN_SPECS[0]).run_until(1_000)
+        text = json.dumps(snapshot_state(service))
+        assert "repro-stream-snapshot/v1" in text
+
+    def test_payload_carries_position(self):
+        service = StreamingSimulation(PIN_SPECS[0]).run_until(1_000)
+        payload = snapshot_state(service)
+        assert payload["horizon"] == 1_000
+        assert payload["traffic_consumed"] == payload["next_task_id"]
+        assert payload["traffic_consumed"] > 0
+        assert payload["engine"]["now"] == 1_000
+
+    def test_format_marker_enforced(self):
+        service = StreamingSimulation(PIN_SPECS[0]).run_until(500)
+        payload = snapshot_state(service)
+        payload["format"] = "something-else"
+        with pytest.raises(ValueError, match="not a stream snapshot"):
+            restore_state(payload)
+
+    def test_unknown_machine_rejected(self):
+        service = StreamingSimulation(PIN_SPECS[0]).run_until(500)
+        payload = snapshot_round_trip(service)
+        payload["machines"][0]["id"] = 999
+        with pytest.raises(ValueError, match="unknown machine"):
+            restore_state(payload)
+
+    def test_file_helpers_round_trip(self, tmp_path):
+        service = StreamingSimulation(PIN_SPECS[0]).run_until(1_000)
+        path = tmp_path / "snap.json"
+        written = write_snapshot(service, str(path))
+        loaded = read_snapshot(str(path))
+        assert loaded == json.loads(json.dumps(written))
+        resumed = StreamingSimulation.restore(loaded).run_until(2_000)
+        straight = StreamingSimulation(PIN_SPECS[0]).run_until(2_000)
+        assert comparable(resumed) == comparable(straight)

@@ -1,0 +1,178 @@
+"""Determinism and edge-case tests for the open-ended traffic generators."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.api.registries import TRAFFIC
+from repro.stream.traffic import (BurstTraffic, DiurnalTraffic, MixedTraffic,
+                                  SteadyTraffic)
+
+
+def take(process, n, seed=0, n_task_types=5):
+    """First ``n`` events of a fresh stream."""
+    return list(itertools.islice(
+        process.events(n_task_types, np.random.default_rng(seed)), n))
+
+
+ALL_SHAPES = [
+    SteadyTraffic(rate=0.2),
+    BurstTraffic(rate=0.2, burst_multiplier=4.0, burst_period=500,
+                 burst_length=100),
+    DiurnalTraffic(rate=0.2, amplitude=0.8, period=1_000),
+    MixedTraffic([(0.5, SteadyTraffic(rate=0.2)),
+                  (0.5, BurstTraffic(rate=0.2))]),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("process", ALL_SHAPES,
+                             ids=lambda p: type(p).__name__)
+    def test_same_seed_same_stream(self, process):
+        assert take(process, 200, seed=7) == take(process, 200, seed=7)
+
+    @pytest.mark.parametrize("process", ALL_SHAPES,
+                             ids=lambda p: type(p).__name__)
+    def test_different_seed_different_stream(self, process):
+        assert take(process, 200, seed=7) != take(process, 200, seed=8)
+
+    @pytest.mark.parametrize("process", ALL_SHAPES,
+                             ids=lambda p: type(p).__name__)
+    def test_chunked_equals_one_shot(self, process):
+        # The streaming driver consumes the iterator in bounded chunks; any
+        # chunking must observe exactly the one-shot stream.
+        one_shot = take(process, 300, seed=3)
+        stream = process.events(5, np.random.default_rng(3))
+        chunked = []
+        for size in itertools.cycle((1, 7, 50)):
+            chunked.extend(itertools.islice(stream, size))
+            if len(chunked) >= 300:
+                break
+        assert chunked[:300] == one_shot
+
+    def test_int_seed_accepted(self):
+        process = SteadyTraffic(rate=0.2)
+        direct = take(process, 50, seed=11)
+        via_int = list(itertools.islice(process.events(5, 11), 50))
+        assert via_int == direct
+
+
+class TestStreamShape:
+    @pytest.mark.parametrize("process", ALL_SHAPES,
+                             ids=lambda p: type(p).__name__)
+    def test_times_non_decreasing_and_types_in_range(self, process):
+        events = take(process, 300, seed=1, n_task_types=3)
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert all(0 <= k < 3 for _, k in events)
+        assert all(isinstance(t, int) and isinstance(k, int)
+                   for t, k in events)
+
+    def test_steady_rate_approximately_honoured(self):
+        events = take(SteadyTraffic(rate=0.5), 2_000, seed=0)
+        span = events[-1][0] - events[0][0]
+        assert span > 0
+        empirical = len(events) / span
+        assert empirical == pytest.approx(0.5, rel=0.15)
+
+    def test_burst_windows_carry_more_traffic(self):
+        process = BurstTraffic(rate=0.1, burst_multiplier=8.0,
+                               burst_period=1_000, burst_length=200)
+        events = take(process, 3_000, seed=2)
+        in_burst = sum(1 for t, _ in events if t % 1_000 < 200)
+        # Burst windows are 20% of the time but at 8x rate they should
+        # carry well over half the events.
+        assert in_burst > len(events) / 2
+
+    def test_start_time_delays_first_arrival(self):
+        events = take(SteadyTraffic(rate=0.5, start_time=1_000), 10, seed=0)
+        assert events[0][0] >= 1_000
+
+
+class TestMixedTraffic:
+    def test_single_component_is_bit_identical_to_component(self):
+        base = SteadyTraffic(rate=0.2)
+        mixed = MixedTraffic([(1.0, base)])
+        assert take(mixed, 300, seed=5) == take(base, 300, seed=5)
+
+    def test_zero_weight_component_is_inert(self):
+        base = SteadyTraffic(rate=0.2)
+        with_dead = MixedTraffic([(1.0, base),
+                                  (0.0, BurstTraffic(rate=9.9))])
+        assert take(with_dead, 300, seed=5) == take(base, 300, seed=5)
+
+    def test_zero_weight_excluded_from_rates(self):
+        mixed = MixedTraffic([(1.0, SteadyTraffic(rate=0.2)),
+                              (0.0, BurstTraffic(rate=9.9))])
+        assert mixed.rate_at(0.0) == pytest.approx(0.2)
+        assert mixed.peak_rate == pytest.approx(0.2)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            MixedTraffic([(0.0, SteadyTraffic(rate=0.2))])
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MixedTraffic([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            MixedTraffic([(-1.0, SteadyTraffic(rate=0.2))])
+
+    def test_non_process_component_rejected(self):
+        with pytest.raises(TypeError):
+            MixedTraffic([(1.0, "steady")])
+
+
+class TestValidation:
+    def test_non_positive_rates_rejected(self):
+        for cls in (SteadyTraffic, BurstTraffic, DiurnalTraffic):
+            with pytest.raises(ValueError):
+                cls(rate=0.0)
+
+    def test_burst_bounds(self):
+        with pytest.raises(ValueError):
+            BurstTraffic(rate=0.2, burst_multiplier=0.5)
+        with pytest.raises(ValueError):
+            BurstTraffic(rate=0.2, burst_length=0)
+        with pytest.raises(ValueError):
+            BurstTraffic(rate=0.2, burst_period=100, burst_length=200)
+
+    def test_diurnal_amplitude_bounds(self):
+        with pytest.raises(ValueError):
+            DiurnalTraffic(rate=0.2, amplitude=1.5)
+
+    def test_events_needs_task_types(self):
+        with pytest.raises(ValueError, match="task type"):
+            next(SteadyTraffic(rate=0.2).events(0, 0))
+
+
+class TestRegistry:
+    def test_all_shapes_registered(self):
+        for name in ("steady", "burst", "diurnal", "mixed"):
+            assert name in TRAFFIC
+
+    def test_create_by_name(self):
+        process = TRAFFIC.create("burst", rate=0.3, burst_multiplier=2.0)
+        assert isinstance(process, BurstTraffic)
+        assert process.peak_rate == pytest.approx(0.6)
+
+    def test_mixed_factory_normalises_weights(self):
+        # The factory keeps the requested base rate regardless of the
+        # weight scale handed to it: outside any burst window every
+        # component runs at ``rate`` and the normalised weights sum to 1.
+        process = TRAFFIC.create("mixed", rate=0.4, steady_weight=3.0,
+                                 burst_weight=1.0)
+        assert isinstance(process, MixedTraffic)
+        assert process.rate_at(1_500) == pytest.approx(0.4)  # burst idle phase
+
+    def test_mixed_factory_drops_zero_weight(self):
+        process = TRAFFIC.create("mixed", rate=0.4, steady_weight=1.0,
+                                 burst_weight=0.0, diurnal_weight=0.0)
+        assert len(process.components) == 1
+        assert isinstance(process.components[0][1], SteadyTraffic)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(Exception):
+            TRAFFIC.create("steady", rate=0.2, bogus=1)
