@@ -1,0 +1,51 @@
+"""Static analysis of the repository's determinism & invariant contracts.
+
+Every guarantee this reproduction makes -- cached==naive bit-identity,
+vector==loop score-plane equality, chunk-invariant streaming and
+snapshot/restore replay -- depends on source-level discipline: no unseeded
+randomness or wall-clock reads inside the simulation paths, no iteration
+order leaking from hash-based containers, serialization that round-trips,
+registries populated only at import time, and a typed public API.
+
+This subpackage enforces that discipline *statically*, before a violation
+can reach the runtime equivalence tests:
+
+* :mod:`repro.analysis.findings` -- the :class:`Finding` record and the
+  :class:`CheckReport` returned by a run;
+* :mod:`repro.analysis.rules` -- the rule implementations, registered in
+  the :data:`RULES` registry (aliases, did-you-mean, ``repro list-rules``);
+* :mod:`repro.analysis.engine` -- the AST walker: parses a source tree,
+  applies the selected rules and honours inline
+  ``repro: allow[rule-name]`` suppressions.
+
+Quickstart::
+
+    from repro.analysis import check_paths
+
+    report = check_paths()          # scans the installed repro package
+    print(report.format())
+    assert not report.findings
+
+or from the command line::
+
+    repro check --json
+    repro list-rules
+"""
+
+from .engine import (DEFAULT_SUPPRESS_MARKER, ParsedModule, check_paths,
+                     iter_python_files, parse_module, resolve_rules)
+from .findings import CheckReport, Finding
+from .rules import RULES, Rule
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "Rule",
+    "RULES",
+    "ParsedModule",
+    "check_paths",
+    "iter_python_files",
+    "parse_module",
+    "resolve_rules",
+    "DEFAULT_SUPPRESS_MARKER",
+]

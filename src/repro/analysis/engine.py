@@ -1,0 +1,224 @@
+"""The static-analysis engine: parse a tree, run rules, honour allows.
+
+The engine is intentionally self-contained (stdlib ``ast`` only) so
+``repro check`` can run in any environment the package imports in.  It
+parses every ``*.py`` under a root directory into a
+:class:`ParsedModule`, asks each selected rule for findings, drops those
+suppressed by an inline ``repro: allow[rule-name] <reason>`` comment on
+the offending line, and returns a sorted
+:class:`~repro.analysis.findings.CheckReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Dict, FrozenSet, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..api.registry import UnknownNameError
+from .findings import CheckReport, Finding
+from .rules import RULES, Rule
+
+__all__ = ["DEFAULT_SUPPRESS_MARKER", "ParsedModule", "check_paths",
+           "iter_python_files", "parse_module", "resolve_rules"]
+
+#: The inline suppression marker: ``repro: allow[rule-a, rule-b] reason``.
+DEFAULT_SUPPRESS_MARKER = "repro: allow"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One parsed source file, ready for rule checks.
+
+    Attributes
+    ----------
+    path:
+        Absolute filesystem path of the module.
+    relpath:
+        POSIX path relative to the scanned root (what findings report and
+        what rule path scopes match against).
+    tree:
+        The parsed ``ast.Module``.
+    source_lines:
+        The source split into lines (1-based access via ``line - 1``).
+    suppressions:
+        Line number to the frozenset of rule names allowed on that line
+        (canonicalised through :data:`~repro.analysis.rules.RULES`).
+    """
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    source_lines: Tuple[str, ...]
+    suppressions: Mapping[int, FrozenSet[str]]
+
+    def allows(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` findings on ``line`` are suppressed."""
+        return rule in self.suppressions.get(line, frozenset())
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Extract ``repro: allow[...]`` markers, canonicalising rule names."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(line)
+        if match is None:
+            continue
+        names = []
+        for token in match.group(1).split(","):
+            token = token.strip()
+            if not token:
+                continue
+            # Unknown names in allow comments resolve through the registry
+            # so a typo'd suppression fails loudly at scan time.
+            names.append(RULES.get(token).name)
+        table[lineno] = frozenset(names)
+    return table
+
+
+def iter_python_files(root: Path) -> List[Path]:
+    """Sorted ``*.py`` files under ``root`` (or ``root`` itself if a file)."""
+    if root.is_file():
+        return [root]
+    return sorted(path for path in root.rglob("*.py")
+                  if "__pycache__" not in path.parts)
+
+
+def parse_module(path: Path, root: Path) -> ParsedModule:
+    """Parse one source file into a :class:`ParsedModule`."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ValueError(f"cannot parse {path}: {exc}") from exc
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    lines = tuple(source.splitlines())
+    return ParsedModule(path=path, relpath=relpath, tree=tree,
+                        source_lines=lines,
+                        suppressions=_parse_suppressions(lines))
+
+
+def resolve_rules(select: Optional[Sequence[str]] = None,
+                  ignore: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the selected rules, minus the ignored ones.
+
+    Tokens may be canonical rule names, aliases (``DET101``) or family
+    names (``determinism``); everything else raises
+    :class:`~repro.api.registry.UnknownNameError` with did-you-mean
+    suggestions drawn from all three.
+    """
+    if select:
+        chosen = []
+        seen = set()
+        for name in _expand_rule_tokens(select):
+            if name not in seen:
+                seen.add(name)
+                chosen.append(name)
+    else:
+        chosen = RULES.list()
+    dropped = set(_expand_rule_tokens(ignore or ()))
+    names = [name for name in chosen if name not in dropped]
+    return [RULES.create(name) for name in names]
+
+
+def _expand_rule_tokens(tokens: Sequence[str]) -> List[str]:
+    """Expand rule names, aliases and family names to canonical names."""
+    families: Dict[str, List[str]] = {}
+    for name in RULES.list():
+        family = getattr(RULES.get(name).factory, "family", "")
+        families.setdefault(family, []).append(name)
+    names: List[str] = []
+    for token in tokens:
+        if token in families:
+            names.extend(families[token])
+            continue
+        try:
+            names.append(RULES.get(token).name)
+        except KeyError:
+            # Re-raise with the families in the candidate pool so a typo'd
+            # family name also gets a did-you-mean suggestion.
+            import difflib
+            pool = sorted(set(RULES.names()) | set(families))
+            suggestions = difflib.get_close_matches(token, pool, n=3)
+            hint = (f"; did you mean {', '.join(map(repr, suggestions))}?"
+                    if suggestions else "")
+            raise UnknownNameError(f"unknown analysis rule or family "
+                                   f"{token!r}{hint}") from None
+    return names
+
+
+def default_package_root() -> Path:
+    """The installed ``repro`` package directory (the default scan root)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def check_paths(paths: Optional[Sequence[str]] = None,
+                select: Optional[Sequence[str]] = None,
+                ignore: Optional[Sequence[str]] = None,
+                package_root: Optional[Path] = None) -> CheckReport:
+    """Run the invariant rules over a source tree.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to scan; defaults to the installed ``repro``
+        package.
+    select / ignore:
+        Rule names or aliases to run / skip (default: every registered
+        rule).
+    package_root:
+        Root that ``relpath`` (and therefore rule path scoping) is
+        computed against; defaults to the first scanned directory or the
+        installed package.
+    """
+    root = Path(package_root) if package_root is not None \
+        else default_package_root()
+    targets = ([Path(p) for p in paths] if paths else [root])
+    if package_root is None and paths:
+        first = targets[0]
+        root = first if first.is_dir() else first.parent
+        # A target inside the installed package keeps the package as its
+        # root, so path-scoped rules still see "api/...", "sim/...".
+        package = default_package_root()
+        try:
+            first.resolve().relative_to(package.resolve())
+        except ValueError:
+            pass
+        else:
+            root = package
+    rules = resolve_rules(select, ignore)
+
+    modules: List[ParsedModule] = []
+    seen_files = set()
+    for target in targets:
+        if not target.exists():
+            raise FileNotFoundError(f"no such file or directory: {target}")
+        for path in iter_python_files(target):
+            resolved = path.resolve()
+            if resolved in seen_files:
+                continue
+            seen_files.add(resolved)
+            modules.append(parse_module(path, root))
+
+    findings: List[Finding] = []
+    for module in modules:
+        for rule in rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if module.allows(finding.rule, finding.line):
+                    continue
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return CheckReport(root=root.as_posix(),
+                       rules=tuple(rule.name for rule in rules),
+                       files_scanned=len(modules),
+                       findings=tuple(findings))

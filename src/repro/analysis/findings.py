@@ -1,0 +1,128 @@
+"""Finding and report records produced by the static-analysis engine.
+
+Both records serialize losslessly (``to_dict``/``from_dict``), so a CI run
+can archive ``repro check --json`` output and a later tool can reload it
+without re-parsing the tree.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["Finding", "CheckReport"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Canonical registry name of the violated rule (e.g.
+        ``"unseeded-random"``).
+    code:
+        Short stable code of the rule (e.g. ``"DET101"``), convenient for
+        grepping CI logs.
+    path:
+        Source path relative to the scanned root, in POSIX form.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description of the violation.
+    """
+
+    rule: str
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """One-line ``path:line:col CODE [rule] message`` rendering."""
+        return (f"{self.path}:{self.line}:{self.col} "
+                f"{self.code} [{self.rule}] {self.message}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serialisable representation."""
+        return {"rule": self.rule, "code": self.code, "path": self.path,
+                "line": self.line, "col": self.col, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown Finding key(s) {', '.join(map(repr, unknown))}; "
+                f"accepted: {', '.join(sorted(known))}")
+        return cls(rule=str(payload["rule"]), code=str(payload["code"]),
+                   path=str(payload["path"]), line=int(payload["line"]),
+                   col=int(payload["col"]), message=str(payload["message"]))
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Outcome of one ``repro check`` run.
+
+    Attributes
+    ----------
+    root:
+        The scanned root directory (as given, POSIX form).
+    rules:
+        Canonical names of the rules that ran, sorted.
+    files_scanned:
+        Number of Python files parsed.
+    findings:
+        Violations in ``(path, line, col, rule)`` order.
+    """
+
+    root: str
+    rules: Tuple[str, ...]
+    files_scanned: int
+    findings: Tuple[Finding, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when the scan produced no findings."""
+        return not self.findings
+
+    def format(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines: List[str] = [finding.format() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(f"{len(self.findings)} {noun} "
+                     f"({self.files_scanned} files, "
+                     f"{len(self.rules)} rules) in {self.root}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serialisable representation."""
+        return {"root": self.root,
+                "rules": list(self.rules),
+                "files_scanned": self.files_scanned,
+                "findings": [finding.to_dict() for finding in self.findings]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CheckReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown CheckReport key(s) {', '.join(map(repr, unknown))};"
+                f" accepted: {', '.join(sorted(known))}")
+        findings = tuple(Finding.from_dict(item)
+                         for item in payload["findings"])
+        return cls(root=str(payload["root"]),
+                   rules=tuple(str(name) for name in payload["rules"]),
+                   files_scanned=int(payload["files_scanned"]),
+                   findings=findings)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON export of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

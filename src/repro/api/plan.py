@@ -48,8 +48,12 @@ import math
 import os
 import re
 from dataclasses import dataclass, replace
-from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
-                    Tuple, Union)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+                    Optional, Sequence, Set, Tuple, Union)
+
+if TYPE_CHECKING:
+    from ..experiments.runner import TrialSpec
+    from .registry import Registry
 
 from ..metrics.collector import aggregate_trials, trial_metrics_from_dict
 from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
@@ -152,6 +156,11 @@ class PointSpec:
             payload["label"] = self.label
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PointSpec":
+        """Rebuild a point from :meth:`to_dict` output (strict keys)."""
+        return cls.coerce(payload, "point")
+
 
 @dataclass(frozen=True)
 class PairSpec:
@@ -190,6 +199,11 @@ class PairSpec:
         if self.label is not None:
             payload["label"] = self.label
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PairSpec":
+        """Rebuild a pair from :meth:`to_dict` output (strict keys)."""
+        return cls.coerce(payload, "pair")
 
 
 @dataclass(frozen=True)
@@ -254,7 +268,7 @@ class ExperimentPlan:
     # ------------------------------------------------------------------
     # Validation / coercion
     # ------------------------------------------------------------------
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         set_ = object.__setattr__
         set_(self, "name", str(self.name))
         set_(self, "scenarios", tuple(
@@ -313,7 +327,8 @@ class ExperimentPlan:
         return value
 
     @staticmethod
-    def _canonical_point(point: PointSpec, registry) -> PointSpec:
+    def _canonical_point(point: PointSpec, registry: "Registry[Any]") \
+            -> PointSpec:
         entry = registry.get(point.name)  # raises with did-you-mean on typos
         params = dict(point.params)
         if registry is SCENARIOS:
@@ -481,8 +496,10 @@ class ExperimentPlan:
                                     config=config, specs=specs))
         return tuple(cells)
 
-    def _cell_label(self, swept, paired, scenario, arrival, level, pair,
-                    scale, gamma, specs) -> str:
+    def _cell_label(self, swept: Set[str], paired: bool, scenario: PointSpec,
+                    arrival: Optional[str], level: str, pair: PairSpec,
+                    scale: float, gamma: float,
+                    specs: Sequence["TrialSpec"]) -> str:
         pair_display = (pair.label
                         or (pair.dropper.label and
                             f"{pair.mapper.label or pair.mapper.name}"
@@ -508,8 +525,10 @@ class ExperimentPlan:
             tokens.append(str(gamma))
         return " ".join(tokens) if tokens else pair_display
 
-    def _cell_config(self, scenario, arrival, frozen_scenario_params, level,
-                     mapper, dropper, scale, gamma) -> Dict[str, Any]:
+    def _cell_config(self, scenario: PointSpec, arrival: Optional[str],
+                     frozen_scenario_params: Tuple[Tuple[str, Any], ...],
+                     level: str, mapper: PointSpec, dropper: PointSpec,
+                     scale: float, gamma: float) -> Dict[str, Any]:
         # Mirrors Simulation.describe_config so plan-driven sweeps report
         # the exact config payload the fluent builder always has.
         config: Dict[str, Any] = {

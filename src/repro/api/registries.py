@@ -19,6 +19,8 @@ harness and the ``python -m repro run --mapper greedy`` CLI.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..core.dropping import (AdaptiveThresholdDropping, DroppingPolicy,
                              NoProactiveDropping, OptimalProactiveDropping,
                              ProactiveHeuristicDropping, ThresholdDropping)
@@ -193,8 +195,9 @@ UNCERTAINTY.add("machine_stall", MachineStallModel,
 @UNCERTAINTY.register("composed", params=("models",),
                       summary="Composition of named uncertainty models, "
                               "applied in order.")
-def _make_composed_uncertainty(models=("network_latency", "machine_stall"),
-                               ) -> UncertaintyModel:
+def _make_composed_uncertainty(
+        models: Sequence[object] = ("network_latency", "machine_stall"),
+) -> UncertaintyModel:
     """Compose registered models by name; each name may also be a
     ``(name, params_dict)`` pair for per-component parameters."""
     built = []

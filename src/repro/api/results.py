@@ -123,7 +123,7 @@ class RunResult:
             lines.append(f"  {'cost / completed pct':<28}: {cost:.6f}")
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> Dict[str, Any]:  # repro: allow[serialization-symmetry] lossy summary; spools round-trip
         """Plain JSON-serialisable representation of config + metrics."""
         lo, hi = self.robustness_ci
         payload: Dict[str, Any] = {
@@ -229,7 +229,7 @@ class SweepResult:
         return (f"{self.table(metric)}\n"
                 f"best ({metric}): {best.label} = {best.metric(metric):.2f}")
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> Dict[str, Any]:  # repro: allow[serialization-symmetry] lossy summary; spools round-trip
         """Plain JSON-serialisable representation of the whole sweep."""
         payload: Dict[str, Any] = {"axes": list(self.axes),
                                    "runs": [run.to_dict() for run in self.runs]}

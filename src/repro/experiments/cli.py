@@ -41,6 +41,14 @@ the generic runner and the declarative plan workflow:
   corresponding registry, including anything registered by user code
   imported via ``--plugin module``.
 
+* ``check`` runs the repository's static determinism & invariant linter
+  (:mod:`repro.analysis`) over the installed package (or explicit paths)
+  and exits 1 on findings; ``list-rules`` prints the rule registry::
+
+      python -m repro check
+      python -m repro check --json --select determinism
+      python -m repro list-rules --ignore untyped-public-api
+
 * ``bench`` runs a perf suite: ``--suite core`` times the simulation
   core's incremental machinery against the naive recomputation on pinned
   oversubscribed scenarios, plus the vectorised score-plane backend
@@ -353,6 +361,39 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MODULE",
                        help="import MODULE first so it can register custom "
                             "traffic/mappers/droppers")
+
+    check = commands.add_parser(
+        "check", help="run the static determinism & invariant linter over "
+                      "the package source (exit 1 on findings)")
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="files or directories to scan (default: the "
+                            "installed repro package)")
+    check.add_argument("--select", nargs="+", default=None, metavar="RULE",
+                       help="run only these rules (names, codes like "
+                            "DET101, or families like determinism)")
+    check.add_argument("--ignore", nargs="+", default=[], metavar="RULE",
+                       help="skip these rules (names, codes or families)")
+    check.add_argument("--json", action="store_true",
+                       help="print the report as JSON (for CI artifacts)")
+    check.add_argument("--plugin", action="append", default=[],
+                       metavar="MODULE",
+                       help="import MODULE first so it can register custom "
+                            "analysis rules")
+
+    list_rules = commands.add_parser(
+        "list-rules", help="list the registered static-analysis rules")
+    list_rules.add_argument("--select", nargs="+", default=None,
+                            metavar="RULE",
+                            help="show only these rules (names, codes or "
+                                 "families)")
+    list_rules.add_argument("--ignore", nargs="+", default=[],
+                            metavar="RULE",
+                            help="hide these rules (names, codes or "
+                                 "families)")
+    list_rules.add_argument("--plugin", action="append", default=[],
+                            metavar="MODULE",
+                            help="import MODULE first so its rule "
+                                 "registrations show up")
 
     for command in LIST_COMMANDS:
         sub = commands.add_parser(
@@ -713,6 +754,44 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    """The ``check`` subcommand: run the invariant linter.
+
+    Exit code 0 when the tree is clean, 1 when findings were reported and
+    2 on usage errors (unknown rules, unreadable paths), matching the
+    conventions of the other subcommands.
+    """
+    from ..analysis import check_paths
+
+    report = check_paths(paths=args.paths or None, select=args.select,
+                         ignore=args.ignore)
+    print(report.to_json() if args.json else report.format())
+    return 0 if report.ok else 1
+
+
+def _command_list_rules(args: argparse.Namespace) -> int:
+    """The ``list-rules`` subcommand: describe the rule registry."""
+    from ..analysis import resolve_rules
+
+    rules = resolve_rules(args.select, args.ignore)
+    if not rules:
+        print("(no rules selected)")
+        return 0
+    lines = []
+    by_family: Dict[str, list] = {}
+    for rule in rules:
+        by_family.setdefault(rule.family, []).append(rule)
+    width = max(len(f"{r.name} ({r.code})") for r in rules) + 2
+    for family in sorted(by_family):
+        lines.append(f"{family} rules:")
+        for rule in by_family[family]:
+            title = f"{rule.name} ({rule.code})"
+            lines.append(f"  {title.ljust(width)}{rule.description}")
+        lines.append("")
+    print("\n".join(lines).rstrip())
+    return 0
+
+
 def _command_list(args: argparse.Namespace) -> int:
     """The ``list-*`` subcommands: print one registry."""
     from ..api import (ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, TRAFFIC,
@@ -734,6 +813,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _load_plugins(args)
     if args.figure in LIST_COMMANDS:
         return _command_list(args)
+    if args.figure == "check":
+        try:
+            return _command_check(args)
+        except (KeyError, ValueError, OSError) as exc:
+            # Unknown rule names carry did-you-mean hints; unreadable or
+            # unparsable paths print cleanly without a traceback.
+            print(f"repro check: error: {exc}", file=sys.stderr)
+            return 2
+    if args.figure == "list-rules":
+        try:
+            return _command_list_rules(args)
+        except KeyError as exc:
+            print(f"repro list-rules: error: {exc}", file=sys.stderr)
+            return 2
     if args.figure == "bench":
         try:
             return _command_bench(args)

@@ -127,3 +127,27 @@ class PerfStats:
         payload["tail_cache_hit_rate"] = self.tail_cache_hit_rate
         payload["intern_hit_rate"] = self.intern_hit_rate
         return payload
+
+    #: Derived keys emitted by :meth:`to_dict` that are not counter fields.
+    _DERIVED_KEYS = ("tail_cache_hit_rate", "intern_hit_rate")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PerfStats":
+        """Rebuild counters from :meth:`to_dict` output (strict keys).
+
+        The derived rate keys are recomputed properties, so they are
+        accepted and discarded; any other unknown key is an error.
+        """
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - names - set(cls._DERIVED_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown PerfStats key(s) {', '.join(map(repr, unknown))}")
+        kwargs: Dict[str, Any] = {}
+        for f in fields(cls):
+            if f.name not in payload:
+                continue
+            value = payload[f.name]
+            kwargs[f.name] = (float(value) if f.name == "wall_time_s"
+                              else int(value))
+        return cls(**kwargs)

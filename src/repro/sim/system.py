@@ -121,7 +121,9 @@ class SimulationResult:
     num_dispatched_events: int
     #: Hot-path work counters of the run (``None`` only for hand-built
     #: results in tests; :meth:`HCSystem.result` always attaches them).
-    perf: Optional[PerfStats] = None
+    #: Excluded from equality so identical outcomes compare equal even
+    #: when cache behaviour or wall time differed.
+    perf: Optional[PerfStats] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     def tasks_by_status(self) -> Dict[TaskStatus, int]:
@@ -185,7 +187,8 @@ class HCSystem:
         self.mapper = mapper
         self.dropper: DroppingPolicy = dropper if dropper is not None else NoProactiveDropping()
         self.config = config or SystemConfig()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback: a bare HCSystem() run is reproducible by default.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.trace = trace if trace is not None else NullTrace()
         #: Optional unmodelled-uncertainty injector (network latency, machine
         #: stalls); the scheduler's PET-based view never sees its effect.

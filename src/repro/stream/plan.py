@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional
 
+from .live_metrics import WindowStats
 from .service import StreamSpec, StreamingSimulation
 
 __all__ = ["StreamPlan"]
@@ -53,7 +54,7 @@ class StreamPlan:
     horizon: int = 50_000
     snapshot_every: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("stream plan needs a name")
         if self.horizon < 1:
@@ -139,7 +140,7 @@ class StreamPlan:
         points.append(self.horizon)
         return points
 
-    def run(self, on_window=None,
+    def run(self, on_window: Optional[Callable[[WindowStats], None]] = None,
             on_snapshot: Optional[Callable[[int, Dict[str, object]], None]]
             = None) -> StreamingSimulation:
         """Execute the plan and return the advanced service.
@@ -154,6 +155,6 @@ class StreamPlan:
                 on_snapshot(point, service.snapshot())
         return service
 
-    def with_stream(self, **changes) -> "StreamPlan":
+    def with_stream(self, **changes: object) -> "StreamPlan":
         """Copy of the plan with fields of the stream spec replaced."""
         return replace(self, stream=replace(self.stream, **changes))

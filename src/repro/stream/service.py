@@ -108,7 +108,7 @@ class StreamSpec:
     metrics_window: int = 500
     metrics_decay: float = 0.2
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Accept plain dicts for all *_params fields and freeze them, so
         # StreamSpec(dropper_params={"beta": 1.0}) just works.
         for name in ("mapper_params", "dropper_params", "traffic_params",

@@ -178,10 +178,9 @@ def restore_state(payload: Mapping[str, object],
     system.num_reactive_queue_drops = int(counters["num_reactive_queue_drops"])
     system.num_batch_expired_drops = int(counters["num_batch_expired_drops"])
 
-    known_perf = {f.name for f in dataclass_fields(PerfStats)}
-    for name, value in payload["perf"].items():
-        if name in known_perf:
-            setattr(system.perf, name, value)
+    restored = PerfStats.from_dict(dict(payload["perf"]))
+    for f in dataclass_fields(PerfStats):
+        setattr(system.perf, f.name, getattr(restored, f.name))
 
     # RNG: the PCG64 state dict round-trips through JSON exactly (plain
     # Python integers), so execution sampling continues draw-for-draw.

@@ -1,0 +1,27 @@
+"""Shared fixtures for the static-analysis tests.
+
+Rules are exercised on small fixture snippets written into a temporary
+tree whose layout mimics the package (``sim/``, ``stream/``, ``api/``,
+...), so path-scoped rules see realistic relpaths without touching the
+real sources.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_paths
+
+
+@pytest.fixture
+def check_snippet(tmp_path):
+    """Write ``source`` at ``relpath`` under a temp root and lint it."""
+
+    def run(relpath, source, select=None, ignore=None):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return check_paths(paths=[str(tmp_path)], select=select,
+                           ignore=ignore, package_root=tmp_path)
+
+    return run

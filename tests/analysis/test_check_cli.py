@@ -1,0 +1,84 @@
+"""CLI surface of the linter: ``repro check`` and ``repro list-rules``."""
+
+import json
+import textwrap
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_check_parses(self):
+        args = build_parser().parse_args(
+            ["check", "src", "--select", "determinism", "--ignore",
+             "DET104", "--json"])
+        assert args.figure == "check"
+        assert args.paths == ["src"]
+        assert args.select == ["determinism"]
+        assert args.ignore == ["DET104"]
+        assert args.json is True
+
+    def test_list_rules_parses(self):
+        args = build_parser().parse_args(["list-rules"])
+        assert args.figure == "list-rules"
+
+
+class TestCheckCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main(["check", str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "mod.py").write_text(textwrap.dedent("""
+            import random
+
+            def f():
+                return random.random()
+        """))
+        assert main(["check", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out
+        assert "sim/mod.py:5" in out
+
+    def test_json_output_is_machine_readable(self, tmp_path, capsys):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "mod.py").write_text("import time\n"
+                                                 "def f():\n"
+                                                 "    return time.time()\n")
+        assert main(["check", "--json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] == 1
+        assert [f["code"] for f in payload["findings"]] == ["DET102"]
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["check", "--select", "no-such-rule"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro check: error:")
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "missing")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_repo_tree_is_clean(self, capsys):
+        assert main(["check"]) == 0
+
+
+class TestListRulesCommand:
+    def test_lists_every_family(self, capsys):
+        assert main(["list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("determinism", "serialization", "registry", "typing"):
+            assert f"{family} rules:" in out
+        for code in ("DET101", "DET102", "DET103", "DET104", "SER201",
+                     "SER202", "REG301", "REG302", "API401"):
+            assert code in out
+
+    def test_select_narrows(self, capsys):
+        assert main(["list-rules", "--select", "serialization"]) == 0
+        out = capsys.readouterr().out
+        assert "SER201" in out and "DET101" not in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["list-rules", "--select", "bogus"]) == 2
+        assert "repro list-rules: error:" in capsys.readouterr().err

@@ -1,0 +1,147 @@
+"""Engine behaviour: selection, suppression, reports and the repo gate."""
+
+import json
+
+import pytest
+
+from repro.analysis import (CheckReport, Finding, RULES, check_paths,
+                            resolve_rules)
+from repro.api.registry import UnknownNameError
+
+
+class TestRuleResolution:
+    def test_default_selects_every_rule(self):
+        rules = resolve_rules()
+        assert sorted(r.name for r in rules) == RULES.list()
+
+    def test_select_by_alias_code(self):
+        rules = resolve_rules(select=["DET101"])
+        assert [r.name for r in rules] == ["unseeded-random"]
+
+    def test_select_by_family_expands(self):
+        rules = resolve_rules(select=["determinism"])
+        assert {r.family for r in rules} == {"determinism"}
+        assert len(rules) == 4
+
+    def test_ignore_removes_family(self):
+        rules = resolve_rules(ignore=["determinism"])
+        assert {r.family for r in rules} == {"registry", "serialization",
+                                             "typing"}
+
+    def test_unknown_token_suggests(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            resolve_rules(select=["determinsm"])
+        assert "did you mean" in str(excinfo.value)
+        assert "determinism" in str(excinfo.value)
+
+    def test_select_deduplicates(self):
+        rules = resolve_rules(select=["DET101", "unseeded-random",
+                                      "determinism"])
+        names = [r.name for r in rules]
+        assert len(names) == len(set(names))
+
+
+class TestSuppressions:
+    def test_multi_rule_allow_comment(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import random
+
+            def sample(obj):
+                return random.random(), id(obj)  # repro: allow[DET101, id-keyed-state] test fixture
+        """)
+        assert report.ok
+
+    def test_allow_only_covers_its_line(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import random
+
+            def sample():
+                a = random.random()  # repro: allow[unseeded-random] fixture
+                return random.random()
+        """)
+        assert [f.code for f in report.findings] == ["DET101"]
+
+    def test_typoed_allow_name_fails_loudly(self, check_snippet):
+        with pytest.raises(KeyError):
+            check_snippet("sim/mod.py", """
+                x = 1  # repro: allow[unseded-random] typo
+            """)
+
+
+class TestCheckPaths:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            check_paths(paths=[str(tmp_path / "nope")])
+
+    def test_duplicate_paths_scan_once(self, tmp_path):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "mod.py").write_text("import random\n")
+        report = check_paths(paths=[str(tmp_path), str(tmp_path)],
+                             package_root=tmp_path)
+        assert report.files_scanned == 1
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        source = ("import random\n"
+                  "import time\n"
+                  "def f():\n"
+                  "    b = time.time()\n"
+                  "    a = random.random()\n")
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "mod.py").write_text(source)
+        report = check_paths(paths=[str(tmp_path)], package_root=tmp_path)
+        assert [f.code for f in report.findings] == ["DET102", "DET101"]
+        assert [f.line for f in report.findings] == [4, 5]
+
+    def test_syntax_error_reports_path(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        with pytest.raises(ValueError) as excinfo:
+            check_paths(paths=[str(tmp_path)])
+        assert "bad.py" in str(excinfo.value)
+
+
+class TestReports:
+    def test_report_round_trips_through_json(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import random
+
+            def f():
+                return random.random()
+        """)
+        rebuilt = CheckReport.from_dict(json.loads(report.to_json()))
+        assert rebuilt == report
+
+    def test_finding_format_is_clickable(self):
+        finding = Finding(rule="unseeded-random", code="DET101",
+                          path="sim/mod.py", line=4, col=11,
+                          message="stdlib random")
+        assert finding.format() == \
+            "sim/mod.py:4:11 DET101 [unseeded-random] stdlib random"
+
+    def test_finding_rejects_unknown_keys(self):
+        payload = Finding(rule="r", code="C1", path="p", line=1, col=0,
+                          message="m").to_dict()
+        payload["bogus"] = True
+        with pytest.raises(ValueError):
+            Finding.from_dict(payload)
+
+    def test_clean_report_format_mentions_counts(self, check_snippet):
+        report = check_snippet("sim/mod.py", "x = 1\n")
+        text = report.format()
+        assert "0 findings" in text
+        assert "1 file" in text
+
+
+class TestRepoIsClean:
+    def test_repro_package_has_zero_findings(self):
+        report = check_paths()
+        assert report.findings == (), report.format()
+        assert report.files_scanned > 50
+
+    def test_package_subdir_keeps_package_relative_paths(self):
+        # Scanning src/repro/api directly must still anchor relpaths at
+        # the package root, or path-scoped rules would silently not apply.
+        from repro.analysis.engine import default_package_root
+        root = default_package_root()
+        report = check_paths(paths=[str(root / "api")])
+        assert report.root == root.as_posix()
+        assert "untyped-public-api" in report.rules

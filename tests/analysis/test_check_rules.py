@@ -1,0 +1,335 @@
+"""Positive/negative fixture snippets for every registered rule.
+
+Each rule gets at least one snippet it must flag and one clean variant it
+must not, so a behaviour regression in any rule fails a named test here
+rather than silently weakening ``repro check``.
+"""
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestUnseededRandom:
+    def test_stdlib_random_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import random
+
+            def sample():
+                return random.random()
+        """)
+        assert codes(report) == ["DET101"]
+
+    def test_seedless_default_rng_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import numpy as np
+
+            def make_rng():
+                return np.random.default_rng()
+        """)
+        assert codes(report) == ["DET101"]
+
+    def test_numpy_global_functions_flagged(self, check_snippet):
+        report = check_snippet("stream/mod.py", """
+            import numpy as np
+
+            def sample() -> object:
+                return np.random.rand(3)
+        """)
+        assert codes(report) == ["DET101"]
+
+    def test_seeded_generator_clean(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import numpy as np
+
+            def make_rng(seed):
+                return np.random.default_rng(seed)
+        """)
+        assert report.ok
+
+    def test_outside_deterministic_paths_clean(self, check_snippet):
+        report = check_snippet("viz/mod.py", """
+            import random
+
+            def jitter():
+                return random.random()
+        """)
+        assert report.ok
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import time
+
+            def now():
+                return time.time()
+        """)
+        assert codes(report) == ["DET102"]
+
+    def test_datetime_now_flagged(self, check_snippet):
+        report = check_snippet("core/mod.py", """
+            import datetime
+
+            def now():
+                return datetime.datetime.now()
+        """)
+        assert codes(report) == ["DET102"]
+
+    def test_os_urandom_flagged(self, check_snippet):
+        report = check_snippet("mapping/mod.py", """
+            import os
+
+            def entropy():
+                return os.urandom(8)
+        """)
+        assert codes(report) == ["DET102"]
+
+    def test_perf_counter_clean(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """)
+        assert report.ok
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            def drain(items):
+                pending = set(items)
+                for item in pending:
+                    print(item)
+        """)
+        assert codes(report) == ["DET103"]
+
+    def test_comprehension_over_set_literal_flagged(self, check_snippet):
+        report = check_snippet("core/mod.py", """
+            def pick():
+                return [x for x in {3, 1, 2}]
+        """)
+        assert codes(report) == ["DET103"]
+
+    def test_vars_iteration_flagged(self, check_snippet):
+        report = check_snippet("stream/mod.py", """
+            def dump(obj: object) -> None:
+                for name in vars(obj):
+                    print(name)
+        """)
+        assert codes(report) == ["DET103"]
+
+    def test_sorted_set_clean(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            def drain(items):
+                for item in sorted(set(items)):
+                    print(item)
+        """)
+        assert report.ok
+
+    def test_plain_list_iteration_clean(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            def drain(items):
+                for item in list(items):
+                    print(item)
+        """)
+        assert report.ok
+
+
+class TestIdKeyedState:
+    def test_bare_id_call_flagged(self, check_snippet):
+        report = check_snippet("core/mod.py", """
+            def key(obj):
+                return id(obj)
+        """)
+        assert codes(report) == ["DET104"]
+
+    def test_allow_comment_suppresses(self, check_snippet):
+        report = check_snippet("core/mod.py", """
+            def key(obj):
+                return id(obj)  # repro: allow[id-keyed-state] interned
+        """)
+        assert report.ok
+
+    def test_outside_scope_clean(self, check_snippet):
+        report = check_snippet("viz/mod.py", """
+            def key(obj):
+                return id(obj)
+        """)
+        assert report.ok
+
+
+class TestSerializationSymmetry:
+    def test_missing_from_dict_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            class Record:
+                def to_dict(self):
+                    return {"a": self.a}
+        """)
+        assert codes(report) == ["SER201"]
+
+    def test_symmetric_pair_clean(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            class Record:
+                def to_dict(self):
+                    return {"a": self.a, "b": self.b}
+
+                @classmethod
+                def from_dict(cls, payload):
+                    return cls(payload["a"], payload["b"])
+        """)
+        assert report.ok
+
+    def test_key_mismatch_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            class Record:
+                def to_dict(self):
+                    return {"a": self.a, "b": self.b}
+
+                @classmethod
+                def from_dict(cls, payload):
+                    return cls(payload["a"])
+        """)
+        assert "SER201" in codes(report)
+
+    def test_allow_comment_declares_one_way(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            class Summary:
+                def to_dict(self):  # repro: allow[serialization-symmetry] lossy
+                    return {"a": self.a}
+        """)
+        assert report.ok
+
+
+class TestCompareExcludedPerf:
+    def test_bare_perf_field_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Result:
+                value: int = 0
+                perf: object = None
+        """)
+        assert codes(report) == ["SER202"]
+
+    def test_wall_time_field_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Result:
+                wall_time_s: float = 0.0
+        """)
+        assert codes(report) == ["SER202"]
+
+    def test_compare_false_clean(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Result:
+                value: int = 0
+                perf: object = field(default=None, compare=False)
+        """)
+        assert report.ok
+
+
+class TestNestedRegistration:
+    def test_registration_inside_function_flagged(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            from .registry import MAPPERS
+
+            def setup() -> None:
+                MAPPERS.register("pam", object)
+        """)
+        assert codes(report) == ["REG301"]
+
+    def test_top_level_registration_clean(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            from .registry import MAPPERS
+
+            MAPPERS.register("pam", object)
+        """)
+        assert report.ok
+
+
+class TestImportSideEffects:
+    def test_top_level_seed_flagged(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            import random
+
+            random.seed(0)
+        """)
+        assert "REG302" in codes(report)
+
+    def test_top_level_sys_path_mutation_flagged(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            import sys
+
+            sys.path.append("somewhere")
+        """)
+        assert codes(report) == ["REG302"]
+
+    def test_seed_inside_function_not_import_effect(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            import logging
+
+            def configure() -> None:
+                logging.basicConfig(level=logging.INFO)
+        """)
+        assert report.ok
+
+
+class TestUntypedPublicApi:
+    def test_unannotated_public_function_flagged(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            def run(scale):
+                return scale
+        """)
+        assert set(codes(report)) == {"API401"}
+
+    def test_missing_return_annotation_flagged(self, check_snippet):
+        report = check_snippet("stream/mod.py", """
+            def run(scale: float):
+                return scale
+        """)
+        assert codes(report) == ["API401"]
+
+    def test_fully_annotated_clean(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            def run(scale: float) -> float:
+                return scale
+        """)
+        assert report.ok
+
+    def test_private_function_clean(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            def _helper(scale):
+                return scale
+        """)
+        assert report.ok
+
+    def test_public_method_flagged(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            class Simulation:
+                def run(self, trials):
+                    return trials
+        """)
+        assert set(codes(report)) == {"API401"}
+
+    def test_init_return_annotation_optional(self, check_snippet):
+        report = check_snippet("api/mod.py", """
+            class Simulation:
+                def __init__(self, trials: int):
+                    self.trials = trials
+        """)
+        assert report.ok
+
+    def test_outside_typed_paths_clean(self, check_snippet):
+        report = check_snippet("sim/mod.py", """
+            def run(scale):
+                return scale
+        """)
+        assert report.ok
