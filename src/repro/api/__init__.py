@@ -6,7 +6,7 @@ This subpackage is the recommended way to drive the reproduction:
   pluggable extension points;
 * :mod:`repro.api.registries` -- the built-in registries (:data:`MAPPERS`,
   :data:`DROPPERS`, :data:`SCENARIOS`, :data:`ARRIVALS`, :data:`TRAFFIC`,
-  :data:`UNCERTAINTY`);
+  :data:`UNCERTAINTY`, :data:`FAULTS`);
 * :mod:`repro.api.builder` -- the fluent, immutable :class:`Simulation`
   builder with ``run()`` and ``sweep()``;
 * :mod:`repro.api.results` -- :class:`RunResult` / :class:`SweepResult`
@@ -25,8 +25,8 @@ Quickstart::
 from .builder import SWEEPABLE_AXES, Simulation
 from .plan import (PLAN_AXES, ExperimentPlan, PairSpec, PlanCell, PlanError,
                    PointSpec)
-from .registries import (ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, TRAFFIC,
-                         UNCERTAINTY)
+from .registries import (ARRIVALS, DROPPERS, FAULTS, MAPPERS, SCENARIOS,
+                         TRAFFIC, UNCERTAINTY)
 from .registry import (DuplicateNameError, Registration, Registry,
                        RegistryError, UnknownNameError)
 from .results import METRICS, RunResult, SweepResult
@@ -45,6 +45,7 @@ __all__ = [
     "ARRIVALS",
     "TRAFFIC",
     "UNCERTAINTY",
+    "FAULTS",
     "Simulation",
     "SWEEPABLE_AXES",
     "RunResult",

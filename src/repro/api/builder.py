@@ -35,7 +35,8 @@ from typing import (Any, Callable, Dict, Mapping, Optional, Sequence,
 
 from ..metrics.collector import aggregate_trials
 from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
-from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, UNCERTAINTY
+from .registries import (ARRIVALS, DROPPERS, FAULTS, MAPPERS, SCENARIOS,
+                         UNCERTAINTY)
 from .results import RunResult, SweepResult
 
 __all__ = ["Simulation", "SWEEPABLE_AXES"]
@@ -79,6 +80,8 @@ class Simulation:
     scoring_backend: str = "vector"
     uncertainty_name: str = "none"
     uncertainty_params: Tuple[Tuple[str, Any], ...] = ()
+    faults_name: str = "none"
+    fault_params: Tuple[Tuple[str, Any], ...] = ()
 
     # ------------------------------------------------------------------
     # Construction
@@ -157,6 +160,23 @@ class Simulation:
         entry.validate(params)
         return replace(self, uncertainty_name=entry.name,
                        uncertainty_params=_freeze(params))
+
+    def faults(self, name: str = "none", **params: Any) -> "Simulation":
+        """Inject timeline faults by registry name.
+
+        Selects a fault process from the
+        :data:`repro.api.registries.FAULTS` registry ("none",
+        "crash-restart", "slowdown", "partition"); the process emits
+        timed fault events -- machine crashes with restart after a repair
+        delay, execution-slowdown windows, network partitions -- onto the
+        simulation timeline from a dedicated seeded RNG stream, so
+        enabling faults never perturbs arrivals or PET samples.
+        ``"none"`` (default) disables the injection.
+        """
+        entry = FAULTS.get(name)
+        entry.validate(params)
+        return replace(self, faults_name=entry.name,
+                       fault_params=_freeze(params))
 
     def level(self, level: str) -> "Simulation":
         """Set the oversubscription level label ("20k", "30k", "40k")."""
@@ -276,7 +296,9 @@ class Simulation:
                       incremental=self.incremental_enabled,
                       scoring=self.scoring_backend,
                       uncertainty_name=self.uncertainty_name,
-                      uncertainty_params=self.uncertainty_params)
+                      uncertainty_params=self.uncertainty_params,
+                      faults_name=self.faults_name,
+                      fault_params=self.fault_params)
             for k in range(self.num_trials))
 
     def describe_config(self) -> Dict[str, Any]:
@@ -302,6 +324,10 @@ class Simulation:
             config["uncertainty"] = self.uncertainty_name
             if self.uncertainty_params:
                 config["uncertainty_params"] = dict(self.uncertainty_params)
+        if self.faults_name != "none":
+            config["faults"] = self.faults_name
+            if self.fault_params:
+                config["fault_params"] = dict(self.fault_params)
         if self.mapper_params:
             config["mapper_params"] = dict(self.mapper_params)
         if self.dropper_params:
@@ -392,6 +418,8 @@ class Simulation:
             scoring=self.scoring_backend,
             uncertainty=self.uncertainty_name,
             uncertainty_params=self.uncertainty_params,
+            faults=self.faults_name,
+            fault_params=self.fault_params,
             n_jobs=self.n_jobs,
             sweep_axes=tuple(names))
 

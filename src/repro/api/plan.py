@@ -57,7 +57,8 @@ if TYPE_CHECKING:
 
 from ..metrics.collector import aggregate_trials, trial_metrics_from_dict
 from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
-from .registries import ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, UNCERTAINTY
+from .registries import (ARRIVALS, DROPPERS, FAULTS, MAPPERS, SCENARIOS,
+                         UNCERTAINTY)
 from .results import METRICS, RunResult, SweepResult
 from .sinks import (CallbackSink, JsonlSpoolSink, ResultSink, SpoolError,
                     read_spool)
@@ -257,6 +258,11 @@ class ExperimentPlan:
     #: spools).
     uncertainty: str = "none"
     uncertainty_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Timeline fault process injected into every trial ("none" disables).
+    #: Serialised conditionally, like ``uncertainty``, so pre-fault plans
+    #: keep their fingerprints (and spools).
+    faults: str = "none"
+    fault_params: Tuple[Tuple[str, Any], ...] = ()
     n_jobs: int = 1
     metrics: Tuple[str, ...] = ("robustness_pct",)
     #: Axes to report on the resulting :class:`SweepResult` (and to build
@@ -312,6 +318,11 @@ class ExperimentPlan:
         set_(self, "uncertainty", str(self.uncertainty))
         params = self.uncertainty_params
         set_(self, "uncertainty_params",
+             _freeze(params) if isinstance(params, Mapping)
+             else tuple((str(k), v) for k, v in params))
+        set_(self, "faults", str(self.faults))
+        params = self.fault_params
+        set_(self, "fault_params",
              _freeze(params) if isinstance(params, Mapping)
              else tuple((str(k), v) for k, v in params))
         set_(self, "n_jobs", int(self.n_jobs))
@@ -382,6 +393,13 @@ class ExperimentPlan:
         try:
             entry = UNCERTAINTY.get(self.uncertainty)
             entry.validate(dict(self.uncertainty_params))
+        except PlanError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanError(str(exc)) from None
+        try:
+            entry = FAULTS.get(self.faults)
+            entry.validate(dict(self.fault_params))
         except PlanError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
@@ -474,7 +492,9 @@ class ExperimentPlan:
                                         scoring=self.scoring,
                                         uncertainty_name=self.uncertainty,
                                         uncertainty_params=(
-                                            self.uncertainty_params))
+                                            self.uncertainty_params),
+                                        faults_name=self.faults,
+                                        fault_params=self.fault_params)
                                     for k in range(self.trials))
                                 axis_values = (
                                     ("scenario", scenario.name),
@@ -554,6 +574,10 @@ class ExperimentPlan:
             config["uncertainty"] = self.uncertainty
             if self.uncertainty_params:
                 config["uncertainty_params"] = dict(self.uncertainty_params)
+        if self.faults != "none":
+            config["faults"] = self.faults
+            if self.fault_params:
+                config["fault_params"] = dict(self.fault_params)
         if mapper.params:
             config["mapper_params"] = dict(mapper.params)
         if dropper.params:
@@ -596,6 +620,10 @@ class ExperimentPlan:
             execution["uncertainty"] = self.uncertainty
             if self.uncertainty_params:
                 execution["uncertainty_params"] = dict(self.uncertainty_params)
+        if self.faults != "none":
+            execution["faults"] = self.faults
+            if self.fault_params:
+                execution["fault_params"] = dict(self.fault_params)
         payload: Dict[str, Any] = {
             "name": self.name,
             "metrics": list(self.metrics),
@@ -629,7 +657,8 @@ class ExperimentPlan:
         _check_keys(execution, ("trials", "base_seed", "n_jobs",
                                 "incremental", "scoring", "with_cost",
                                 "confidence", "uncertainty",
-                                "uncertainty_params"), "plan execution")
+                                "uncertainty_params", "faults",
+                                "fault_params"), "plan execution")
         if "pairs" in grid and ("mappers" in grid or "droppers" in grid):
             raise PlanError("plan grid takes either 'pairs' or "
                             "'mappers'/'droppers', not both")
@@ -652,7 +681,7 @@ class ExperimentPlan:
                 kwargs[key] = grid[key]
         for key in ("trials", "base_seed", "n_jobs", "incremental",
                     "scoring", "with_cost", "confidence", "uncertainty",
-                    "uncertainty_params"):
+                    "uncertainty_params", "faults", "fault_params"):
             if key in execution:
                 kwargs[key] = execution[key]
         return cls(**kwargs)
@@ -732,6 +761,12 @@ class ExperimentPlan:
         lines.append(f"  engine  : incremental={self.incremental} "
                      f"scoring={self.scoring} n_jobs={self.n_jobs} "
                      f"with_cost={self.with_cost}")
+        if self.uncertainty != "none":
+            lines.append(f"  uncertainty: {self.uncertainty} "
+                         f"{dict(self.uncertainty_params) or ''}".rstrip())
+        if self.faults != "none":
+            lines.append(f"  faults  : {self.faults} "
+                         f"{dict(self.fault_params) or ''}".rstrip())
         lines.append(f"  metrics : {', '.join(self.metrics)}")
         for pair in self.grid_pairs:
             mapper_params = dict(pair.mapper.params)

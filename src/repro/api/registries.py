@@ -25,6 +25,8 @@ from ..core.dropping import (AdaptiveThresholdDropping, DroppingPolicy,
                              NoProactiveDropping, OptimalProactiveDropping,
                              ProactiveHeuristicDropping, ThresholdDropping)
 from ..mapping import EDF, FCFS, MSD, PAM, SJF, MinMin
+from ..sim.fault_events import (CrashRestartProcess, NoFaults,
+                                PartitionProcess, SlowdownProcess)
 from ..sim.faults import (ComposedUncertainty, MachineStallModel,
                           NetworkLatencyModel, NoUncertainty,
                           UncertaintyModel)
@@ -36,7 +38,7 @@ from ..workload.scenario import (homogeneous_scenario, spec_scenario,
 from .registry import Registry
 
 __all__ = ["MAPPERS", "DROPPERS", "SCENARIOS", "ARRIVALS", "TRAFFIC",
-           "UNCERTAINTY"]
+           "UNCERTAINTY", "FAULTS"]
 
 
 # ----------------------------------------------------------------------
@@ -210,3 +212,25 @@ def _make_composed_uncertainty(
             raise ValueError("composed uncertainty cannot nest itself")
         built.append(UNCERTAINTY.create(name, **dict(params)))
     return ComposedUncertainty(built)
+
+
+# ----------------------------------------------------------------------
+# Timeline fault processes (environment faults as first-class events)
+# ----------------------------------------------------------------------
+FAULTS: Registry = Registry("fault process")
+FAULTS.add("none", NoFaults, params=(),
+           summary="No environment faults (the clean-room default).")
+FAULTS.add("crash-restart", CrashRestartProcess,
+           params=("mtbf", "repair_mean", "policy", "start_time"),
+           summary="Machine crash/restart churn: capacity lost, in-flight "
+                   "tasks requeued or lost, repair after a delay.")
+FAULTS.add("slowdown", SlowdownProcess,
+           params=("mean_interval", "duration_mean", "factor", "scope",
+                   "start_time"),
+           summary="Interval-scoped slowdown windows inflating execution "
+                   "times on affected machines.")
+FAULTS.add("partition", PartitionProcess,
+           params=("mean_interval", "duration_mean", "group_fraction",
+                   "start_time"),
+           summary="Network partitions: a machine group unreachable for "
+                   "mapping for a window.")

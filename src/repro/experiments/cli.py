@@ -36,10 +36,20 @@ the generic runner and the declarative plan workflow:
           --snapshot service.json
       python -m repro serve --restore service.json --horizon 40000
 
+* ``run`` and ``serve`` also take ``--faults NAME`` (plus repeatable
+  ``--fault-param KEY=VALUE``) to inject a seeded fault process -- machine
+  crash/restart churn, slowdown windows or network partitions -- and
+  ``churn`` runs the ranking-under-churn study (the paper's mapper×dropper
+  pairs, clean vs crash/restart faults)::
+
+      python -m repro run --faults crash-restart --fault-param mtbf=1500
+      python -m repro serve --faults slowdown --fault-param factor=3
+      python -m repro churn --scale 0.02 --trials 3
+
 * ``list-mappers`` / ``list-droppers`` / ``list-scenarios`` /
-  ``list-arrivals`` / ``list-traffic`` / ``list-uncertainty`` print the
-  corresponding registry, including anything registered by user code
-  imported via ``--plugin module``.
+  ``list-arrivals`` / ``list-traffic`` / ``list-uncertainty`` /
+  ``list-faults`` print the corresponding registry, including anything
+  registered by user code imported via ``--plugin module``.
 
 * ``check`` runs the repository's static determinism & invariant linter
   (:mod:`repro.analysis`) over the installed package (or explicit paths)
@@ -77,15 +87,17 @@ from .config import ExperimentConfig
 from .figures import (FigureResult, figure5_effective_depth, figure6_beta,
                       figure7a_heterogeneous, figure7b_homogeneous,
                       figure8_dropping_policies, figure9_cost,
-                      figure10_transcoding, reactive_share_analysis)
+                      figure10_transcoding, figure_churn_ranking,
+                      reactive_share_analysis)
 from .reporting import format_figure_table
 
 __all__ = ["main", "build_parser"]
 
 FIGURE_COMMANDS = ("fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
-                   "drops")
+                   "drops", "churn")
 LIST_COMMANDS = ("list-mappers", "list-droppers", "list-scenarios",
-                 "list-arrivals", "list-traffic", "list-uncertainty")
+                 "list-arrivals", "list-traffic", "list-uncertainty",
+                 "list-faults")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -132,6 +144,15 @@ def _add_run_style_options(parser: argparse.ArgumentParser) -> None:
                         metavar="KEY=VALUE",
                         help="uncertainty-model parameter, e.g. "
                              "--uncertainty-param mean_latency=5 (repeatable)")
+    parser.add_argument("--faults", default=None,
+                        help="fault-process registry name "
+                             "(e.g. crash-restart; default: none; "
+                             "see list-faults)")
+    parser.add_argument("--fault-param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="fault-process parameter, e.g. "
+                             "--fault-param mtbf=1500 or "
+                             "--fault-param policy=drop (repeatable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,10 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="figure", required=True,
                                      metavar="command")
 
+    figure_help = {"drops": "regenerate the §V-F drop-share analysis",
+                   "churn": "run the ranking-under-churn study "
+                            "(clean vs crash/restart faults)"}
     for figure in FIGURE_COMMANDS:
         sub = commands.add_parser(
-            figure, help=f"regenerate {figure}"
-            if figure != "drops" else "regenerate the §V-F drop-share analysis")
+            figure, help=figure_help.get(figure, f"regenerate {figure}"))
         _add_common_options(sub)
         sub.add_argument("--levels", nargs="+", default=None,
                          choices=["20k", "30k", "40k"],
@@ -338,6 +361,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--uncertainty-param", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="uncertainty-model parameter (repeatable)")
+    serve.add_argument("--faults", default=None,
+                       help="fault-process registry name "
+                            "(default: none; see list-faults)")
+    serve.add_argument("--fault-param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="fault-process parameter, e.g. "
+                            "--fault-param mtbf=1500 (repeatable)")
     serve.add_argument("--window", type=int, default=500,
                        help="tumbling metrics window length (default 500)")
     serve.add_argument("--decay", type=float, default=0.2,
@@ -445,23 +475,32 @@ def _run_figure(args: argparse.Namespace, config: ExperimentConfig) -> FigureRes
         return figure10_transcoding(config, level=args.level or "20k")
     if args.figure == "drops":
         return reactive_share_analysis(config, level=args.level or "30k")
+    if args.figure == "churn":
+        return figure_churn_ranking(config, level=args.level or "30k")
     raise ValueError(f"unknown figure {args.figure!r}")  # pragma: no cover
 
 
-def _parse_params(pairs: Sequence[str]) -> Dict[str, float]:
-    """Parse repeated ``--param key=value`` options (values become numbers)."""
-    params: Dict[str, float] = {}
+def _parse_params(pairs: Sequence[str],
+                  allow_str: bool = False) -> Dict[str, object]:
+    """Parse repeated ``--param key=value`` options (values become numbers).
+
+    With ``allow_str`` a non-numeric value stays a string -- fault processes
+    take categorical parameters like ``policy=drop`` or ``scope=system``.
+    """
+    params: Dict[str, object] = {}
     for pair in pairs:
         key, sep, raw = pair.partition("=")
         if not sep or not key:
             raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
         try:
-            value = int(raw)
+            value: object = int(raw)
         except ValueError:
             try:
                 value = float(raw)
             except ValueError:
-                raise SystemExit(f"--param {key}: {raw!r} is not a number")
+                if not allow_str:
+                    raise SystemExit(f"--param {key}: {raw!r} is not a number")
+                value = raw
         params[key] = value
     return params
 
@@ -509,6 +548,11 @@ def _plan_from_run_args(args: argparse.Namespace) -> "ExperimentPlan":
                               **_parse_params(args.uncertainty_param))
     elif args.uncertainty_param:
         raise SystemExit("--uncertainty-param requires --uncertainty")
+    if args.faults:
+        sim = sim.faults(args.faults,
+                         **_parse_params(args.fault_param, allow_str=True))
+    elif args.fault_param:
+        raise SystemExit("--fault-param requires --faults")
     return sim.build_plan(**axes)
 
 
@@ -692,6 +736,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         uncertainty_params = _parse_params(args.uncertainty_param)
         if uncertainty_params and not args.uncertainty:
             raise ValueError("--uncertainty-param requires --uncertainty")
+        fault_params = _parse_params(args.fault_param, allow_str=True)
+        if fault_params and not args.faults:
+            raise ValueError("--fault-param requires --faults")
         spec = StreamSpec(
             scenario_name=args.scenario,
             traffic_name=args.traffic,
@@ -704,6 +751,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             traffic_params=_parse_params(args.traffic_param),
             uncertainty_name=args.uncertainty or "none",
             uncertainty_params=uncertainty_params,
+            faults_name=args.faults or "none",
+            fault_params=fault_params,
             metrics_window=args.window,
             metrics_decay=args.decay)
         plan = StreamPlan(name="serve", stream=spec, horizon=args.horizon,
@@ -794,14 +843,15 @@ def _command_list_rules(args: argparse.Namespace) -> int:
 
 def _command_list(args: argparse.Namespace) -> int:
     """The ``list-*`` subcommands: print one registry."""
-    from ..api import (ARRIVALS, DROPPERS, MAPPERS, SCENARIOS, TRAFFIC,
-                       UNCERTAINTY)
+    from ..api import (ARRIVALS, DROPPERS, FAULTS, MAPPERS, SCENARIOS,
+                       TRAFFIC, UNCERTAINTY)
 
     registry = {"list-mappers": MAPPERS, "list-droppers": DROPPERS,
                 "list-scenarios": SCENARIOS,
                 "list-arrivals": ARRIVALS,
                 "list-traffic": TRAFFIC,
-                "list-uncertainty": UNCERTAINTY}[args.figure]
+                "list-uncertainty": UNCERTAINTY,
+                "list-faults": FAULTS}[args.figure]
     print(registry.describe())
     return 0
 

@@ -17,7 +17,9 @@ grid can be shipped, diffed, resumed and sharded like any other plan.
 * Fig. 8  -- PAM+{Optimal, Heuristic, Threshold} across oversubscription;
 * Fig. 9  -- cost per completed-task percentage across oversubscription;
 * Fig. 10 -- mapping heuristics × dropping on the transcoding workload;
-* §V-F    -- reactive share of drops under proactive dropping.
+* §V-F    -- reactive share of drops under proactive dropping;
+* churn   -- ranking-under-churn study: the paper's mapper×dropper pairs
+  re-ranked under crash/restart machine churn vs the clean-room baseline.
 
 Absolute robustness values depend on the synthetic workloads (see DESIGN.md
 substitutions); what the benchmark harness asserts is the *shape* of these
@@ -44,7 +46,10 @@ __all__ = [
     "figure9_cost",
     "figure10_transcoding",
     "reactive_share_analysis",
+    "churn_plan",
+    "figure_churn_ranking",
     "DEFAULT_LEVELS",
+    "CHURN_PAIRS",
 ]
 
 #: Oversubscription levels used throughout the evaluation.
@@ -379,6 +384,88 @@ def reactive_share_analysis(config: ExperimentConfig, level: str = "30k",
 
 
 # ----------------------------------------------------------------------
+# Ranking-under-churn study
+# ----------------------------------------------------------------------
+
+#: Mapper × dropper pairs whose ranking the churn study compares.  These
+#: are the paper's headline configurations: proactive dropping (Heuristic),
+#: the threshold baseline and purely reactive dropping, under the two main
+#: mapping heuristics.
+CHURN_PAIRS: Tuple[Tuple[str, object], ...] = (
+    ("PAM", {"name": "heuristic", "params": {"beta": 1.0, "eta": 2}}),
+    ("PAM", {"name": "threshold-adaptive"}),
+    ("MM", {"name": "heuristic", "params": {"beta": 1.0, "eta": 2}}),
+    ("MM", "react"),
+)
+
+
+def churn_plan(config: ExperimentConfig, level: str = "30k",
+               variant: str = "churn", mtbf: float = 2_000.0,
+               repair_mean: float = 400.0, policy: str = "requeue"):
+    """Compile one arm of the ranking-under-churn study to a plan.
+
+    ``variant="clean"`` is the fault-free baseline; ``variant="churn"`` runs
+    the same pair grid under a crash/restart fault process.  Both arms share
+    scenario, seeds and grid, so any ranking difference is attributable to
+    the churn alone.
+    """
+    if variant not in ("clean", "churn"):
+        raise ValueError(f"unknown churn variant {variant!r}; "
+                         f"known: clean, churn")
+    pairs = [{"mapper": mapper, "dropper": dropper}
+             for mapper, dropper in CHURN_PAIRS]
+    overrides = {}
+    if variant == "churn":
+        overrides = {"faults": "crash-restart",
+                     "fault_params": {"mtbf": float(mtbf),
+                                      "repair_mean": float(repair_mean),
+                                      "policy": policy}}
+    return config.plan(name=f"churn-ranking-{variant}", levels=[level],
+                       pairs=pairs, **overrides)
+
+
+def _pair_label(mapper: str, dropper: object) -> str:
+    pretty = {"heuristic": "Heuristic", "threshold-adaptive": "Threshold",
+              "react": "ReactDrop", "optimal": "Optimal"}
+    name = dropper["name"] if isinstance(dropper, dict) else dropper
+    return f"{mapper}+{pretty.get(name, name)}"
+
+
+def figure_churn_ranking(config: ExperimentConfig, level: str = "30k",
+                         mtbf: float = 2_000.0, repair_mean: float = 400.0,
+                         policy: str = "requeue") -> FigureResult:
+    """Mapper×dropper robustness ranking under churn vs clean-room.
+
+    Runs the :data:`CHURN_PAIRS` grid twice -- once fault-free, once under
+    seeded crash/restart churn -- and reports both robustness series side by
+    side.  The series order within each arm *is* the ranking; the figure
+    title records how the orderings compare.
+    """
+    labels = [_pair_label(mapper, dropper) for mapper, dropper in CHURN_PAIRS]
+    clean = _run_plan(churn_plan(config, level, variant="clean"))
+    churn = _run_plan(churn_plan(config, level, variant="churn", mtbf=mtbf,
+                                 repair_mean=repair_mean, policy=policy))
+
+    def ranking(results: Sequence[ConfigurationResult]) -> List[str]:
+        order = sorted(zip(labels, results),
+                       key=lambda item: -item[1].aggregate.robustness_pct.mean)
+        return [label for label, _ in order]
+
+    preserved = ranking(clean) == ranking(churn)
+    fig = FigureResult(
+        figure_id="churn",
+        title="Pair ranking under crash/restart churn "
+              + ("(ranking preserved)" if preserved else "(ranking changed)"),
+        x_label="Mapper+Dropper",
+        y_label="Tasks completed on time (%)")
+    for label, result in zip(labels, clean):
+        fig.add_point("clean", label, _relabel(result, label))
+    for label, result in zip(labels, churn):
+        fig.add_point("churn", label, _relabel(result, label))
+    return fig
+
+
+# ----------------------------------------------------------------------
 # Plan export
 # ----------------------------------------------------------------------
 
@@ -416,5 +503,9 @@ def figure_plan(figure_id: str, config: ExperimentConfig,
                                         "fig10-comparison")
     if figure_id == "drops":
         return drops_plan(config, level=level or "30k")
+    if figure_id == "churn":
+        # Export the faulted arm; the clean baseline is the same plan with
+        # the fault axis removed (or variant="clean" through the API).
+        return churn_plan(config, level=level or "30k", variant="churn")
     raise ValueError(f"unknown figure {figure_id!r}; known: fig5, fig6, "
-                     f"fig7a, fig7b, fig8, fig9, fig10, drops")
+                     f"fig7a, fig7b, fig8, fig9, fig10, drops, churn")

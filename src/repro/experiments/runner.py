@@ -104,6 +104,11 @@ class TrialSpec:
         Unmodelled-delay injector from the
         :data:`repro.api.registries.UNCERTAINTY` registry, applied to every
         sampled execution time (``"none"`` disables, the default).
+    faults_name / fault_params:
+        Timeline fault process from the
+        :data:`repro.api.registries.FAULTS` registry, emitting crash /
+        slowdown / partition events onto the simulation timeline
+        (``"none"`` disables, the default).
     """
 
     scenario_name: str
@@ -123,6 +128,8 @@ class TrialSpec:
     scoring: str = "vector"
     uncertainty_name: str = "none"
     uncertainty_params: Tuple[Tuple[str, object], ...] = ()
+    faults_name: str = "none"
+    fault_params: Tuple[Tuple[str, object], ...] = ()
 
     @property
     def dropper_kwargs(self) -> Dict[str, float]:
@@ -145,6 +152,11 @@ class TrialSpec:
         return dict(self.uncertainty_params)
 
     @property
+    def fault_kwargs(self) -> Dict[str, object]:
+        """Fault-process parameters as a dictionary."""
+        return dict(self.fault_params)
+
+    @property
     def label(self) -> str:
         """Short configuration label, e.g. ``"PAM+Heuristic"``.
 
@@ -164,7 +176,9 @@ class TrialSpec:
 
 
 def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
-                           rng: np.random.Generator) -> HCSystem:
+                           rng: np.random.Generator,
+                           fault_rng: Optional[np.random.Generator] = None
+                           ) -> HCSystem:
     """Assemble a simulator instance for one trial of ``scenario``."""
     mapper = make_heuristic(spec.mapper_name, **spec.mapper_kwargs)
     dropper = make_dropper(spec.dropper_name, **spec.dropper_kwargs)
@@ -173,6 +187,10 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
         from ..api.registries import UNCERTAINTY
         uncertainty = UNCERTAINTY.create(spec.uncertainty_name,
                                          **spec.uncertainty_kwargs)
+    faults = None
+    if spec.faults_name != "none":
+        from ..api.registries import FAULTS
+        faults = FAULTS.create(spec.faults_name, **spec.fault_kwargs)
     config = SystemConfig(queue_capacity=spec.queue_capacity,
                           batch_window=spec.batch_window,
                           incremental=spec.incremental,
@@ -185,7 +203,9 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
                       dropper=dropper,
                       config=config,
                       rng=rng,
-                      uncertainty=uncertainty)
+                      uncertainty=uncertainty,
+                      faults=faults,
+                      fault_rng=fault_rng)
     system.submit(scenario.fresh_tasks())
     return system
 
@@ -255,9 +275,14 @@ def run_trial(spec: TrialSpec,
                 _WORKER_SCENARIOS[key] = scenario
     # The execution-time sampling stream is decoupled from the workload
     # generation stream so that two configurations sharing a seed see the
-    # same arrivals and deadlines.
+    # same arrivals and deadlines.  The fault stream is decoupled from
+    # both so enabling faults never perturbs arrivals or PET samples.
     rng = np.random.default_rng(spec.seed + 1_000_003)
-    system = build_system_for_trial(scenario, spec, rng)
+    fault_rng = None
+    if spec.faults_name != "none":
+        from ..sim.fault_events import FAULT_SEED_OFFSET
+        fault_rng = np.random.default_rng(spec.seed + FAULT_SEED_OFFSET)
+    system = build_system_for_trial(scenario, spec, rng, fault_rng=fault_rng)
     result = system.run()
     pricing = None
     if spec.with_cost:

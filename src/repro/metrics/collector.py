@@ -7,6 +7,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..cost.accounting import CostReport, compute_cost_report
 from ..cost.pricing import PricingModel
+from ..sim.fault_events import ChurnCounters
 from ..sim.perf import PerfStats
 from ..sim.system import SimulationResult
 from .drops import DropBreakdown, drop_breakdown
@@ -34,6 +35,12 @@ class TrialMetrics:
         Number of mapping events the run triggered.
     makespan:
         Simulation time at which the system drained.
+    churn:
+        Fault-induced churn counters (crashes, requeued/lost tasks,
+        partition machine-time).  ``None`` when the trial ran without a
+        fault process, so fault-free metrics stay byte-identical to older
+        spools; *included* in equality -- the incremental and naive
+        engines must agree on churn too.
     perf:
         Hot-path work counters of the run (folds, cache hits, wall time).
         Excluded from equality so two runs with identical *outcomes* but
@@ -46,6 +53,7 @@ class TrialMetrics:
     cost: Optional[CostReport]
     num_mapping_events: int
     makespan: int
+    churn: Optional[ChurnCounters] = None
     perf: Optional[PerfStats] = field(default=None, compare=False)
 
     @property
@@ -97,9 +105,16 @@ def collect_trial_metrics(result: SimulationResult,
     cost = None
     if pricing is not None:
         cost = compute_cost_report(result, pricing, robustness=robustness)
+    churn = None
+    if result.faults_active:
+        churn = ChurnCounters(crashes=result.num_crashes,
+                              requeued_tasks=result.num_requeued_tasks,
+                              lost_tasks=result.num_crash_lost,
+                              partition_time=result.partition_time)
     return TrialMetrics(robustness=robustness, drops=drops, cost=cost,
                         num_mapping_events=result.num_mapping_events,
                         makespan=result.makespan,
+                        churn=churn,
                         perf=result.perf)
 
 
@@ -131,6 +146,11 @@ def trial_metrics_to_dict(metrics: TrialMetrics) -> Dict[str, Any]:
             "robustness_pct": metrics.cost.robustness_pct,
             "cost_per_completed_pct": metrics.cost.cost_per_completed_pct,
         }
+    if metrics.churn is not None:
+        # Conditional key: fault-free payloads stay byte-identical to the
+        # pre-fault spool format (backward/forward compatible resume).
+        payload["churn"] = {f.name: getattr(metrics.churn, f.name)
+                            for f in fields(metrics.churn)}
     if metrics.perf is not None:
         payload["perf"] = {f.name: getattr(metrics.perf, f.name)
                            for f in fields(metrics.perf)}
@@ -153,12 +173,16 @@ def trial_metrics_from_dict(payload: Dict[str, Any]) -> TrialMetrics:
         known = {f.name for f in fields(PerfStats)}
         perf = PerfStats(**{k: v for k, v in payload["perf"].items()
                             if k in known})
+    churn = None
+    if payload.get("churn") is not None:
+        churn = ChurnCounters(**payload["churn"])
     return TrialMetrics(
         robustness=RobustnessReport(**payload["robustness"]),
         drops=DropBreakdown(**payload["drops"]),
         cost=cost,
         num_mapping_events=payload["num_mapping_events"],
         makespan=payload["makespan"],
+        churn=churn,
         perf=perf)
 
 

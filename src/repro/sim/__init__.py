@@ -3,6 +3,12 @@
 from .batch_queue import BatchQueue
 from .engine import SimulationEngine, SimulationLimitError
 from .events import Event, SimulationEnd, TaskArrival, TaskCompletion
+from .fault_events import (FAULT_SEED_OFFSET, ChurnCounters,
+                           CrashRestartProcess, FaultEvent, FaultInjector,
+                           FaultProcess, MachineCrash, MachineRestart,
+                           NoFaults, PartitionEnd, PartitionProcess,
+                           PartitionStart, SlowdownEnd, SlowdownProcess,
+                           SlowdownStart)
 from .faults import (ComposedUncertainty, MachineStallModel, NetworkLatencyModel,
                      NoUncertainty, UncertaintyModel)
 from .machine import Machine, MachineType
@@ -12,6 +18,21 @@ from .task import Task, TaskStatus, TaskType
 from .trace import InMemoryTrace, NullTrace, Trace, TraceRecord
 
 __all__ = [
+    "FAULT_SEED_OFFSET",
+    "ChurnCounters",
+    "CrashRestartProcess",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultProcess",
+    "MachineCrash",
+    "MachineRestart",
+    "NoFaults",
+    "PartitionEnd",
+    "PartitionProcess",
+    "PartitionStart",
+    "SlowdownEnd",
+    "SlowdownProcess",
+    "SlowdownStart",
     "UncertaintyModel",
     "NoUncertainty",
     "NetworkLatencyModel",

@@ -29,6 +29,10 @@ class Event:
     #: Priority used to break ties between events scheduled at the same time.
     #: Completions are handled before arrivals at the same timestamp so that
     #: the slot freed by a completion is visible to the arriving task.
+    #: Fault events (:mod:`repro.sim.fault_events`) slot in between at
+    #: priority 2: a task completing exactly when its machine crashes
+    #: completed legitimately, and a task arriving exactly at a restart
+    #: already sees the restored capacity.
     priority: ClassVar[int] = 0
 
     def __post_init__(self):
@@ -41,7 +45,7 @@ class TaskArrival(Event):
     """A task arrives at the batch queue."""
 
     task_id: int = -1
-    priority: ClassVar[int] = 2
+    priority: ClassVar[int] = 3
 
 
 @dataclass(frozen=True)
@@ -57,4 +61,4 @@ class TaskCompletion(Event):
 class SimulationEnd(Event):
     """Sentinel event used to force the simulation loop to stop."""
 
-    priority: ClassVar[int] = 3
+    priority: ClassVar[int] = 4

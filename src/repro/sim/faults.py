@@ -85,9 +85,15 @@ class NetworkLatencyModel(UncertaintyModel):
 
     def perturb_execution(self, duration: int, task_type: int, machine_type: int,
                           rng: np.random.Generator) -> int:
-        """Add exponential latency, plus an occasional long-tail spike."""
-        latency = rng.exponential(self.mean_latency) if self.mean_latency > 0 else 0.0
-        if self.jitter_probability > 0 and rng.random() < self.jitter_probability:
+        """Add exponential latency, plus an occasional long-tail spike.
+
+        Always consumes exactly two draws (latency, jitter uniform) so a
+        zero ``mean_latency`` or ``jitter_probability`` never shifts the
+        downstream draw sequence of other models or later tasks.
+        """
+        latency = rng.exponential(self.mean_latency)
+        jitter = rng.random()
+        if jitter < self.jitter_probability:
             latency += self.jitter_scale * self.mean_latency
         return max(int(round(duration + latency)), 1)
 
@@ -126,9 +132,15 @@ class MachineStallModel(UncertaintyModel):
 
     def perturb_execution(self, duration: int, task_type: int, machine_type: int,
                           rng: np.random.Generator) -> int:
-        """Add a repair delay to a random subset of executions."""
-        if self.stall_probability > 0 and rng.random() < self.stall_probability:
-            stall = int(rng.integers(self.min_stall, self.max_stall + 1))
+        """Add a repair delay to a random subset of executions.
+
+        Always consumes exactly two draws (trigger uniform, stall length)
+        so a zero ``stall_probability`` never shifts the downstream draw
+        sequence; the stall is applied only when the trigger fires.
+        """
+        trigger = rng.random()
+        stall = int(rng.integers(self.min_stall, self.max_stall + 1))
+        if trigger < self.stall_probability:
             duration = duration + stall
         return max(int(duration), 1)
 

@@ -151,6 +151,22 @@ class Machine:
         self.busy_time = int(busy_time)
         self.started_tasks = int(started_tasks)
 
+    def crash(self, busy: int = 0) -> Tuple[Optional[int], List[int]]:
+        """Clear the whole queue after a machine-crash fault.
+
+        Returns the running task (if any) and the pending tasks, head
+        first, so the simulator can requeue or lose them; ``busy`` bills
+        the partial execution time spent before the crash.
+        """
+        if busy < 0:
+            raise ValueError("busy time cannot be negative")
+        running = self.running_task
+        pending = list(self._pending)
+        self.running_task = None
+        self._pending.clear()
+        self.busy_time += int(busy)
+        return running, pending
+
     def finish_running(self, task_id: int, busy: int) -> None:
         """Clear the running slot after the given task completes."""
         if self.running_task != task_id:

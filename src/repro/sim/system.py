@@ -36,6 +36,10 @@ from ..mapping.base import (Assignment, MachineState, MappingContext,
 from .batch_queue import BatchQueue
 from .engine import SimulationEngine
 from .events import Event, TaskArrival, TaskCompletion
+from .fault_events import (FAULT_SEED_OFFSET, FaultEvent, FaultInjector,
+                           FaultProcess, MachineCrash, MachineRestart,
+                           PartitionEnd, PartitionStart, SlowdownEnd,
+                           SlowdownStart)
 from .machine import Machine, MachineType
 from .perf import PerfStats
 from .task import Task, TaskStatus, TaskType
@@ -119,6 +123,18 @@ class SimulationResult:
     num_reactive_queue_drops: int
     num_batch_expired_drops: int
     num_dispatched_events: int
+    #: Fault-induced churn of the run (all zero without a fault process;
+    #: crash losses are *also* counted in ``num_reactive_queue_drops`` and
+    #: carry ``DROPPED_REACTIVE`` status, so the drop breakdown stays
+    #: consistent with the status histogram).
+    num_crashes: int = 0
+    num_requeued_tasks: int = 0
+    num_crash_lost: int = 0
+    partition_time: int = 0
+    #: True when the run had a fault process attached (even one that never
+    #: fired); the metrics layer only attaches churn counters then, keeping
+    #: fault-free trial metrics byte-identical to older spools.
+    faults_active: bool = False
     #: Hot-path work counters of the run (``None`` only for hand-built
     #: results in tests; :meth:`HCSystem.result` always attaches them).
     #: Excluded from equality so identical outcomes compare equal even
@@ -179,7 +195,9 @@ class HCSystem:
                  config: Optional[SystemConfig] = None,
                  rng: Optional[np.random.Generator] = None,
                  trace: Optional[Trace] = None,
-                 uncertainty: Optional["UncertaintyModel"] = None):
+                 uncertainty: Optional["UncertaintyModel"] = None,
+                 faults: Optional[FaultProcess] = None,
+                 fault_rng: Optional[np.random.Generator] = None):
         self.machine_types = list(machine_types)
         self.machines = list(machines)
         self.task_types = list(task_types)
@@ -195,6 +213,35 @@ class HCSystem:
         self.uncertainty = uncertainty
 
         self._validate_platform()
+
+        #: Optional timeline fault process (crash/restart churn, slowdown
+        #: windows, partitions); its onset stream is driven by a dedicated
+        #: seeded generator so the fault schedule is independent of both the
+        #: workload and the execution-sampling streams.
+        self.faults = faults
+        self.fault_injector: Optional[FaultInjector] = None
+        if faults is not None:
+            injector_rng = (fault_rng if fault_rng is not None
+                            else np.random.default_rng(FAULT_SEED_OFFSET))
+            self.fault_injector = FaultInjector(
+                faults, injector_rng, [m.id for m in self.machines])
+        # Fault state.  ``_down`` is membership-only (never iterated), the
+        # window dicts are insertion-ordered, and cancelled completions are
+        # counted per (task, machine, time) so a requeued task re-finishing
+        # at a coincident timestamp still completes exactly once.
+        self._down: set = set()
+        self._slowdowns: Dict[int, Tuple[Tuple[int, ...], float]] = {}
+        self._partitions: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+        self._cancelled_completions: Dict[Tuple[int, int, int], int] = {}
+        #: Tasks submitted but not yet in a terminal state; a fault-active
+        #: batch run stops when this reaches zero (the onset stream alone
+        #: would keep the event heap populated forever).
+        self._open_tasks = 0
+        # Churn counters.
+        self.num_crashes = 0
+        self.num_requeued_tasks = 0
+        self.num_crash_lost = 0
+        self.partition_time = 0
 
         self.batch_queue = BatchQueue()
         self.tasks: Dict[int, Task] = {}
@@ -279,6 +326,7 @@ class HCSystem:
             if task.status is not TaskStatus.CREATED:
                 raise ValueError(f"task {task.id} was already submitted")
             self.tasks[task.id] = task
+            self._open_tasks += 1
             self.engine.schedule(TaskArrival(time=task.arrival, task_id=task.id))
 
     # ------------------------------------------------------------------
@@ -290,6 +338,8 @@ class HCSystem:
             self._on_arrival(event)
         elif isinstance(event, TaskCompletion):
             self._on_completion(event)
+        elif isinstance(event, FaultEvent):
+            self._on_fault(event)
         else:  # pragma: no cover - no other event kinds are scheduled
             raise TypeError(f"unexpected event {event!r}")
 
@@ -301,14 +351,154 @@ class HCSystem:
         self._mapping_event(event.time)
 
     def _on_completion(self, event: TaskCompletion) -> None:
+        if self._cancelled_completions:
+            # A crash cancelled this in-heap completion; swallow it.
+            key = (event.task_id, event.machine_id, event.time)
+            count = self._cancelled_completions.get(key, 0)
+            if count:
+                if count == 1:
+                    del self._cancelled_completions[key]
+                else:
+                    self._cancelled_completions[key] = count - 1
+                return
         task = self.tasks[event.task_id]
         machine = self._machine_by_id[event.machine_id]
         busy = event.time - (task.start_time if task.start_time is not None else event.time)
         machine.finish_running(task.id, busy)
         task.mark_completed(event.time)
+        self._task_closed()
         self._trace(event.time, "completed", task_id=task.id, machine_id=machine.id,
                     detail=f"on_time={task.succeeded}")
         self._mapping_event(event.time)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _on_fault(self, event: FaultEvent) -> None:
+        if isinstance(event, MachineCrash):
+            self._on_crash(event)
+        elif isinstance(event, MachineRestart):
+            self._on_restart(event)
+        elif isinstance(event, SlowdownStart):
+            self._slowdowns[event.token] = (event.machine_ids, event.factor)
+            self.engine.schedule(SlowdownEnd(time=event.time + event.duration,
+                                             token=event.token))
+            self._trace(event.time, "slowdown_start",
+                        detail=f"token={event.token} factor={event.factor}")
+            self._advance_faults()
+        elif isinstance(event, SlowdownEnd):
+            self._slowdowns.pop(event.token, None)
+            self._trace(event.time, "slowdown_end", detail=f"token={event.token}")
+        elif isinstance(event, PartitionStart):
+            self._partitions[event.token] = (event.machine_ids, event.time)
+            self.engine.schedule(PartitionEnd(time=event.time + event.duration,
+                                              token=event.token))
+            self._trace(event.time, "partition_start",
+                        detail=f"token={event.token} machines={event.machine_ids}")
+            self._advance_faults()
+        elif isinstance(event, PartitionEnd):
+            entry = self._partitions.pop(event.token, None)
+            if entry is not None:
+                machine_ids, started = entry
+                self.partition_time += (event.time - started) * len(machine_ids)
+            self._trace(event.time, "partition_end", detail=f"token={event.token}")
+            # Healed machines are mappable again: trigger a mapping event.
+            self._mapping_event(event.time)
+        else:  # pragma: no cover - no other fault kinds are scheduled
+            raise TypeError(f"unexpected fault event {event!r}")
+
+    def _on_crash(self, event: MachineCrash) -> None:
+        now = event.time
+        machine = self._machine_by_id.get(event.machine_id)
+        if machine is None or machine.id in self._down:
+            # The process draws victims independently of repair state; a
+            # crash of an already-down (or unknown) machine is a no-op.
+            self._advance_faults()
+            return
+        self._down.add(machine.id)
+        self.num_crashes += 1
+        running = machine.running_task
+        partial_busy = 0
+        if running is not None:
+            task = self.tasks[running]
+            started = task.start_time if task.start_time is not None else now
+            partial_busy = now - started
+            # Cancel the in-heap completion of the interrupted run.  The
+            # completion fires strictly after ``now``: an equal-time one
+            # already dispatched (completions precede faults at a tie).
+            finish = started + self._sampled_exec[running]
+            key = (running, machine.id, finish)
+            self._cancelled_completions[key] = (
+                self._cancelled_completions.get(key, 0) + 1)
+        _, pending = machine.crash(partial_busy)
+        affected = ([running] if running is not None else []) + pending
+        requeue = event.policy == "requeue"
+        for task_id in affected:
+            task = self.tasks[task_id]
+            if requeue and task.deadline > now:
+                task.mark_requeued(now)
+                self.batch_queue.push(task.id, task.deadline)
+                self.num_requeued_tasks += 1
+                self._trace(now, "requeued", task_id=task_id,
+                            machine_id=machine.id)
+            else:
+                task.mark_lost(now)
+                self.num_crash_lost += 1
+                self.num_reactive_queue_drops += 1
+                self._task_closed()
+                self._trace(now, "lost_in_crash", task_id=task_id,
+                            machine_id=machine.id)
+        # The crash destroyed the queue every per-machine incremental chain
+        # indexed; invalidate them all so a post-restart queue can never
+        # reuse a PMF shifted to a pre-crash start time.
+        self._invalidate_machine_caches(machine.id)
+        self.engine.schedule(MachineRestart(time=now + event.repair_delay,
+                                            machine_id=machine.id))
+        self._trace(now, "crash", machine_id=machine.id,
+                    detail=f"policy={event.policy} repair={event.repair_delay}")
+        self._advance_faults()
+        # Requeued tasks are mappable elsewhere right away.
+        self._mapping_event(now)
+
+    def _on_restart(self, event: MachineRestart) -> None:
+        if event.machine_id not in self._down:
+            return
+        self._down.discard(event.machine_id)
+        self._trace(event.time, "restart", machine_id=event.machine_id)
+        # Restored capacity: trigger a mapping event.
+        self._mapping_event(event.time)
+
+    def _advance_faults(self) -> None:
+        """Pull the next onset from the fault stream after one dispatched."""
+        if self.fault_injector is not None:
+            self.fault_injector.on_onset_dispatched(self.engine)
+
+    def _invalidate_machine_caches(self, machine_id: int) -> None:
+        """Discard every incremental-cache chain of one machine (crash)."""
+        self._shifted_exec_cache.pop(machine_id, None)
+        self._base_cache.pop(machine_id, None)
+        self._tail_cache.pop(machine_id, None)
+        self._drop_cache.pop(machine_id, None)
+        if self._append_cache:
+            stale = [key for key in self._append_cache if key[0] == machine_id]
+            for key in stale:
+                del self._append_cache[key]
+
+    def _machine_mappable(self, machine_id: int) -> bool:
+        """False while the machine is down or cut off by a partition."""
+        if machine_id in self._down:
+            return False
+        for token in self._partitions:
+            if machine_id in self._partitions[token][0]:
+                return False
+        return True
+
+    def _task_closed(self) -> None:
+        """Bookkeeping for a task entering a terminal state."""
+        self._open_tasks -= 1
+
+    def _all_tasks_closed(self) -> bool:
+        return self._open_tasks <= 0
 
     # ------------------------------------------------------------------
     # Mapping event
@@ -332,6 +522,7 @@ class HCSystem:
                     machine.remove_pending(task_id)
                     task.mark_dropped(TaskStatus.DROPPED_REACTIVE, now)
                     self.num_reactive_queue_drops += 1
+                    self._task_closed()
                     self._trace(now, "dropped_reactive", task_id=task_id,
                                 machine_id=machine.id)
 
@@ -342,6 +533,7 @@ class HCSystem:
         for task_id in self.batch_queue.pop_expired(now):
             self.tasks[task_id].mark_dropped(TaskStatus.DROPPED_EXPIRED_BATCH, now)
             self.num_batch_expired_drops += 1
+            self._task_closed()
             self.perf.batch_expired += 1
             self._evict_append_cache(task_id)
             self._trace(now, "expired_batch", task_id=task_id)
@@ -388,6 +580,7 @@ class HCSystem:
                 machine.remove_pending(task_id)
                 self.tasks[task_id].mark_dropped(TaskStatus.DROPPED_PROACTIVE, now)
                 self.num_proactive_drops += 1
+                self._task_closed()
                 self._trace(now, "dropped_proactive", task_id=task_id,
                             machine_id=machine.id)
 
@@ -395,12 +588,22 @@ class HCSystem:
     def _map_tasks(self, now: int) -> None:
         if self.batch_queue.is_empty:
             return
+        # Down or partitioned machines are invisible to the mapper (a
+        # drained machine must not accept mappings); with no active fault
+        # the filter is the identity and the behaviour is unchanged.
+        if self._down or self._partitions:
+            machines = [machine for machine in self.machines
+                        if self._machine_mappable(machine.id)]
+            if not machines:
+                return
+        else:
+            machines = self.machines
         # Check slot availability before building any completion PMF: in a
         # saturated system most mapping events find every queue full, and
         # the scheduler views are only needed when the mapper can act.
-        if not any(machine.has_free_slot for machine in self.machines):
+        if not any(machine.has_free_slot for machine in machines):
             return
-        machine_states = [self._machine_state(machine, now) for machine in self.machines]
+        machine_states = [self._machine_state(machine, now) for machine in machines]
         window_ids = self.batch_queue.window(self.config.batch_window)
         task_views = [self._task_view(task_id) for task_id in window_ids]
         shared = self._append_cache if self.config.incremental else None
@@ -434,6 +637,8 @@ class HCSystem:
     # -- step 4: dispatch -------------------------------------------------
     def _dispatch(self, now: int) -> None:
         for machine in self.machines:
+            if machine.id in self._down:
+                continue
             if not machine.is_idle:
                 continue
             while machine.pending_tasks:
@@ -445,6 +650,7 @@ class HCSystem:
                     machine.remove_pending(head_id)
                     head.mark_dropped(TaskStatus.DROPPED_REACTIVE, now)
                     self.num_reactive_queue_drops += 1
+                    self._task_closed()
                     self._trace(now, "dropped_reactive", task_id=head_id,
                                 machine_id=machine.id)
                     continue
@@ -591,6 +797,17 @@ class HCSystem:
         if self.uncertainty is not None:
             duration = self.uncertainty.perturb_execution(
                 duration, task.type_id, machine.type_id, self.rng)
+        if self._slowdowns:
+            # Open slowdown windows inflate every execution started on an
+            # affected machine; no extra RNG draw, so the sampling stream
+            # stays aligned with a fault-free run.
+            factor = 1.0
+            for token in self._slowdowns:
+                scope, window_factor = self._slowdowns[token]
+                if not scope or machine.id in scope:
+                    factor *= window_factor
+            if factor != 1.0:
+                duration = max(int(duration * factor), 1)
         self._sampled_exec[task.id] = duration
         return duration
 
@@ -605,9 +822,18 @@ class HCSystem:
         actually simulated even when the last event fired earlier.
         """
         start = time.perf_counter()
+        stop_when = None
+        if self.fault_injector is not None:
+            self.fault_injector.start(self.engine)
+            if until is None:
+                # The onset stream alone keeps the heap populated forever;
+                # a fault-active batch run ends when every submitted task
+                # reached a terminal state (same clock semantics as a
+                # natural drain: the closing event sets the makespan).
+                stop_when = self._all_tasks_closed
         try:
             with active_folder(self._folder):
-                self.engine.run(self, until=until)
+                self.engine.run(self, until=until, stop_when=stop_when)
         finally:
             self.perf.wall_time_s += time.perf_counter() - start
         return self.result()
@@ -634,6 +860,11 @@ class HCSystem:
             num_reactive_queue_drops=self.num_reactive_queue_drops,
             num_batch_expired_drops=self.num_batch_expired_drops,
             num_dispatched_events=self.engine.dispatched_events,
+            num_crashes=self.num_crashes,
+            num_requeued_tasks=self.num_requeued_tasks,
+            num_crash_lost=self.num_crash_lost,
+            partition_time=self.partition_time,
+            faults_active=self.fault_injector is not None,
             perf=self.perf,
         )
 

@@ -188,6 +188,37 @@ class Task:
         else:
             self.status = TaskStatus.COMPLETED_LATE
 
+    def mark_requeued(self, now: int) -> None:
+        """Transition QUEUED/RUNNING → IN_BATCH when the task's machine
+        crashes and the restart policy re-submits surviving work.
+
+        The partial execution is lost (tasks are sequential and
+        non-preemptible, so a crashed run cannot be resumed); the task
+        re-enters the batch queue with its original arrival and deadline.
+        """
+        if self.status not in (TaskStatus.QUEUED, TaskStatus.RUNNING):
+            raise ValueError(
+                f"task {self.id}: cannot requeue from {self.status}")
+        self.status = TaskStatus.IN_BATCH
+        self.machine_id = None
+        self.queued_time = None
+        self.start_time = None
+
+    def mark_lost(self, now: int) -> None:
+        """Transition QUEUED/RUNNING → DROPPED_REACTIVE on a machine crash.
+
+        Crash losses are recorded as reactive drops -- the environment, not
+        a dropping policy, discarded the task; the simulator additionally
+        counts them in its churn counters.  This is the one sanctioned way
+        a RUNNING task leaves without completing (the machine died; the
+        no-preemption rule of :meth:`mark_dropped` still stands).
+        """
+        if self.status not in (TaskStatus.QUEUED, TaskStatus.RUNNING):
+            raise ValueError(
+                f"task {self.id}: cannot be lost from {self.status}")
+        self.status = TaskStatus.DROPPED_REACTIVE
+        self.drop_time = now
+
     def mark_dropped(self, status: TaskStatus, now: int) -> None:
         """Transition into one of the dropped states."""
         if not status.is_drop:

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..mapping import make_heuristic
 from ..metrics.collector import TrialMetrics, collect_trial_metrics
+from ..sim.fault_events import FAULT_SEED_OFFSET
 from ..sim.system import HCSystem, SystemConfig
 from ..sim.task import Task
 from ..workload.arrivals import rate_for_oversubscription
@@ -81,6 +82,12 @@ class StreamSpec:
     uncertainty_name / uncertainty_params:
         Unmodelled-delay injector from the
         :data:`repro.api.registries.UNCERTAINTY` registry ("none" disables).
+    faults_name / fault_params:
+        Timeline fault process from the
+        :data:`repro.api.registries.FAULTS` registry ("none" disables);
+        faults draw from a dedicated seeded stream
+        (``seed + FAULT_SEED_OFFSET``), so enabling them never perturbs
+        traffic or execution sampling.
     metrics_window / metrics_decay:
         Tumbling-window length and EWMA factor of the live metrics.
     gamma / queue_capacity / batch_window / seed / scenario_params /
@@ -103,6 +110,8 @@ class StreamSpec:
     scenario_params: Tuple[Tuple[str, object], ...] = ()
     uncertainty_name: str = "none"
     uncertainty_params: Tuple[Tuple[str, object], ...] = ()
+    faults_name: str = "none"
+    fault_params: Tuple[Tuple[str, object], ...] = ()
     incremental: bool = True
     scoring: str = "vector"
     metrics_window: int = 500
@@ -112,7 +121,8 @@ class StreamSpec:
         # Accept plain dicts for all *_params fields and freeze them, so
         # StreamSpec(dropper_params={"beta": 1.0}) just works.
         for name in ("mapper_params", "dropper_params", "traffic_params",
-                     "scenario_params", "uncertainty_params"):
+                     "scenario_params", "uncertainty_params",
+                     "fault_params"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, _freeze(value))
@@ -190,7 +200,7 @@ class StreamingSimulation:
         # The registries live in repro.api, which imports this package for
         # its TRAFFIC entries; import lazily to keep the module graph
         # acyclic (the same idiom the workload layer uses for ARRIVALS).
-        from ..api.registries import DROPPERS, TRAFFIC, UNCERTAINTY
+        from ..api.registries import DROPPERS, FAULTS, TRAFFIC, UNCERTAINTY
 
         if chunk_tasks < 1:
             raise ValueError("chunk_tasks must be positive")
@@ -222,6 +232,12 @@ class StreamingSimulation:
         if spec.uncertainty_name != "none":
             uncertainty = UNCERTAINTY.create(spec.uncertainty_name,
                                              **dict(spec.uncertainty_params))
+        faults = None
+        fault_rng = None
+        if spec.faults_name != "none":
+            faults = FAULTS.create(spec.faults_name,
+                                   **dict(spec.fault_params))
+            fault_rng = np.random.default_rng(spec.seed + FAULT_SEED_OFFSET)
 
         self.live = LiveMetrics(window=spec.metrics_window,
                                 decay=spec.metrics_decay,
@@ -243,7 +259,9 @@ class StreamingSimulation:
             config=config,
             rng=np.random.default_rng(spec.seed + EXECUTION_SEED_OFFSET),
             trace=self.live,
-            uncertainty=uncertainty)
+            uncertainty=uncertainty,
+            faults=faults,
+            fault_rng=fault_rng)
 
         self._deadline_policy = PaperDeadlinePolicy(gamma=spec.gamma)
         self._events: Iterator[Tuple[int, int]] = self.traffic.events(

@@ -12,8 +12,13 @@ A snapshot captures everything that determines the future of a
 * the batch queue in FIFO order,
 * the execution-sampling RNG state (PCG64 state dict -- exact integers),
 * the traffic stream position (count of accepted events; the stream is a
-  pure function of the seed, so the count alone re-derives it), and
-* the live-metrics accumulators (closed windows, open window, EWMA state).
+  pure function of the seed, so the count alone re-derives it),
+* the live-metrics accumulators (closed windows, open window, EWMA state),
+  and
+* when a fault process is active: the fault stream position, the down /
+  slowed / partitioned machine state, the cancelled-completion table and
+  the churn counters (the fault schedule, like traffic, is a pure function
+  of its seed, so the position alone re-derives the stream).
 
 What is deliberately *not* serialised: the simulator's incremental
 completion-PMF caches.  Every cache is gated on bitwise-identical inputs,
@@ -32,6 +37,8 @@ from dataclasses import fields as dataclass_fields
 from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional
 
 from ..sim.events import Event, SimulationEnd, TaskArrival, TaskCompletion
+from ..sim.fault_events import (MachineCrash, MachineRestart, PartitionEnd,
+                                PartitionStart, SlowdownEnd, SlowdownStart)
 from ..sim.perf import PerfStats
 from ..sim.task import Task, TaskStatus
 
@@ -59,6 +66,29 @@ def _event_to_dict(event: Event) -> Dict[str, object]:
                 "task_id": event.task_id, "machine_id": event.machine_id}
     if isinstance(event, SimulationEnd):
         return {"kind": "end", "time": event.time}
+    if isinstance(event, MachineCrash):
+        return {"kind": "crash", "time": event.time,
+                "machine_id": event.machine_id,
+                "repair_delay": event.repair_delay, "policy": event.policy}
+    if isinstance(event, MachineRestart):
+        return {"kind": "restart", "time": event.time,
+                "machine_id": event.machine_id}
+    if isinstance(event, SlowdownStart):
+        return {"kind": "slowdown-start", "time": event.time,
+                "token": event.token,
+                "machine_ids": list(event.machine_ids),
+                "factor": event.factor, "duration": event.duration}
+    if isinstance(event, SlowdownEnd):
+        return {"kind": "slowdown-end", "time": event.time,
+                "token": event.token}
+    if isinstance(event, PartitionStart):
+        return {"kind": "partition-start", "time": event.time,
+                "token": event.token,
+                "machine_ids": list(event.machine_ids),
+                "duration": event.duration}
+    if isinstance(event, PartitionEnd):
+        return {"kind": "partition-end", "time": event.time,
+                "token": event.token}
     raise TypeError(f"cannot serialise event {event!r}")
 
 
@@ -73,6 +103,33 @@ def _event_from_dict(payload: Mapping[str, object]) -> Event:
                               machine_id=int(payload["machine_id"]))
     if kind == "end":
         return SimulationEnd(time=int(payload["time"]))
+    if kind == "crash":
+        return MachineCrash(time=int(payload["time"]),
+                            machine_id=int(payload["machine_id"]),
+                            repair_delay=int(payload["repair_delay"]),
+                            policy=str(payload["policy"]))
+    if kind == "restart":
+        return MachineRestart(time=int(payload["time"]),
+                              machine_id=int(payload["machine_id"]))
+    if kind == "slowdown-start":
+        return SlowdownStart(time=int(payload["time"]),
+                             token=int(payload["token"]),
+                             machine_ids=tuple(
+                                 int(m) for m in payload["machine_ids"]),
+                             factor=float(payload["factor"]),
+                             duration=int(payload["duration"]))
+    if kind == "slowdown-end":
+        return SlowdownEnd(time=int(payload["time"]),
+                           token=int(payload["token"]))
+    if kind == "partition-start":
+        return PartitionStart(time=int(payload["time"]),
+                              token=int(payload["token"]),
+                              machine_ids=tuple(
+                                  int(m) for m in payload["machine_ids"]),
+                              duration=int(payload["duration"]))
+    if kind == "partition-end":
+        return PartitionEnd(time=int(payload["time"]),
+                            token=int(payload["token"]))
     raise ValueError(f"unknown event kind {kind!r} in snapshot")
 
 
@@ -95,7 +152,7 @@ def snapshot_state(service: "StreamingSimulation") -> Dict[str, object]:
     """Serialise the full live state of a service to a JSON-ready dict."""
     system = service.system
     engine = system.engine
-    return {
+    payload: Dict[str, object] = {
         "format": SNAPSHOT_FORMAT,
         "spec": service.spec.to_dict(),
         "horizon": service.horizon,
@@ -125,6 +182,32 @@ def snapshot_state(service: "StreamingSimulation") -> Dict[str, object]:
         "rng_state": system.rng.bit_generator.state,
         "live": service.live.state_dict(),
     }
+    if system.fault_injector is not None:
+        # Conditional key: fault-free snapshots stay byte-identical to the
+        # pre-fault layout.  The onset stream itself is a pure function of
+        # the fault seed, so its position (``consumed``) plus the pending
+        # onset already in the engine section fully determine the future.
+        payload["faults"] = {
+            "consumed": system.fault_injector.consumed,
+            "down": sorted(system._down),
+            "slowdowns": [
+                [token, list(scope), factor]
+                for token, (scope, factor) in system._slowdowns.items()],
+            "partitions": [
+                [token, list(ids), started]
+                for token, (ids, started) in system._partitions.items()],
+            "cancelled_completions": [
+                [task_id, machine_id, time, count]
+                for (task_id, machine_id, time), count
+                in system._cancelled_completions.items()],
+            "counters": {
+                "num_crashes": system.num_crashes,
+                "num_requeued_tasks": system.num_requeued_tasks,
+                "num_crash_lost": system.num_crash_lost,
+                "partition_time": system.partition_time,
+            },
+        }
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -192,10 +275,60 @@ def restore_state(payload: Mapping[str, object],
     # Engine: replay the pending events (already in dispatch order) into
     # the fresh heap; new sequence numbers preserve the tie-breaking.
     engine_state = payload["engine"]
+    pending_events = [_event_from_dict(e) for e in engine_state["pending"]]
     system.engine.load_state(
         now=int(engine_state["now"]),
         dispatched=int(engine_state["dispatched"]),
-        events=[_event_from_dict(e) for e in engine_state["pending"]])
+        events=pending_events)
+
+    # Open-task accounting (terminal transitions decrement it; the restore
+    # path bypassed submit()).
+    system._open_tasks = sum(1 for t in system.tasks.values()
+                             if not t.status.is_terminal)
+
+    faults = payload.get("faults")
+    if faults is not None:
+        if system.fault_injector is None:
+            raise ValueError("snapshot carries fault state but its spec "
+                             "has no fault process")
+        system._down = {int(m) for m in faults["down"]}
+        system._slowdowns = {
+            int(token): (tuple(int(m) for m in scope), float(factor))
+            for token, scope, factor in faults["slowdowns"]}
+        system._partitions = {
+            int(token): (tuple(int(m) for m in ids), int(started))
+            for token, ids, started in faults["partitions"]}
+        system._cancelled_completions = {
+            (int(task_id), int(machine_id), int(time)): int(count)
+            for task_id, machine_id, time, count
+            in faults["cancelled_completions"]}
+        counters = faults["counters"]
+        system.num_crashes = int(counters["num_crashes"])
+        system.num_requeued_tasks = int(counters["num_requeued_tasks"])
+        system.num_crash_lost = int(counters["num_crash_lost"])
+        system.partition_time = int(counters["partition_time"])
+        # Stream position: replay the seeded onset stream; the pending
+        # onset itself was restored with the engine events above.
+        system.fault_injector.fast_forward(int(faults["consumed"]))
+        # A crash cancels the running task's completion at
+        # start_time + sampled duration; rebuild the sampled durations of
+        # in-flight runs from their pending completion events.  A key with
+        # more pending events than cancellations has at least one *real*
+        # completion (coincident re-finishes share the key, and therefore
+        # the derived duration); keys fully covered by cancellations are
+        # stale and would derive the wrong duration from the new start.
+        pending_counts: Dict[tuple, int] = {}
+        for event in pending_events:
+            if isinstance(event, TaskCompletion):
+                key = (event.task_id, event.machine_id, event.time)
+                pending_counts[key] = pending_counts.get(key, 0) + 1
+        for key, count in pending_counts.items():
+            if count <= system._cancelled_completions.get(key, 0):
+                continue
+            task_id, _, time = key
+            task = system.tasks.get(task_id)
+            if task is not None and task.start_time is not None:
+                system._sampled_exec[task_id] = time - task.start_time
 
     service.live.load_state(payload["live"])
     return service

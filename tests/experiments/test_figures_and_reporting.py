@@ -82,7 +82,8 @@ class TestFigureHarness:
 class TestFigurePlans:
     def test_every_figure_compiles_to_a_plan(self):
         expected_cells = {"fig5": 15, "fig6": 21, "fig7a": 6, "fig7b": 8,
-                          "fig8": 9, "fig9": 9, "fig10": 6, "drops": 2}
+                          "fig8": 9, "fig9": 9, "fig10": 6, "drops": 2,
+                          "churn": 4}
         for figure_id, cells in expected_cells.items():
             plan = figure_plan(figure_id, TINY)
             assert plan.num_cells() == cells, figure_id
@@ -112,6 +113,30 @@ class TestFigurePlans:
     def test_unknown_figure_rejected(self):
         with pytest.raises(ValueError, match="unknown figure"):
             figure_plan("fig99", TINY)
+
+
+class TestChurnStudy:
+    def test_churn_plan_arms_differ_only_in_the_fault_axis(self):
+        from repro.experiments.figures import churn_plan
+
+        clean = churn_plan(TINY, variant="clean")
+        churn = churn_plan(TINY, variant="churn", mtbf=500.0)
+        assert clean.faults == "none"
+        assert churn.faults == "crash-restart"
+        assert dict(churn.fault_params)["mtbf"] == 500.0
+        assert clean.pairs == churn.pairs
+        assert clean.base_seed == churn.base_seed
+        with pytest.raises(ValueError, match="unknown churn variant"):
+            churn_plan(TINY, variant="chaos")
+
+    def test_figure_churn_ranking_structure(self):
+        from repro.experiments.figures import CHURN_PAIRS, figure_churn_ranking
+
+        fig = figure_churn_ranking(TINY)
+        assert set(fig.series) == {"clean", "churn"}
+        assert len(fig.series["clean"]) == len(CHURN_PAIRS)
+        assert fig.series_xs("clean") == fig.series_xs("churn")
+        assert "ranking" in fig.title
 
 
 class TestReporting:
@@ -148,7 +173,7 @@ class TestCLI:
     def test_parser_accepts_all_figures(self):
         parser = build_parser()
         for figure in ("fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9",
-                       "fig10", "drops"):
+                       "fig10", "drops", "churn"):
             args = parser.parse_args([figure])
             assert args.figure == figure
 

@@ -24,7 +24,9 @@ def snapshot_round_trip(service):
 
 
 # Two traffic shapes x two mapper/dropper pairs, per the acceptance
-# criteria; one extra case exercises the uncertainty injector's RNG state.
+# criteria; one extra case exercises the uncertainty injector's RNG state
+# and one an active crash/restart fault process (fault RNG position, down
+# set and pending fault events all live in the snapshot).
 PIN_SPECS = [
     StreamSpec(traffic_name="steady", mapper_name="PAM",
                dropper_name="heuristic", seed=11),
@@ -39,15 +41,22 @@ PIN_SPECS = [
                dropper_name="heuristic", seed=15,
                uncertainty_name="network_latency",
                uncertainty_params={"mean_latency": 10.0}),
+    StreamSpec(traffic_name="steady", mapper_name="PAM",
+               dropper_name="heuristic", seed=16,
+               faults_name="crash-restart",
+               fault_params={"mtbf": 400.0, "repair_mean": 100.0}),
 ]
 
 
+def _pin_id(s):
+    suffix = ("-uncertain" if s.uncertainty_name != "none" else "") + (
+        "-faulty" if s.faults_name != "none" else "")
+    return f"{s.traffic_name}-{s.mapper_name}+{s.dropper_name}{suffix}"
+
+
 class TestBitIdentityPin:
-    @pytest.mark.parametrize(
-        "spec", PIN_SPECS,
-        ids=[f"{s.traffic_name}-{s.mapper_name}+{s.dropper_name}"
-             + ("-uncertain" if s.uncertainty_name != "none" else "")
-             for s in PIN_SPECS])
+    @pytest.mark.parametrize("spec", PIN_SPECS,
+                             ids=[_pin_id(s) for s in PIN_SPECS])
     def test_restore_continues_bit_identically(self, spec):
         T, U = 1_500, 3_000
         straight = StreamingSimulation(spec).run_until(U)
@@ -73,6 +82,28 @@ class TestBitIdentityPin:
         resumed = StreamingSimulation.restore(payload,
                                               chunk_tasks=5).run_until(3_000)
         straight = StreamingSimulation(spec).run_until(3_000)
+        assert comparable(resumed) == comparable(straight)
+
+    @pytest.mark.parametrize("faults,params", [
+        ("crash-restart", {"mtbf": 400.0, "repair_mean": 100.0}),
+        ("slowdown", {"mean_interval": 300.0, "duration_mean": 120.0,
+                      "factor": 3.0}),
+        ("partition", {"mean_interval": 500.0, "duration_mean": 150.0}),
+    ])
+    def test_faulty_service_is_chunk_invariant(self, faults, params):
+        """Chunking must not disturb the fault schedule: the onset stream
+        depends only on the fault RNG, never on how the engine is driven."""
+        spec = StreamSpec(traffic_name="steady", mapper_name="PAM",
+                          dropper_name="heuristic", seed=3,
+                          faults_name=faults, fault_params=params)
+        straight = StreamingSimulation(spec).run_until(3_000)
+        chunked = StreamingSimulation(spec, chunk_tasks=7)
+        for point in (333, 1_777, 2_900, 3_000):
+            chunked.run_until(point)
+        assert comparable(chunked) == comparable(straight)
+        paused = StreamingSimulation(spec).run_until(1_500)
+        resumed = StreamingSimulation.restore(
+            snapshot_round_trip(paused)).run_until(3_000)
         assert comparable(resumed) == comparable(straight)
 
 
@@ -103,6 +134,21 @@ class TestSnapshotPayload:
         payload["machines"][0]["id"] = 999
         with pytest.raises(ValueError, match="unknown machine"):
             restore_state(payload)
+
+    def test_fault_state_rides_in_the_payload(self):
+        spec = PIN_SPECS[5]
+        service = StreamingSimulation(spec).run_until(2_000)
+        payload = snapshot_round_trip(service)
+        faults = payload["faults"]
+        assert faults["consumed"] > 0
+        assert set(faults["counters"]) == {"num_crashes", "num_requeued_tasks",
+                                           "num_crash_lost", "partition_time"}
+
+    def test_clean_payload_carries_no_fault_key(self):
+        # Fault-free snapshots must stay byte-compatible with the pre-fault
+        # payload format.
+        service = StreamingSimulation(PIN_SPECS[0]).run_until(1_000)
+        assert "faults" not in snapshot_state(service)
 
     def test_file_helpers_round_trip(self, tmp_path):
         service = StreamingSimulation(PIN_SPECS[0]).run_until(1_000)
