@@ -78,6 +78,7 @@ class Simulation:
     confidence_value: float = 0.95
     incremental_enabled: bool = True
     scoring_backend: str = "vector"
+    numerics_profile: str = "exact"
     uncertainty_name: str = "none"
     uncertainty_params: Tuple[Tuple[str, Any], ...] = ()
     faults_name: str = "none"
@@ -260,6 +261,26 @@ class Simulation:
                              "expected 'loop' or 'vector'")
         return replace(self, scoring_backend=backend)
 
+    def numerics(self, profile: str = "exact") -> "Simulation":
+        """Select the mapping-score arithmetic profile (``"exact"``/``"fast"``).
+
+        ``"exact"`` (default) keeps every score bit-identical to the naive
+        reference -- the repository's headline reproducibility contract.
+        ``"fast"`` serves chance-of-success scores from a closed-form dot
+        product against cached execution CDFs and expected-completion
+        scores from batched FFT folds, trading float ordering for speed
+        within a documented sup-norm tolerance
+        (:data:`repro.core.completion.FAST_FOLD_SUP_NORM_TOL`); committed
+        completion PMFs stay exact.  Unlike :meth:`incremental` /
+        :meth:`scoring` this *is* a (tolerance-bounded) semantic switch,
+        so it is serialised on plans whenever it is not ``"exact"``.
+        Requires the incremental core (``incremental=True``).
+        """
+        if profile not in ("exact", "fast"):
+            raise ValueError(f"unknown numerics profile {profile!r}; "
+                             "expected 'exact' or 'fast'")
+        return replace(self, numerics_profile=profile)
+
     def confidence(self, confidence: float) -> "Simulation":
         """Set the confidence level of aggregated intervals."""
         if not 0.0 < confidence < 1.0:
@@ -295,6 +316,7 @@ class Simulation:
                       with_cost=self.cost_enabled,
                       incremental=self.incremental_enabled,
                       scoring=self.scoring_backend,
+                      numerics=self.numerics_profile,
                       uncertainty_name=self.uncertainty_name,
                       uncertainty_params=self.uncertainty_params,
                       faults_name=self.faults_name,
@@ -320,6 +342,8 @@ class Simulation:
             config["incremental"] = False
         if self.scoring_backend != "vector":
             config["scoring"] = self.scoring_backend
+        if self.numerics_profile != "exact":
+            config["numerics"] = self.numerics_profile
         if self.uncertainty_name != "none":
             config["uncertainty"] = self.uncertainty_name
             if self.uncertainty_params:
@@ -416,6 +440,7 @@ class Simulation:
             with_cost=self.cost_enabled,
             incremental=self.incremental_enabled,
             scoring=self.scoring_backend,
+            numerics=self.numerics_profile,
             uncertainty=self.uncertainty_name,
             uncertainty_params=self.uncertainty_params,
             faults=self.faults_name,

@@ -81,6 +81,8 @@ _RESERVED_SCENARIO_PARAMS = ("level", "scale", "gamma", "seed",
 
 _SCORING_BACKENDS = ("loop", "vector")
 
+_NUMERICS_PROFILES = ("exact", "fast")
+
 
 class PlanError(ValueError):
     """Raised when a plan (or plan file) fails validation."""
@@ -252,6 +254,12 @@ class ExperimentPlan:
     with_cost: bool = False
     incremental: bool = True
     scoring: str = "vector"
+    #: Mapping-score arithmetic profile ("exact" keeps scores bit-identical
+    #: to the naive reference, "fast" enables the closed-form / batched-FFT
+    #: score backends within a documented tolerance).  Serialised only when
+    #: not "exact", so plans written before the switch existed keep their
+    #: fingerprints (and spools).
+    numerics: str = "exact"
     #: Unmodelled-delay injector applied to every trial ("none" disables).
     #: Kept out of the serialised execution section when unset, so plans
     #: written before the axis existed keep their fingerprints (and
@@ -315,6 +323,7 @@ class ExperimentPlan:
         set_(self, "with_cost", bool(self.with_cost))
         set_(self, "incremental", bool(self.incremental))
         set_(self, "scoring", str(self.scoring))
+        set_(self, "numerics", str(self.numerics))
         set_(self, "uncertainty", str(self.uncertainty))
         params = self.uncertainty_params
         set_(self, "uncertainty_params",
@@ -390,6 +399,12 @@ class ExperimentPlan:
         if self.scoring not in _SCORING_BACKENDS:
             raise PlanError(f"unknown scoring backend {self.scoring!r}; "
                             f"expected one of {_SCORING_BACKENDS}")
+        if self.numerics not in _NUMERICS_PROFILES:
+            raise PlanError(f"unknown numerics profile {self.numerics!r}; "
+                            f"expected one of {_NUMERICS_PROFILES}")
+        if self.numerics == "fast" and not self.incremental:
+            raise PlanError("numerics='fast' requires incremental=True (the "
+                            "fast backends live on the run's fold kernel)")
         try:
             entry = UNCERTAINTY.get(self.uncertainty)
             entry.validate(dict(self.uncertainty_params))
@@ -490,6 +505,7 @@ class ExperimentPlan:
                                         with_cost=self.with_cost,
                                         incremental=self.incremental,
                                         scoring=self.scoring,
+                                        numerics=self.numerics,
                                         uncertainty_name=self.uncertainty,
                                         uncertainty_params=(
                                             self.uncertainty_params),
@@ -570,6 +586,8 @@ class ExperimentPlan:
             config["incremental"] = False
         if self.scoring != "vector":
             config["scoring"] = self.scoring
+        if self.numerics != "exact":
+            config["numerics"] = self.numerics
         if self.uncertainty != "none":
             config["uncertainty"] = self.uncertainty
             if self.uncertainty_params:
@@ -616,6 +634,11 @@ class ExperimentPlan:
             "with_cost": self.with_cost,
             "confidence": self.confidence,
         }
+        # ``numerics`` is serialised only when it departs from the default so
+        # that pre-existing plan files, fingerprints, and spool directories
+        # (written before the key existed) remain byte-identical.
+        if self.numerics != "exact":
+            execution["numerics"] = self.numerics
         if self.uncertainty != "none":
             execution["uncertainty"] = self.uncertainty
             if self.uncertainty_params:
@@ -655,8 +678,8 @@ class ExperimentPlan:
         _check_keys(grid, ("mappers", "droppers", "pairs"), "plan grid")
         execution = payload.get("execution", {})
         _check_keys(execution, ("trials", "base_seed", "n_jobs",
-                                "incremental", "scoring", "with_cost",
-                                "confidence", "uncertainty",
+                                "incremental", "scoring", "numerics",
+                                "with_cost", "confidence", "uncertainty",
                                 "uncertainty_params", "faults",
                                 "fault_params"), "plan execution")
         if "pairs" in grid and ("mappers" in grid or "droppers" in grid):
@@ -680,8 +703,9 @@ class ExperimentPlan:
             if key in grid:
                 kwargs[key] = grid[key]
         for key in ("trials", "base_seed", "n_jobs", "incremental",
-                    "scoring", "with_cost", "confidence", "uncertainty",
-                    "uncertainty_params", "faults", "fault_params"):
+                    "scoring", "numerics", "with_cost", "confidence",
+                    "uncertainty", "uncertainty_params", "faults",
+                    "fault_params"):
             if key in execution:
                 kwargs[key] = execution[key]
         return cls(**kwargs)
@@ -759,8 +783,8 @@ class ExperimentPlan:
                                     * len(self.grid_pairs) * self.trials)
         lines.append(f"  workload: ~{total_tasks} simulated tasks total")
         lines.append(f"  engine  : incremental={self.incremental} "
-                     f"scoring={self.scoring} n_jobs={self.n_jobs} "
-                     f"with_cost={self.with_cost}")
+                     f"scoring={self.scoring} numerics={self.numerics} "
+                     f"n_jobs={self.n_jobs} with_cost={self.with_cost}")
         if self.uncertainty != "none":
             lines.append(f"  uncertainty: {self.uncertainty} "
                          f"{dict(self.uncertainty_params) or ''}".rstrip())

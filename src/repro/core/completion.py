@@ -39,39 +39,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .pmf import PMF, _intern_get, interning_enabled
+from .pmf import PMF, _convolve_full, _intern_get, interning_enabled
 
 #: Import-time snapshot of the hash-consing switch (``REPRO_NO_INTERN``).
 _INTERNING = interning_enabled()
-
-try:  # pragma: no cover - import resolution depends on the numpy major
-    from numpy._core.multiarray import correlate as _correlate  # numpy >= 2
-except ImportError:  # pragma: no cover
-    try:
-        from numpy.core.multiarray import correlate as _correlate  # numpy 1.x
-    except ImportError:
-        _correlate = None
-
-#: ``multiarray.correlate`` integer code for the 'full' convolution mode.
-_FULL_MODE = 2
-
-
-def _convolve_full(a: np.ndarray, ep: np.ndarray, ep_rev) -> np.ndarray:
-    """Exactly ``np.convolve(a, ep)`` minus the Python wrapper overhead.
-
-    ``np.convolve`` swaps its operands so the longer one comes first, then
-    calls ``multiarray.correlate(long, short[::-1], 'full')``; this helper
-    replicates that dance bit-for-bit while letting the fold kernel pass a
-    *pre-reversed* execution-time operand (``ep_rev``), which ``np.convolve``
-    would otherwise re-reverse (and re-allocate) on every fold of a chain.
-    """
-    if _correlate is None:  # pragma: no cover - ancient numpy fallback
-        return np.convolve(a, ep)
-    if ep.size > a.size:
-        return _correlate(ep, a[::-1], _FULL_MODE)
-    if ep_rev is None:
-        ep_rev = ep[::-1]
-    return _correlate(a, ep_rev, _FULL_MODE)
 
 __all__ = [
     "QueueEntry",
@@ -83,7 +54,24 @@ __all__ = [
     "queue_completion_pmfs",
     "queue_completion_with_drops",
     "chance_of_success",
+    "NUMERICS_PROFILES",
+    "FAST_FOLD_SUP_NORM_TOL",
 ]
+
+#: Recognised numerics profiles; ``exact`` reproduces the naive arithmetic
+#: bit-for-bit, ``fast`` trades float ordering for batched FFT folds and
+#: closed-form chance-of-success scores.
+NUMERICS_PROFILES = ("exact", "fast")
+
+#: Documented per-PMF sup-norm bound of the ``fast`` profile against
+#: ``exact``: every probability of an FFT-batched fold result (and every
+#: closed-form chance score) differs from the exact value by at most this
+#: much.  Real-valued FFT round-trips of sub-probability operands are
+#: accurate to ~1e-15 absolute per bin and the batched kernel renormalises
+#: each row to the exact product mass, so the bound leaves several orders
+#: of magnitude of headroom for long chains; it is pinned by the fast
+#: equivalence grid in ``tests/core`` and ``tests/sim``.
+FAST_FOLD_SUP_NORM_TOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -214,12 +202,26 @@ class ChainFolder:
     heuristic re-walking a queue, machines of the same type evaluating the
     same candidate task, an unchanged queue revisited at a later event --
     collapse into dictionary hits.
+
+    ``numerics`` selects the score-plane arithmetic profile.  Under the
+    default ``"exact"`` every fold is bit-identical to the naive composed
+    form.  Under ``"fast"`` the scoring entry points gain two
+    float-order-breaking backends -- :meth:`append_chance` (closed-form
+    chance of success as a dot product against a cached execution CDF) and
+    :meth:`fold_batch` (same-plan Eq. 1 folds through one batched real
+    FFT) -- both bounded against exact by
+    :data:`FAST_FOLD_SUP_NORM_TOL`.  :meth:`fold` itself always stays
+    exact, so committed queue tails are unchanged; only scores consumed by
+    mapping selection use the fast paths.
     """
 
     __slots__ = ("prune_eps", "memo_limit", "memo_hits", "scratch_reuses",
+                 "numerics",
                  "_memo", "_scratch", "_rev", "_chance_memo", "_mean_memo",
                  "_probe_interns", "_pub_probes", "_pub_hits",
-                 "_memo_active", "_memo_probes")
+                 "_memo_active", "_memo_probes",
+                 "_cdf", "_rfft", "_append_chance_memo", "_fft_memo",
+                 "_moments", "_prev_cums", "_append_mean_memo")
 
     #: Publication probes before the adaptive intern gate is evaluated.
     PROBE_WINDOW = 2048
@@ -233,9 +235,13 @@ class ChainFolder:
     MEMO_MIN_HIT_RATE = 0.10
 
     def __init__(self, prune_eps: float = 1e-12, memo_limit: int = 1 << 13,
-                 intern_publications: bool = True):
+                 intern_publications: bool = True, numerics: str = "exact"):
+        if numerics not in NUMERICS_PROFILES:
+            raise ValueError(f"unknown numerics profile {numerics!r}; "
+                             f"expected one of {NUMERICS_PROFILES}")
         self.prune_eps = float(prune_eps)
         self.memo_limit = int(memo_limit)
+        self.numerics = numerics
         self.memo_hits = 0
         self.scratch_reuses = 0
         self._memo: Dict[Tuple[int, int, int], Tuple[PMF, PMF, PMF]] = {}
@@ -257,6 +263,35 @@ class ChainFolder:
         self._pub_hits = 0
         self._memo_active = True
         self._memo_probes = 0
+        #: id(exec_pmf) -> (exec_pmf, prefix-sum CDF); ``cdf[j]`` is the mass
+        #: of ``exec_pmf`` strictly below ``origin + j`` (length m+1, with
+        #: ``cdf[0] == 0``).  Execution PMFs are interned PET entries, so one
+        #: prefix sum per (task type, machine type) pair serves every
+        #: closed-form chance query of the run.
+        self._cdf: Dict[int, Tuple[PMF, np.ndarray]] = {}
+        #: (id(exec_pmf), plan length) -> (exec_pmf, rfft); the frequency-
+        #: domain image of an execution PMF under a given padded FFT plan.
+        self._rfft: Dict[Tuple[int, int], Tuple[PMF, np.ndarray]] = {}
+        #: (id(prev), id(exec), deadline) -> (prev, exec, chance); the
+        #: closed-form counterpart of ``_chance_memo`` for appended scores.
+        self._append_chance_memo: Dict[Tuple[int, int, int],
+                                       Tuple[PMF, PMF, float]] = {}
+        #: FFT-batched fold results, keyed like ``_memo`` but kept separate
+        #: so the exact fold memo never serves FFT-rounded values (the
+        #: commit path must stay bit-identical to naive even under the
+        #: ``fast`` profile).
+        self._fft_memo: Dict[Tuple[int, int, int], Tuple[PMF, PMF, PMF]] = {}
+        #: id(exec_pmf) -> (exec_pmf, total mass, first moment); per-exec
+        #: scalars of the closed-form mean.
+        self._moments: Dict[int, Tuple[PMF, float, float]] = {}
+        #: id(prev) -> (prev, prefix masses, prefix first moments); both
+        #: arrays length n+1, so a deadline split of ``prev`` costs one
+        #: index each.
+        self._prev_cums: Dict[int, Tuple[PMF, np.ndarray, np.ndarray]] = {}
+        #: (id(prev), id(exec), deadline) -> (prev, exec, mean); the
+        #: closed-form counterpart of ``_mean_memo`` for appended scores.
+        self._append_mean_memo: Dict[Tuple[int, int, int],
+                                     Tuple[PMF, PMF, float]] = {}
 
     def _publish(self, origin: int, view: np.ndarray) -> PMF:
         """Materialise a fold result off the scratch buffer.
@@ -382,6 +417,300 @@ class ChainFolder:
             result.append(prev)
         return result
 
+    # ------------------------------------------------------------------
+    # Fast-numerics backend (``numerics="fast"``)
+    # ------------------------------------------------------------------
+    def _exec_cdf(self, exec_pmf: PMF) -> np.ndarray:
+        """Prefix-sum CDF of ``exec_pmf``: ``cdf[j] = P(exec < origin + j)``.
+
+        Length ``m + 1`` with ``cdf[0] == 0`` and ``cdf[m]`` the total mass;
+        cached by identity like the reversed operands -- execution PMFs are
+        interned PET entries, so one prefix sum per (task type, machine
+        type) pair serves every closed-form chance query of the run.
+        """
+        key = id(exec_pmf)  # repro: allow[id-keyed-state] hit re-checks identity, so address reuse misses
+        hit = self._cdf.get(key)
+        if hit is not None and hit[0] is exec_pmf:
+            return hit[1]
+        ep = exec_pmf.probs
+        cdf = np.empty(ep.size + 1, dtype=np.float64)
+        cdf[0] = 0.0
+        np.cumsum(ep, out=cdf[1:])
+        cdf.setflags(write=False)
+        self._cdf[key] = (exec_pmf, cdf)
+        return cdf
+
+    def append_chance(self, prev: PMF, exec_pmf: PMF, deadline: int) -> float:
+        """Closed-form chance of success of one Eq. 1 append (fast profile).
+
+        Equals ``fold(prev, exec, d).mass_before(d)`` without materialising
+        the convolution: the reactive-drop branch of Eq. 1 lives at or
+        after the deadline, so only the on-time branch contributes, and its
+        mass strictly below ``d`` is the dot product of the on-time slice
+        of ``prev`` with the execution CDF evaluated at ``d - t`` -- an
+        index gather into the cached prefix sum, clamped at the support
+        ends.  Differs from the exact value only by the skipped pruning and
+        float summation order, within :data:`FAST_FOLD_SUP_NORM_TOL`.
+        """
+        deadline = int(deadline)
+        key = (id(prev), id(exec_pmf), deadline)  # repro: allow[id-keyed-state] hit re-checks identity, so address reuse misses
+        hit = self._append_chance_memo.get(key)
+        if hit is not None and hit[0] is prev and hit[1] is exec_pmf:
+            return hit[2]
+        if prev.is_empty or exec_pmf.is_empty:
+            return 0.0
+        po = prev.origin
+        k = deadline - po
+        if k <= 0:
+            return 0.0
+        pp = prev.probs
+        if k > pp.size:
+            k = pp.size
+        cdf = self._exec_cdf(exec_pmf)
+        idx = (deadline - po - exec_pmf.origin) - np.arange(k)
+        np.clip(idx, 0, cdf.size - 1, out=idx)
+        value = float(np.dot(pp[:k], cdf[idx]))
+        if len(self._append_chance_memo) >= self.memo_limit:
+            self._evict_oldest(self._append_chance_memo)
+        self._append_chance_memo[key] = (prev, exec_pmf, value)
+        return value
+
+    def _exec_moments(self, exec_pmf: PMF) -> Tuple[float, float]:
+        """``(total mass, first moment)`` of ``exec_pmf``, cached by identity."""
+        key = id(exec_pmf)  # repro: allow[id-keyed-state] hit re-checks identity, so address reuse misses
+        hit = self._moments.get(key)
+        if hit is not None and hit[0] is exec_pmf:
+            return hit[1], hit[2]
+        ep = exec_pmf.probs
+        mass = float(ep.sum())
+        moment = float(exec_pmf.origin * mass
+                       + np.dot(np.arange(ep.size, dtype=np.float64), ep))
+        self._moments[key] = (exec_pmf, mass, moment)
+        return mass, moment
+
+    def _prev_prefix(self, prev: PMF) -> Tuple[np.ndarray, np.ndarray]:
+        """Prefix masses and first moments of ``prev``, cached by identity.
+
+        ``masses[k]`` is the mass of ``prev.probs[:k]``; ``moments[k]`` the
+        first moment (absolute times) of that slice.  One pair of cumsums
+        per tail PMF turns every deadline split of the closed-form mean
+        into two index reads.
+        """
+        key = id(prev)  # repro: allow[id-keyed-state] hit re-checks identity, so address reuse misses
+        hit = self._prev_cums.get(key)
+        if hit is not None and hit[0] is prev:
+            return hit[1], hit[2]
+        pp = prev.probs
+        masses = np.empty(pp.size + 1, dtype=np.float64)
+        masses[0] = 0.0
+        np.cumsum(pp, out=masses[1:])
+        times = prev.origin + np.arange(pp.size, dtype=np.float64)
+        moments = np.empty(pp.size + 1, dtype=np.float64)
+        moments[0] = 0.0
+        np.cumsum(times * pp, out=moments[1:])
+        masses.setflags(write=False)
+        moments.setflags(write=False)
+        if len(self._prev_cums) >= self.memo_limit:
+            self._evict_oldest(self._prev_cums)
+        self._prev_cums[key] = (prev, masses, moments)
+        return masses, moments
+
+    def append_mean(self, prev: PMF, exec_pmf: PMF, deadline: int) -> float:
+        """Closed-form expected completion of one Eq. 1 append (fast profile).
+
+        Equals ``fold(prev, exec, d).mean()`` without materialising the
+        convolution: the first moment of a convolution is
+        ``S_a * M_e + M_a * S_e`` (mass/moment of the on-time slice times
+        mass/moment of the execution PMF), and the reactive-drop branch
+        keeps its original times, so its moment is the complementary
+        prefix-sum tail.  Differs from the exact value only by the skipped
+        pruning and float summation order, within
+        :data:`FAST_FOLD_SUP_NORM_TOL` per bin.
+
+        Raises ``ValueError`` on an empty result, exactly like
+        :meth:`PMF.mean` on the exact fold.
+        """
+        deadline = int(deadline)
+        key = (id(prev), id(exec_pmf), deadline)  # repro: allow[id-keyed-state] hit re-checks identity, so address reuse misses
+        hit = self._append_mean_memo.get(key)
+        if hit is not None and hit[0] is prev and hit[1] is exec_pmf:
+            return hit[2]
+        if prev.is_empty:
+            raise ValueError("mean of an empty PMF is undefined")
+        pp = prev.probs
+        k = deadline - prev.origin
+        if k <= 0:
+            # Nothing fits before the deadline: the fold degenerates to
+            # ``prev`` itself (everything re-queues behind the drop branch).
+            return self.mean(prev)
+        if k > pp.size:
+            k = pp.size
+        masses, moments = self._prev_prefix(prev)
+        on_mass = float(masses[k])
+        on_moment = float(moments[k])
+        drop_mass = float(masses[-1]) - on_mass
+        drop_moment = float(moments[-1]) - on_moment
+        if exec_pmf.is_empty:
+            total_mass = drop_mass
+            total_moment = drop_moment
+        else:
+            e_mass, e_moment = self._exec_moments(exec_pmf)
+            total_mass = on_mass * e_mass + drop_mass
+            total_moment = (on_moment * e_mass + on_mass * e_moment
+                            + drop_moment)
+        if total_mass <= 0.0:
+            raise ValueError("mean of an empty PMF is undefined")
+        value = total_moment / total_mass
+        if len(self._append_mean_memo) >= self.memo_limit:
+            self._evict_oldest(self._append_mean_memo)
+        self._append_mean_memo[key] = (prev, exec_pmf, value)
+        return value
+
+    def _exec_rfft(self, exec_pmf: PMF, plan: int) -> np.ndarray:
+        """``rfft`` of ``exec_pmf`` zero-padded to ``plan``, cached by identity."""
+        key = (id(exec_pmf), plan)  # repro: allow[id-keyed-state] hit re-checks identity, so address reuse misses
+        hit = self._rfft.get(key)
+        if hit is not None and hit[0] is exec_pmf:
+            return hit[1]
+        spec = np.fft.rfft(exec_pmf.probs, n=plan)
+        self._rfft[key] = (exec_pmf, spec)
+        return spec
+
+    def _mix(self, conv: np.ndarray, prev: PMF, exec_pmf: PMF, k: int) -> PMF:
+        """Mixture/prune stage shared by the fast fold paths.
+
+        ``conv`` is the *owned* on-time convolution array; mirroring the
+        exact kernel, the reactive-drop branch ``prev[k:]`` is added at its
+        own origin, mass below ``prune_eps`` is zeroed, and the result is
+        published as a trimmed transient PMF.
+        """
+        pp = prev.probs
+        po = prev.origin
+        conv_origin = po + exec_pmf.origin
+        if k >= pp.size:
+            out = conv
+            lo = conv_origin
+        else:
+            drop_origin = po + k
+            lo = min(conv_origin, drop_origin)
+            hi = max(conv_origin + conv.size, po + pp.size)
+            out = np.zeros(hi - lo, dtype=np.float64)
+            out[conv_origin - lo:conv_origin - lo + conv.size] += conv
+            out[drop_origin - lo:drop_origin - lo + pp.size - k] += pp[k:]
+        out[out < self.prune_eps] = 0.0
+        return PMF._trusted(lo, out)
+
+    def fold_batch(self, prev: PMF, exec_pmfs: Sequence[PMF],
+                   deadlines: Sequence[int]) -> List[PMF]:
+        """Fold a stack of candidates onto one tail through one FFT plan.
+
+        The ``fast`` counterpart of calling :meth:`fold` per candidate:
+        memo hits and degenerate folds (pass-throughs, empty or single-bin
+        operands) are answered exactly, and the remaining Eq. 1
+        convolutions are grouped into one batched real FFT -- every
+        on-time slice zero-padded to a shared power-of-two plan, multiplied
+        by the cached frequency-domain image of its execution PMF, and
+        inverted in a single ``irfft``.  Each row is then clamped
+        non-negative, renormalised to the exact product mass of its
+        operands, mixed with its reactive-drop branch and pruned at
+        ``prune_eps``, mirroring the exact kernel's mixture stage.  Results
+        differ from :meth:`fold` by at most
+        :data:`FAST_FOLD_SUP_NORM_TOL` per probability and are memoised
+        separately (``_fft_memo``) so the exact fold memo never serves
+        FFT-rounded values.
+        """
+        n = len(exec_pmfs)
+        results: List[PMF] = [None] * n  # type: ignore[list-item]
+        prune_eps = self.prune_eps
+        pp = prev.probs
+        po = prev.origin
+        support_end = po + pp.size
+        pending: List[Tuple[int, Tuple[int, int, int], PMF, int]] = []
+        for i in range(n):
+            deadline = int(deadlines[i])
+            ep_pmf = exec_pmfs[i]
+            # Same clamped-deadline key as :meth:`fold`: every deadline at
+            # or beyond the tail support is the same plain convolution.
+            if prev.is_empty:
+                key_deadline = 0
+            elif deadline <= po:
+                key_deadline = po
+            elif deadline >= support_end:
+                key_deadline = support_end
+            else:
+                key_deadline = deadline
+            key = (id(prev), id(ep_pmf), key_deadline)  # repro: allow[id-keyed-state] hit re-checks identity, so address reuse misses
+            hit = self._fft_memo.get(key)
+            if hit is not None and hit[0] is prev and hit[1] is ep_pmf:
+                self.memo_hits += 1
+                results[i] = hit[2]
+                continue
+            pending.append((i, key, ep_pmf, deadline))
+        if not pending:
+            return results
+        batch: List[Tuple[int, Tuple[int, int, int], PMF, int,
+                          np.ndarray, int]] = []
+        plan_len = 0
+        for i, key, ep_pmf, deadline in pending:
+            k = deadline - po
+            if prev.is_empty or k <= 0:
+                result = prev.pruned(prune_eps)
+            elif ep_pmf.is_empty:
+                result = prev.split_at(deadline)[1].pruned(prune_eps)
+            else:
+                on_time = pp[:k] if k < pp.size else pp
+                if on_time[-1] == 0.0:
+                    nz = on_time.nonzero()[0]
+                    on_time = on_time[:int(nz[-1]) + 1]
+                ep = ep_pmf.probs
+                if ep.size == 1 or on_time.size == 1:
+                    # Degenerate single-bin operand: the convolution is a
+                    # scaled copy, computed exactly (bit-identical to the
+                    # exact kernel's elementwise multiply).
+                    conv = on_time * ep[0] if ep.size == 1 else ep * on_time[0]
+                    result = self._mix(conv, prev, ep_pmf, k)
+                else:
+                    conv_len = on_time.size + ep.size - 1
+                    if conv_len > plan_len:
+                        plan_len = conv_len
+                    batch.append((i, key, ep_pmf, k, on_time, conv_len))
+                    continue
+            results[i] = result
+            if len(self._fft_memo) >= self.memo_limit:
+                self._evict_oldest(self._fft_memo)
+            self._fft_memo[key] = (prev, ep_pmf, result)
+        if batch:
+            plan = 1 << (plan_len - 1).bit_length()
+            rows = np.zeros((len(batch), plan), dtype=np.float64)
+            e_masses = np.empty(len(batch), dtype=np.float64)
+            for r, (_, _, ep_pmf, _, on_time, _) in enumerate(batch):
+                rows[r, :on_time.size] = on_time
+                e_masses[r] = ep_pmf.total_mass
+            on_masses = rows.sum(axis=1)
+            freq = np.fft.rfft(rows, axis=1)
+            for r, (_, _, ep_pmf, _, _, _) in enumerate(batch):
+                freq[r] *= self._exec_rfft(ep_pmf, plan)
+            time_rows = np.fft.irfft(freq, n=plan, axis=1)
+            # Clamp, measure and renormalise the whole batch in matrix ops;
+            # the padded region past each row's ``conv_len`` holds only
+            # clamped round-trip ringing (~1e-17 per bin), so including it
+            # in the row mass stays well inside the documented tolerance.
+            np.maximum(time_rows, 0.0, out=time_rows)
+            masses = time_rows.sum(axis=1)
+            targets = on_masses * e_masses
+            scales = np.ones(len(batch), dtype=np.float64)
+            ok = (masses > 0.0) & (targets > 0.0)
+            scales[ok] = targets[ok] / masses[ok]
+            time_rows *= scales[:, None]
+            for r, (i, key, ep_pmf, k, on_time, conv_len) in enumerate(batch):
+                conv = time_rows[r, :conv_len].copy()
+                result = self._mix(conv, prev, ep_pmf, k)
+                results[i] = result
+                if len(self._fft_memo) >= self.memo_limit:
+                    self._evict_oldest(self._fft_memo)
+                self._fft_memo[key] = (prev, ep_pmf, result)
+        return results
+
 
 #: Folder that plain ``completion_pmf`` calls are currently routed through.
 _ACTIVE_FOLDER: Optional[ChainFolder] = None
@@ -451,6 +780,7 @@ def batched_append_scores(prev: PMF, exec_pmfs: Sequence[PMF],
                           folder: Optional[ChainFolder] = None,
                           want_mean: bool = True,
                           want_chance: bool = False,
+                          want_pmfs: bool = False,
                           ) -> Tuple[List[PMF], Optional[np.ndarray],
                                      Optional[np.ndarray]]:
     """Fold a *stack* of candidates onto one tail and score each of them.
@@ -470,8 +800,39 @@ def batched_append_scores(prev: PMF, exec_pmfs: Sequence[PMF],
 
     Returns ``(pmfs, means, chances)``; ``means`` / ``chances`` are ``None``
     unless requested.
+
+    Under a ``numerics="fast"`` folder the column is served by the fast
+    backend instead: chances come from the closed-form
+    :meth:`ChainFolder.append_chance` dot product and means from the
+    closed-form :meth:`ChainFolder.append_mean` moment algebra -- no
+    convolution at all.  Callers that need the appended *distributions*
+    (not just scalar scores) pass ``want_pmfs=True`` and receive the
+    column through the batched FFT kernel :meth:`ChainFolder.fold_batch`;
+    otherwise the returned list holds ``None`` entries.  Callers that need
+    the committed PMF go through the exact fold instead (see
+    :meth:`repro.mapping.base.MappingContext.completion_if_appended`), so
+    fast scores never leak into the simulated trajectory.  ``want_pmfs``
+    has no effect on the exact path, which always folds (and returns) the
+    column.
     """
     n = len(exec_pmfs)
+    if folder is not None and folder.numerics == "fast":
+        chances = None
+        if want_chance:
+            chances = np.empty(n, dtype=np.float64)
+            for i in range(n):
+                chances[i] = folder.append_chance(prev, exec_pmfs[i],
+                                                  int(deadlines[i]))
+        means = None
+        if want_mean:
+            means = np.empty(n, dtype=np.float64)
+            for i in range(n):
+                means[i] = folder.append_mean(prev, exec_pmfs[i],
+                                              int(deadlines[i]))
+        if want_pmfs:
+            return folder.fold_batch(prev, exec_pmfs, deadlines), \
+                means, chances
+        return [None] * n, means, chances  # type: ignore[list-item]
     pmfs: List[PMF] = [None] * n  # type: ignore[list-item]
     means = np.empty(n, dtype=np.float64) if want_mean else None
     chances = np.empty(n, dtype=np.float64) if want_chance else None

@@ -20,8 +20,9 @@ such *sub-probability* PMFs arise naturally when a distribution is split at a
 deadline and are recombined with :meth:`PMF.add`.
 
 The representation is dense: ``probs[k]`` is the probability of the value
-``origin + k``.  Dense storage makes convolution a single ``np.convolve``
-call, which is the hot path of the whole simulator.
+``origin + k``.  Dense storage makes convolution a single call into numpy's
+correlate kernel (``_convolve_full``, bit-identical to ``np.convolve`` minus
+the Python wrapper), which is the hot path of the whole simulator.
 
 Hash-consing
 ------------
@@ -52,6 +53,35 @@ import numpy as np
 
 __all__ = ["PMF", "EMPTY_PMF", "interning_enabled", "intern_stats",
            "intern_table_size"]
+
+try:  # pragma: no cover - import resolution depends on the numpy major
+    from numpy._core.multiarray import correlate as _correlate  # numpy >= 2
+except ImportError:  # pragma: no cover
+    try:
+        from numpy.core.multiarray import correlate as _correlate  # numpy 1.x
+    except ImportError:
+        _correlate = None
+
+#: ``multiarray.correlate`` integer code for the 'full' convolution mode.
+_FULL_MODE = 2
+
+
+def _convolve_full(a: np.ndarray, ep: np.ndarray, ep_rev) -> np.ndarray:
+    """Exactly ``np.convolve(a, ep)`` minus the Python wrapper overhead.
+
+    ``np.convolve`` swaps its operands so the longer one comes first, then
+    calls ``multiarray.correlate(long, short[::-1], 'full')``; this helper
+    replicates that dance bit-for-bit while letting the fold kernel pass a
+    *pre-reversed* execution-time operand (``ep_rev``), which ``np.convolve``
+    would otherwise re-reverse (and re-allocate) on every fold of a chain.
+    """
+    if _correlate is None:  # pragma: no cover - ancient numpy fallback
+        return np.convolve(a, ep)
+    if ep.size > a.size:
+        return _correlate(ep, a[::-1], _FULL_MODE)
+    if ep_rev is None:
+        ep_rev = ep[::-1]
+    return _correlate(a, ep_rev, _FULL_MODE)
 
 #: Probability mass below this value is discarded by :meth:`PMF.pruned`.
 DEFAULT_PRUNE_EPS = 1e-12
@@ -516,7 +546,7 @@ class PMF:
         """
         if self.is_empty or other.is_empty:
             return PMF.empty()
-        probs = np.convolve(self._probs, other._probs)
+        probs = _convolve_full(self._probs, other._probs, None)
         return PMF._trusted(self._origin + other._origin, probs)
 
     def conditional_at_least(self, t: int) -> "PMF":

@@ -66,9 +66,11 @@ the generic runner and the declarative plan workflow:
   gating on a committed baseline via ``--baseline``/``--max-regression``
   with per-case detection via ``--max-regression-case``, softened by
   ``--warn-only``); ``--suite sweep`` times the persistent-pool sweep
-  executor and records multi-process throughput; ``--trend`` renders the
-  committed payload's speedup history across git commits as an ASCII
-  chart::
+  executor and records multi-process throughput; ``--suite crossover``
+  measures the vector-vs-loop small-plane threshold on this platform
+  (the measured ``SystemConfig.small_plane_tasks`` override); ``--trend``
+  renders the committed payload's speedup history across git commits as
+  an ASCII chart::
 
       python -m repro bench --suite core --scale 0.05 --trials 2 \
           --output benchmarks/perf/BENCH_core.json
@@ -137,6 +139,12 @@ def _add_run_style_options(parser: argparse.ArgumentParser) -> None:
                         help="deadline slack coefficient (default 1.0)")
     parser.add_argument("--cost", action="store_true",
                         help="track the cost metrics of every trial")
+    parser.add_argument("--numerics", default="exact",
+                        choices=["exact", "fast"],
+                        help="fold-numerics profile: 'exact' is bit-identical "
+                             "to the naive reference; 'fast' uses batched FFT "
+                             "folds and closed-form success scores "
+                             "(tolerance-bounded; default: exact)")
     parser.add_argument("--uncertainty", default=None,
                         help="unmodelled-delay injector registry name "
                              "(e.g. network_latency; default: none)")
@@ -264,8 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run a perf benchmark suite (core: naive vs "
                       "incremental scheduler views; sweep: persistent-pool "
                       "sweep executor) and optionally write its JSON payload")
-    bench.add_argument("--suite", default="core", choices=["core", "sweep"],
-                       help="benchmark suite to run (default: core)")
+    bench.add_argument("--suite", default="core",
+                       choices=["core", "sweep", "crossover"],
+                       help="benchmark suite to run (default: core; "
+                            "crossover measures the vector-vs-loop "
+                            "small-plane threshold on this platform)")
     bench.add_argument("--scale", type=float, default=None,
                        help="fraction of the paper's task counts (default "
                             "0.05 for core, 0.02 for sweep)")
@@ -355,6 +366,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="deadline slack coefficient (default 1.0)")
     serve.add_argument("--seed", type=int, default=0,
                        help="base random seed (default 0)")
+    serve.add_argument("--numerics", default="exact",
+                       choices=["exact", "fast"],
+                       help="fold-numerics profile of the live system "
+                            "(default: exact; see 'repro run --help')")
     serve.add_argument("--uncertainty", default=None,
                        help="unmodelled-delay injector registry name "
                             "(default: none; see list-uncertainty)")
@@ -543,6 +558,8 @@ def _plan_from_run_args(args: argparse.Namespace) -> "ExperimentPlan":
 
     sim = (sim.level(args.level[0]).mapper(args.mapper[0])
            .dropper(args.dropper[0], **params))
+    if args.numerics != "exact":
+        sim = sim.numerics(args.numerics)
     if args.uncertainty:
         sim = sim.uncertainty(args.uncertainty,
                               **_parse_params(args.uncertainty_param))
@@ -655,7 +672,8 @@ def _command_bench(args: argparse.Namespace) -> int:
 
     from .bench import (bench_history, compare_to_baseline,
                         format_baseline_comparison, format_bench_table,
-                        format_bench_trend, format_sweep_table,
+                        format_bench_trend, format_crossover_table,
+                        format_sweep_table, run_crossover_benchmark,
                         run_perf_benchmark, run_sweep_benchmark,
                         write_bench_json)
 
@@ -672,6 +690,15 @@ def _command_bench(args: argparse.Namespace) -> int:
             scale=args.scale if args.scale is not None else 0.02,
             trials=args.trials, n_jobs=args.jobs, base_seed=args.seed)
         formatted = format_sweep_table(payload)
+    elif args.suite == "crossover":
+        if args.baseline:
+            raise ValueError("--baseline applies to the core suite only")
+        if args.case:
+            raise ValueError("--case applies to the core suite only")
+        payload = run_crossover_benchmark(
+            scale=args.scale if args.scale is not None else 0.02,
+            trials=args.trials, base_seed=args.seed, repeats=args.repeats)
+        formatted = format_crossover_table(payload)
     else:
         if args.baseline and args.case:
             # A case subset's geomean is not comparable to the committed
@@ -753,6 +780,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             uncertainty_params=uncertainty_params,
             faults_name=args.faults or "none",
             fault_params=fault_params,
+            numerics=args.numerics,
             metrics_window=args.window,
             metrics_decay=args.decay)
         plan = StreamPlan(name="serve", stream=spec, horizon=args.horizon,

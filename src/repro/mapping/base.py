@@ -208,7 +208,15 @@ class MappingContext:
     :class:`~repro.core.completion.ChainFolder` (scratch buffers plus an
     identity-keyed fold memo over hash-consed PMFs), so appends that repeat
     across machines of the same type -- or across mapping events -- skip
-    NumPy entirely.  Results are bit-identical either way.
+    NumPy entirely.  Results are bit-identical either way -- unless the
+    folder runs the ``numerics="fast"`` profile, in which case *scores*
+    (and only scores) are served by its closed-form / batched-FFT backends
+    within the documented tolerance, while committed completion PMFs stay
+    exact.
+
+    ``small_plane_tasks`` overrides the vector backend's small-plane
+    dispatch threshold (``None`` keeps the measured platform default,
+    :data:`repro.mapping.kernel.SMALL_PLANE_TASKS`).
     """
 
     def __init__(self, pet: PETMatrix, now: int, prune_eps: float = 1e-12,
@@ -216,10 +224,14 @@ class MappingContext:
                                              Tuple[PMF, PMF]]] = None,
                  folder: Optional[ChainFolder] = None,
                  memoize_scores: bool = False,
-                 scoring: str = "vector"):
+                 scoring: str = "vector",
+                 small_plane_tasks: Optional[int] = None):
         self.pet = pet
         self.now = int(now)
         self.prune_eps = float(prune_eps)
+        #: Vector-dispatch threshold override (``None`` = kernel default).
+        self.small_plane_tasks = (None if small_plane_tasks is None
+                                  else int(small_plane_tasks))
         self._cache: Dict[Tuple[int, int, int], PMF] = {}
         self._shared = shared_cache
         if folder is not None and folder.prune_eps != self.prune_eps:
@@ -248,6 +260,8 @@ class MappingContext:
         self._memoize_scores = bool(memoize_scores)
         self._chance: Dict[Tuple[int, int, int], float] = {}
         self._expected: Dict[Tuple[int, int, int], float] = {}
+        #: True when score queries run the folder's fast-numerics backends.
+        self._fast = folder is not None and folder.numerics == "fast"
 
     # ------------------------------------------------------------------
     def exec_pmf(self, task: TaskView, machine: MachineState) -> PMF:
@@ -305,14 +319,50 @@ class MappingContext:
         return value
 
     def expected_completion(self, machine: MachineState, task: TaskView) -> float:
-        """Expected completion time of ``task`` appended to ``machine``."""
+        """Expected completion time of ``task`` appended to ``machine``.
+
+        Under the ``fast`` numerics profile the value is the folder's
+        closed-form moment algebra (no fold, no appended PMF), mirroring
+        :meth:`chance_of_success`.
+        """
         folder = self._folder
+        if self._fast:
+            if not self._memoize_scores:
+                return folder.append_mean(machine.tail_pmf,
+                                          self.exec_pmf(task, machine),
+                                          task.deadline)
+            key = (machine.machine_id, machine.version, task.task_id)
+            value = self._expected.get(key)
+            if value is None:
+                value = folder.append_mean(machine.tail_pmf,
+                                           self.exec_pmf(task, machine),
+                                           task.deadline)
+                self._expected[key] = value
+            return value
         return self._scored(self._expected, machine, task,
                             folder.mean if folder is not None else PMF.mean)
 
     def chance_of_success(self, machine: MachineState, task: TaskView) -> float:
-        """Probability that ``task`` appended to ``machine`` meets its deadline."""
+        """Probability that ``task`` appended to ``machine`` meets its deadline.
+
+        Under the ``fast`` numerics profile the value is the folder's
+        closed-form dot product (no fold, no appended PMF) -- this is how
+        the *loop* backend benefits from the fast profile too.
+        """
         folder = self._folder
+        if self._fast:
+            if not self._memoize_scores:
+                return folder.append_chance(machine.tail_pmf,
+                                            self.exec_pmf(task, machine),
+                                            task.deadline)
+            key = (machine.machine_id, machine.version, task.task_id)
+            value = self._chance.get(key)
+            if value is None:
+                value = folder.append_chance(machine.tail_pmf,
+                                             self.exec_pmf(task, machine),
+                                             task.deadline)
+                self._chance[key] = value
+            return value
         if folder is not None:
             compute = lambda pmf: folder.chance(pmf, task.deadline)
         else:
@@ -333,6 +383,13 @@ class MappingContext:
         return for the same pair, and the appended PMFs are recorded in the
         same caches, so a later :meth:`completion_if_appended` (the commit
         path) is a dictionary hit.
+
+        Under the ``fast`` numerics profile the misses are served by the
+        folder's closed-form / batched-FFT backends instead, and the
+        resulting score-only PMFs (tolerance-bounded, or not materialised
+        at all for chance-only columns) are *not* recorded in the appended
+        caches: the commit path re-folds its one chosen pair exactly, so
+        the simulated trajectory keeps exact arithmetic.
 
         Returns ``(means, chances)`` aligned with ``tasks``; entries not
         requested are ``None``.
@@ -373,17 +430,30 @@ class MappingContext:
             folded, f_means, f_chances = batched_append_scores(
                 tail, exec_pmfs, deadlines, self.prune_eps, self._folder,
                 want_mean=want_mean, want_chance=want_chance)
-            share = self._shared is not None and version == 0
+            record = not self._fast
+            share = (self._shared is not None and version == 0) and record
+            memoize = self._fast and self._memoize_scores
             for j, i in enumerate(miss):
                 pmf = folded[j]
                 pmfs[i] = pmf
-                self._cache[(mid, version, tasks[i].task_id)] = pmf
-                if share:
-                    self._shared[(mid, tasks[i].task_id)] = (tail, pmf)
+                if record and pmf is not None:
+                    self._cache[(mid, version, tasks[i].task_id)] = pmf
+                    if share:
+                        self._shared[(mid, tasks[i].task_id)] = (tail, pmf)
                 if means is not None:
                     means[i] = f_means[j]
+                    if memoize:
+                        # Fast scores feed the scalar memos instead of the
+                        # appended-PMF caches, so phase-2 re-queries of the
+                        # same pair are dictionary hits rather than exact
+                        # re-folds.
+                        self._expected[(mid, version, tasks[i].task_id)] = \
+                            f_means[j]
                 if chances is not None:
                     chances[i] = f_chances[j]
+                    if memoize:
+                        self._chance[(mid, version, tasks[i].task_id)] = \
+                            f_chances[j]
         if len(miss) != n:
             # Score the cache hits with the exact arithmetic of the scalar
             # path (PMF.mean / mass_before, folder-memoised chance).
@@ -568,8 +638,10 @@ class OrderedMappingHeuristic(MappingHeuristic):
         from .kernel import SMALL_PLANE_TASKS, run_ordered_plane
 
         spec = self.score_spec
+        threshold = (ctx.small_plane_tasks if ctx.small_plane_tasks is not None
+                     else SMALL_PLANE_TASKS)
         if (spec is not None and ctx.scoring == "vector"
-                and len(tasks) >= SMALL_PLANE_TASKS
+                and len(tasks) >= threshold
                 and not self._overrides_priority()):
             return run_ordered_plane(spec, tasks, machines, ctx)
         ordered = sorted(tasks, key=lambda t: (self.task_priority(ctx, t), t.task_id))

@@ -158,8 +158,17 @@ def _tiebreak_scalar(name: str, ctx: MappingContext, machine: MachineState,
 # ----------------------------------------------------------------------
 #: Window sizes below this have no plane width worth vectorising: the
 #: vector engine dispatches them to the scalar loop (identical results;
-#: NumPy per-round overhead would dominate a 1-2 row "plane").
-SMALL_PLANE_TASKS = 3
+#: NumPy per-round overhead would dominate a narrow "plane").  The default
+#: is the *measured* vector-vs-loop crossover: ``repro bench --suite
+#: crossover`` times both backends over a sweep of forced window sizes on
+#: the current platform, and on the reference machine (min-of-2 timings,
+#: widths 1-14) the loop wins clearly up to ~9-task planes, the ratio
+#: crosses 1.0 around 10-13 (within run-to-run noise), and the vector
+#: engine wins from there up.  Override per run via
+#: ``SystemConfig.small_plane_tasks`` /
+#: :attr:`MappingContext.small_plane_tasks` when your platform's
+#: crossover measures differently.
+SMALL_PLANE_TASKS = 10
 
 
 def run_two_phase(heuristic: TwoPhaseMappingHeuristic,
@@ -177,8 +186,10 @@ def run_two_phase(heuristic: TwoPhaseMappingHeuristic,
     overhead.
     """
     spec = heuristic.score_spec
+    threshold = (ctx.small_plane_tasks if ctx.small_plane_tasks is not None
+                 else SMALL_PLANE_TASKS)
     if (spec is not None and ctx.scoring == "vector"
-            and len(tasks) >= SMALL_PLANE_TASKS
+            and len(tasks) >= threshold
             and not _overrides_scores(heuristic)):
         return _map_vector(spec, tasks, machines, ctx)
     return _map_loop(heuristic, tasks, machines, ctx)

@@ -82,6 +82,21 @@ class SystemConfig:
         tie-break columns reproduce the loop's pick order bit-for-bit), so
         like ``incremental`` this is a performance switch, not a semantic
         one.
+    numerics:
+        Arithmetic profile of the mapping scores.  ``"exact"`` (default)
+        keeps every score bit-identical to the naive reference.  ``"fast"``
+        serves chance-of-success scores from a closed-form dot product and
+        expected-completion scores from batched FFT folds
+        (:class:`repro.core.completion.ChainFolder`), trading float
+        ordering for speed within the documented sup-norm tolerance
+        (:data:`repro.core.completion.FAST_FOLD_SUP_NORM_TOL`); committed
+        completion PMFs stay exact.  Requires ``incremental=True`` (the
+        fast backends live on the run's fold kernel).
+    small_plane_tasks:
+        Override of the vector backend's small-plane dispatch threshold
+        (``None`` keeps the measured platform default,
+        :data:`repro.mapping.kernel.SMALL_PLANE_TASKS`; measure your own
+        crossover with ``repro bench --suite crossover``).
     """
 
     queue_capacity: int = 6
@@ -91,6 +106,8 @@ class SystemConfig:
     max_steps: int = 50_000_000
     incremental: bool = True
     scoring: str = "vector"
+    numerics: str = "exact"
+    small_plane_tasks: Optional[int] = None
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -102,6 +119,16 @@ class SystemConfig:
         if self.scoring not in ("loop", "vector"):
             raise ValueError(f"unknown scoring backend {self.scoring!r}; "
                              "expected 'loop' or 'vector'")
+        if self.numerics not in ("exact", "fast"):
+            raise ValueError(f"unknown numerics profile {self.numerics!r}; "
+                             "expected 'exact' or 'fast'")
+        if self.numerics == "fast" and not self.incremental:
+            raise ValueError("numerics='fast' requires incremental=True "
+                             "(the fast backends live on the run's fold "
+                             "kernel)")
+        if (self.small_plane_tasks is not None
+                and self.small_plane_tasks < 0):
+            raise ValueError("small_plane_tasks cannot be negative")
 
 
 @dataclass
@@ -281,7 +308,8 @@ class HCSystem:
         #: event loop so dropping policies share it; ``None`` on the naive
         #: path, which also *shields* the run from any outer folder.
         self._folder: Optional[ChainFolder] = (
-            ChainFolder(self.config.prune_eps)
+            ChainFolder(self.config.prune_eps,
+                        numerics=self.config.numerics)
             if self.config.incremental else None)
         #: Intern-table snapshot taken at construction; ``result()`` reports
         #: the delta, i.e. the interning activity attributable to this run.
@@ -610,7 +638,8 @@ class HCSystem:
         ctx = MappingContext(self.pet, now, self.config.prune_eps,
                              shared_cache=shared, folder=self._folder,
                              memoize_scores=self.config.incremental,
-                             scoring=self.config.scoring)
+                             scoring=self.config.scoring,
+                             small_plane_tasks=self.config.small_plane_tasks)
         assignments = self.mapper.map_tasks(task_views, machine_states, ctx)
         self.perf.plane_evals += ctx.plane_evals
         self.perf.plane_rounds += ctx.plane_rounds

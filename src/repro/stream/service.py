@@ -91,8 +91,10 @@ class StreamSpec:
     metrics_window / metrics_decay:
         Tumbling-window length and EWMA factor of the live metrics.
     gamma / queue_capacity / batch_window / seed / scenario_params /
-    incremental / scoring:
-        As in :class:`~repro.experiments.runner.TrialSpec`.
+    incremental / scoring / numerics:
+        As in :class:`~repro.experiments.runner.TrialSpec`.  Snapshots
+        written before the ``numerics`` field existed restore as
+        ``"exact"`` (the dataclass default), preserving their replay.
     """
 
     scenario_name: str = "spec"
@@ -114,6 +116,7 @@ class StreamSpec:
     fault_params: Tuple[Tuple[str, object], ...] = ()
     incremental: bool = True
     scoring: str = "vector"
+    numerics: str = "exact"
     metrics_window: int = 500
     metrics_decay: float = 0.2
 
@@ -137,6 +140,13 @@ class StreamSpec:
             raise ValueError("metrics window must be positive")
         if not 0 < self.metrics_decay <= 1:
             raise ValueError("metrics decay must be within (0, 1]")
+        if self.numerics not in ("exact", "fast"):
+            raise ValueError(f"unknown numerics profile {self.numerics!r}; "
+                             f"expected 'exact' or 'fast'")
+        if self.numerics == "fast" and not self.incremental:
+            raise ValueError("numerics='fast' requires incremental=True "
+                             "(the fast backends live on the run's fold "
+                             "kernel)")
 
     # ------------------------------------------------------------------
     @property
@@ -246,7 +256,8 @@ class StreamingSimulation:
         config = SystemConfig(queue_capacity=spec.queue_capacity,
                               batch_window=spec.batch_window,
                               incremental=spec.incremental,
-                              scoring=spec.scoring)
+                              scoring=spec.scoring,
+                              numerics=spec.numerics)
         self.system = HCSystem(
             machine_types=list(self.platform.machine_types),
             machines=scenario.build_machines(),

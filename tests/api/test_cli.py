@@ -81,6 +81,28 @@ class TestRunCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["config"]["mapper"] == "PAM"
 
+    def test_numerics_flag_runs_fast_profile(self, capsys):
+        import json
+
+        exit_code = main(["run", "--scale", "0.002", "--trials", "1",
+                          "--numerics", "fast", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["numerics"] == "fast"
+
+    def test_numerics_default_left_out_of_config(self, capsys):
+        import json
+
+        exit_code = main(["run", "--scale", "0.002", "--trials", "1",
+                          "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "numerics" not in payload["config"]
+
+    def test_unknown_numerics_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--numerics", "fused"])
+
     def test_param_with_dropper_sweep_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--dropper", "heuristic", "react",

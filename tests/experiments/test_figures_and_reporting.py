@@ -188,3 +188,52 @@ class TestCLI:
         exit_code = main(["drops", "--scale", "0.002", "--trials", "1"])
         assert exit_code == 0
         assert "Reactive share" in capsys.readouterr().out
+
+
+class TestFastNumericsGoldenFigure:
+    """Re-pinned golden figure payload under ``numerics="fast"``.
+
+    The fast profile is deterministic (closed-form scores and FFT folds in
+    a fixed order), so its figure payloads pin just like the exact ones --
+    they are simply pinned to *their own* golden values wherever a score
+    tie within tolerance flips an assignment (here: the PAM cells, whose
+    phase-1 chance scores tie at 1.0 under slack deadlines).
+    """
+
+    #: Golden robustness percentages of the tiny fig7a grid
+    #: (scale=0.002, trials=1, base_seed=11, level=30k).
+    GOLDEN_EXACT = {"MM heuristic": 88.33333333333333,
+                    "MM react": 86.66666666666667,
+                    "PAM heuristic": 95.0,
+                    "PAM react": 96.66666666666667}
+    GOLDEN_FAST = {"MM heuristic": 88.33333333333333,
+                   "MM react": 86.66666666666667,
+                   "PAM heuristic": 90.0,
+                   "PAM react": 88.33333333333333}
+
+    def _robustness(self, numerics):
+        plan = TINY.plan(name="fig7a-golden", scenarios=["spec"],
+                         levels=["30k"], mappers=["MM", "PAM"],
+                         droppers=[{"name": "heuristic", "params": {}},
+                                   {"name": "react", "params": {}}],
+                         numerics=numerics)
+        return {run.label: run.aggregate.robustness_pct.mean
+                for run in plan.execute().runs}
+
+    def test_fast_payload_matches_golden(self):
+        got = self._robustness("fast")
+        assert set(got) == set(self.GOLDEN_FAST)
+        for label, value in self.GOLDEN_FAST.items():
+            assert got[label] == pytest.approx(value, abs=1e-9), label
+
+    def test_exact_payload_unchanged_by_the_axis(self):
+        got = self._robustness("exact")
+        for label, value in self.GOLDEN_EXACT.items():
+            assert got[label] == pytest.approx(value, abs=1e-9), label
+
+    def test_tie_free_cells_identical_across_profiles(self):
+        # MM's expected-completion scores never tie within tolerance on
+        # this workload, so its fast cells reproduce the exact trajectory.
+        assert self.GOLDEN_FAST["MM heuristic"] \
+            == self.GOLDEN_EXACT["MM heuristic"]
+        assert self.GOLDEN_FAST["MM react"] == self.GOLDEN_EXACT["MM react"]
