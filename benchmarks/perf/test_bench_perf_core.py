@@ -28,6 +28,7 @@ def test_perf_benchmark_smoke(tmp_path):
     assert any(e["compare"] == "scoring" for e in payload["scenarios"])
     assert any(e["compare"] == "stream" for e in payload["scenarios"])
     assert any(e["compare"] == "numerics" for e in payload["scenarios"])
+    assert any(e["compare"] == "topology" for e in payload["scenarios"])
     for entry in payload["scenarios"]:
         if entry["compare"] == "numerics":
             # Fast numerics is tolerance-bounded: a score tie within
@@ -42,10 +43,11 @@ def test_perf_benchmark_smoke(tmp_path):
         perf = entry["incremental_perf"]
         assert perf["pmf_folds"] > 0
         assert perf["tail_cache_hits"] + perf["tail_cache_extends"] > 0
-        if entry["compare"] in ("incremental", "stream"):
+        if entry["compare"] in ("incremental", "stream", "topology"):
             # The incremental path must fold less than the naive one.  The
             # stream case compares the same two sides, but driven through
-            # the always-on streaming service instead of a batch trial.
+            # the always-on streaming service instead of a batch trial; the
+            # topology case drives them with an active tiered topology.
             assert perf["pmf_folds"] < entry["naive_perf"]["pmf_folds"]
         elif entry["compare"] == "numerics":
             # ``pmf_folds`` counts committed-chain folds only -- a function

@@ -6,7 +6,7 @@ This subpackage is the recommended way to drive the reproduction:
   pluggable extension points;
 * :mod:`repro.api.registries` -- the built-in registries (:data:`MAPPERS`,
   :data:`DROPPERS`, :data:`SCENARIOS`, :data:`ARRIVALS`, :data:`TRAFFIC`,
-  :data:`UNCERTAINTY`, :data:`FAULTS`);
+  :data:`UNCERTAINTY`, :data:`FAULTS`, :data:`TOPOLOGIES`);
 * :mod:`repro.api.builder` -- the fluent, immutable :class:`Simulation`
   builder with ``run()`` and ``sweep()``;
 * :mod:`repro.api.results` -- :class:`RunResult` / :class:`SweepResult`
@@ -26,7 +26,7 @@ from .builder import SWEEPABLE_AXES, Simulation
 from .plan import (PLAN_AXES, ExperimentPlan, PairSpec, PlanCell, PlanError,
                    PointSpec)
 from .registries import (ARRIVALS, DROPPERS, FAULTS, MAPPERS, SCENARIOS,
-                         TRAFFIC, UNCERTAINTY)
+                         TOPOLOGIES, TRAFFIC, UNCERTAINTY)
 from .registry import (DuplicateNameError, Registration, Registry,
                        RegistryError, UnknownNameError)
 from .results import METRICS, RunResult, SweepResult
@@ -46,6 +46,7 @@ __all__ = [
     "TRAFFIC",
     "UNCERTAINTY",
     "FAULTS",
+    "TOPOLOGIES",
     "Simulation",
     "SWEEPABLE_AXES",
     "RunResult",

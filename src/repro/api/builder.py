@@ -36,7 +36,7 @@ from typing import (Any, Callable, Dict, Mapping, Optional, Sequence,
 from ..metrics.collector import aggregate_trials
 from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
 from .registries import (ARRIVALS, DROPPERS, FAULTS, MAPPERS, SCENARIOS,
-                         UNCERTAINTY)
+                         TOPOLOGIES, UNCERTAINTY)
 from .results import RunResult, SweepResult
 
 __all__ = ["Simulation", "SWEEPABLE_AXES"]
@@ -83,6 +83,8 @@ class Simulation:
     uncertainty_params: Tuple[Tuple[str, Any], ...] = ()
     faults_name: str = "none"
     fault_params: Tuple[Tuple[str, Any], ...] = ()
+    topology_name: str = "uniform"
+    topology_params: Tuple[Tuple[str, Any], ...] = ()
 
     # ------------------------------------------------------------------
     # Construction
@@ -178,6 +180,25 @@ class Simulation:
         entry.validate(params)
         return replace(self, faults_name=entry.name,
                        fault_params=_freeze(params))
+
+    def topology(self, name: str = "uniform", **params: Any) -> "Simulation":
+        """Select the platform topology by registry name.
+
+        Selects a topology from the
+        :data:`repro.api.registries.TOPOLOGIES` registry ("uniform",
+        "star-uplink", "tiered-edge-cloud", "custom"); machines become
+        nodes on a bandwidth/latency graph and every completion-time PMF
+        composes the data-transfer delay of the task's payload with its
+        execution PMF, so mapping scores and dropping decisions price
+        locality automatically.  Transfer schedules are deterministic and
+        RNG-free, so enabling a topology never perturbs arrivals, PET
+        samples or fault schedules.  ``"uniform"`` (default, all machines
+        at zero cost) disables the axis.
+        """
+        entry = TOPOLOGIES.get(name)
+        entry.validate(params)
+        return replace(self, topology_name=entry.name,
+                       topology_params=_freeze(params))
 
     def level(self, level: str) -> "Simulation":
         """Set the oversubscription level label ("20k", "30k", "40k")."""
@@ -320,7 +341,9 @@ class Simulation:
                       uncertainty_name=self.uncertainty_name,
                       uncertainty_params=self.uncertainty_params,
                       faults_name=self.faults_name,
-                      fault_params=self.fault_params)
+                      fault_params=self.fault_params,
+                      topology_name=self.topology_name,
+                      topology_params=self.topology_params)
             for k in range(self.num_trials))
 
     def describe_config(self) -> Dict[str, Any]:
@@ -352,6 +375,10 @@ class Simulation:
             config["faults"] = self.faults_name
             if self.fault_params:
                 config["fault_params"] = dict(self.fault_params)
+        if self.topology_name != "uniform":
+            config["topology"] = self.topology_name
+            if self.topology_params:
+                config["topology_params"] = dict(self.topology_params)
         if self.mapper_params:
             config["mapper_params"] = dict(self.mapper_params)
         if self.dropper_params:
@@ -445,6 +472,8 @@ class Simulation:
             uncertainty_params=self.uncertainty_params,
             faults=self.faults_name,
             fault_params=self.fault_params,
+            topology=self.topology_name,
+            topology_params=self.topology_params,
             n_jobs=self.n_jobs,
             sweep_axes=tuple(names))
 

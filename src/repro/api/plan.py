@@ -58,7 +58,7 @@ if TYPE_CHECKING:
 from ..metrics.collector import aggregate_trials, trial_metrics_from_dict
 from ..workload.scenario import OVERSUBSCRIPTION_LEVELS
 from .registries import (ARRIVALS, DROPPERS, FAULTS, MAPPERS, SCENARIOS,
-                         UNCERTAINTY)
+                         TOPOLOGIES, UNCERTAINTY)
 from .results import METRICS, RunResult, SweepResult
 from .sinks import (CallbackSink, JsonlSpoolSink, ResultSink, SpoolError,
                     read_spool)
@@ -271,6 +271,12 @@ class ExperimentPlan:
     #: keep their fingerprints (and spools).
     faults: str = "none"
     fault_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Platform topology applied to every trial ("uniform" -- all machines
+    #: at zero cost -- disables).  Serialised conditionally, like
+    #: ``faults``, so pre-topology plans keep their fingerprints (and
+    #: spools).
+    topology: str = "uniform"
+    topology_params: Tuple[Tuple[str, Any], ...] = ()
     n_jobs: int = 1
     metrics: Tuple[str, ...] = ("robustness_pct",)
     #: Axes to report on the resulting :class:`SweepResult` (and to build
@@ -332,6 +338,11 @@ class ExperimentPlan:
         set_(self, "faults", str(self.faults))
         params = self.fault_params
         set_(self, "fault_params",
+             _freeze(params) if isinstance(params, Mapping)
+             else tuple((str(k), v) for k, v in params))
+        set_(self, "topology", str(self.topology))
+        params = self.topology_params
+        set_(self, "topology_params",
              _freeze(params) if isinstance(params, Mapping)
              else tuple((str(k), v) for k, v in params))
         set_(self, "n_jobs", int(self.n_jobs))
@@ -415,6 +426,13 @@ class ExperimentPlan:
         try:
             entry = FAULTS.get(self.faults)
             entry.validate(dict(self.fault_params))
+        except PlanError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanError(str(exc)) from None
+        try:
+            entry = TOPOLOGIES.get(self.topology)
+            entry.validate(dict(self.topology_params))
         except PlanError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
@@ -510,7 +528,9 @@ class ExperimentPlan:
                                         uncertainty_params=(
                                             self.uncertainty_params),
                                         faults_name=self.faults,
-                                        fault_params=self.fault_params)
+                                        fault_params=self.fault_params,
+                                        topology_name=self.topology,
+                                        topology_params=self.topology_params)
                                     for k in range(self.trials))
                                 axis_values = (
                                     ("scenario", scenario.name),
@@ -596,6 +616,10 @@ class ExperimentPlan:
             config["faults"] = self.faults
             if self.fault_params:
                 config["fault_params"] = dict(self.fault_params)
+        if self.topology != "uniform":
+            config["topology"] = self.topology
+            if self.topology_params:
+                config["topology_params"] = dict(self.topology_params)
         if mapper.params:
             config["mapper_params"] = dict(mapper.params)
         if dropper.params:
@@ -647,6 +671,10 @@ class ExperimentPlan:
             execution["faults"] = self.faults
             if self.fault_params:
                 execution["fault_params"] = dict(self.fault_params)
+        if self.topology != "uniform":
+            execution["topology"] = self.topology
+            if self.topology_params:
+                execution["topology_params"] = dict(self.topology_params)
         payload: Dict[str, Any] = {
             "name": self.name,
             "metrics": list(self.metrics),
@@ -681,7 +709,8 @@ class ExperimentPlan:
                                 "incremental", "scoring", "numerics",
                                 "with_cost", "confidence", "uncertainty",
                                 "uncertainty_params", "faults",
-                                "fault_params"), "plan execution")
+                                "fault_params", "topology",
+                                "topology_params"), "plan execution")
         if "pairs" in grid and ("mappers" in grid or "droppers" in grid):
             raise PlanError("plan grid takes either 'pairs' or "
                             "'mappers'/'droppers', not both")
@@ -705,7 +734,7 @@ class ExperimentPlan:
         for key in ("trials", "base_seed", "n_jobs", "incremental",
                     "scoring", "numerics", "with_cost", "confidence",
                     "uncertainty", "uncertainty_params", "faults",
-                    "fault_params"):
+                    "fault_params", "topology", "topology_params"):
             if key in execution:
                 kwargs[key] = execution[key]
         return cls(**kwargs)
@@ -791,6 +820,9 @@ class ExperimentPlan:
         if self.faults != "none":
             lines.append(f"  faults  : {self.faults} "
                          f"{dict(self.fault_params) or ''}".rstrip())
+        if self.topology != "uniform":
+            lines.append(f"  topology: {self.topology} "
+                         f"{dict(self.topology_params) or ''}".rstrip())
         lines.append(f"  metrics : {', '.join(self.metrics)}")
         for pair in self.grid_pairs:
             mapper_params = dict(pair.mapper.params)

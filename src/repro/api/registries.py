@@ -25,6 +25,8 @@ from ..core.dropping import (AdaptiveThresholdDropping, DroppingPolicy,
                              NoProactiveDropping, OptimalProactiveDropping,
                              ProactiveHeuristicDropping, ThresholdDropping)
 from ..mapping import EDF, FCFS, MSD, PAM, SJF, MinMin
+from ..platform.topology import (CustomTopology, StarUplinkTopology,
+                                 TieredEdgeCloudTopology, UniformTopology)
 from ..sim.fault_events import (CrashRestartProcess, NoFaults,
                                 PartitionProcess, SlowdownProcess)
 from ..sim.faults import (ComposedUncertainty, MachineStallModel,
@@ -38,7 +40,7 @@ from ..workload.scenario import (homogeneous_scenario, spec_scenario,
 from .registry import Registry
 
 __all__ = ["MAPPERS", "DROPPERS", "SCENARIOS", "ARRIVALS", "TRAFFIC",
-           "UNCERTAINTY", "FAULTS"]
+           "UNCERTAINTY", "FAULTS", "TOPOLOGIES"]
 
 
 # ----------------------------------------------------------------------
@@ -234,3 +236,24 @@ FAULTS.add("partition", PartitionProcess,
                    "start_time"),
            summary="Network partitions: a machine group unreachable for "
                    "mapping for a window.")
+
+
+# ----------------------------------------------------------------------
+# Platform topologies (data movement as a first-class cost)
+# ----------------------------------------------------------------------
+TOPOLOGIES: Registry = Registry("topology")
+TOPOLOGIES.add("uniform", UniformTopology, params=(),
+               summary="All machines equally reachable at zero cost "
+                       "(the paper's implicit platform; the default).")
+TOPOLOGIES.add("star-uplink", StarUplinkTopology,
+               params=("bandwidth", "latency", "task_bytes"),
+               summary="Every machine behind one shared uplink; transfers "
+                       "contend on a single channel.")
+TOPOLOGIES.add("tiered-edge-cloud", TieredEdgeCloudTopology,
+               params=("bandwidth", "latency", "task_bytes", "cloud_types"),
+               summary="Fast 'cloud' machines behind a shared uplink, "
+                       "'edge' machines local at zero cost.")
+TOPOLOGIES.add("custom", CustomTopology,
+               params=("links", "task_bytes"),
+               summary="Explicit per-machine link specs (bandwidth, "
+                       "latency, shared group).")

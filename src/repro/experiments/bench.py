@@ -86,6 +86,11 @@ class BenchCase:
       flip an assignment.  The observed equality is recorded honestly in
       ``metrics_equal`` instead (in practice the sides agree, because the
       committed trajectory is always folded exactly).
+    * ``"topology"`` -- the naive scheduler views against the incremental
+      machinery with the case's platform topology active, so the
+      transfer-shifted effective PMFs run through both paths; metric
+      divergence raises like the classic cases (the incremental==naive pin
+      must survive data-movement costs bit-for-bit).
     """
 
     name: str
@@ -97,6 +102,8 @@ class BenchCase:
     gamma: float = 1.0
     batch_window: int = 32
     compare: str = "incremental"
+    topology: str = "uniform"
+    topology_params: Tuple[Tuple[str, object], ...] = ()
 
 
 #: The pinned oversubscribed scenarios of ``BENCH_core.json``: the paper's
@@ -120,6 +127,10 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
     BenchCase(name="spec-40k-MM-fast-g5-w64", level="40k", mapper="MM",
               gamma=5.0, batch_window=64, compare="numerics"),
     BenchCase(name="stream-steady", dropper="heuristic", compare="stream"),
+    BenchCase(name="spec-40k-PAM-tiered", level="40k", dropper="heuristic",
+              compare="topology", topology="tiered-edge-cloud",
+              topology_params=(("bandwidth", 48.0), ("latency", 2),
+                               ("task_bytes", 192))),
 )
 
 
@@ -144,7 +155,9 @@ def _spec_for(case: BenchCase, scale: float, seed: int,
                      dropper_params=case.dropper_params,
                      batch_window=case.batch_window,
                      incremental=incremental, scoring=scoring,
-                     numerics=numerics)
+                     numerics=numerics,
+                     topology_name=case.topology,
+                     topology_params=case.topology_params)
 
 
 def _timed_stream_trial(case: BenchCase, scale: float, seed: int,
@@ -225,8 +238,8 @@ def run_perf_benchmark(scale: float = 0.05, trials: int = 2,
 
     Raises ``RuntimeError`` if any case's contender run does not produce
     metrics identical to its baseline run -- the harness doubles as an
-    end-to-end equivalence check (naive==incremental for classic cases,
-    loop==vector for the scoring cases).  ``compare="numerics"`` cases are
+    end-to-end equivalence check (naive==incremental for classic and
+    topology cases, loop==vector for the scoring cases).  ``compare="numerics"`` cases are
     exempt from the raise: ``fast`` is tolerance-bounded, so a score tie
     within tolerance may flip an assignment; the observed equality is
     recorded in the entry's ``metrics_equal`` instead.

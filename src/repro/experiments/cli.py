@@ -46,10 +46,21 @@ the generic runner and the declarative plan workflow:
       python -m repro serve --faults slowdown --fault-param factor=3
       python -m repro churn --scale 0.02 --trials 3
 
+* ``run`` and ``serve`` likewise take ``--topology NAME`` (plus repeatable
+  ``--topology-param KEY=VALUE``) to put the machines on a bandwidth /
+  latency graph so dispatch pays for data movement, and ``locality`` runs
+  the ranking-under-locality study (mapper×dropper pairs, uniform vs
+  tiered edge/cloud topology)::
+
+      python -m repro run --topology tiered-edge-cloud \
+          --topology-param task_bytes=192
+      python -m repro locality --scale 0.02 --trials 3
+
 * ``list-mappers`` / ``list-droppers`` / ``list-scenarios`` /
   ``list-arrivals`` / ``list-traffic`` / ``list-uncertainty`` /
-  ``list-faults`` print the corresponding registry, including anything
-  registered by user code imported via ``--plugin module``.
+  ``list-faults`` / ``list-topologies`` print the corresponding registry,
+  including anything registered by user code imported via
+  ``--plugin module``.
 
 * ``check`` runs the repository's static determinism & invariant linter
   (:mod:`repro.analysis`) over the installed package (or explicit paths)
@@ -90,16 +101,27 @@ from .figures import (FigureResult, figure5_effective_depth, figure6_beta,
                       figure7a_heterogeneous, figure7b_homogeneous,
                       figure8_dropping_policies, figure9_cost,
                       figure10_transcoding, figure_churn_ranking,
-                      reactive_share_analysis)
+                      figure_locality_ranking, reactive_share_analysis)
 from .reporting import format_figure_table
 
 __all__ = ["main", "build_parser"]
 
 FIGURE_COMMANDS = ("fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
-                   "drops", "churn")
-LIST_COMMANDS = ("list-mappers", "list-droppers", "list-scenarios",
-                 "list-arrivals", "list-traffic", "list-uncertainty",
-                 "list-faults")
+                   "drops", "churn", "locality")
+#: ``list-*`` subcommands, one per public registry in :mod:`repro.api`:
+#: command name -> (registry attribute, plural noun for the help line).
+#: Parser wiring and dispatch both derive from this mapping, so exposing a
+#: new registry is one entry here -- not another hand-written subcommand.
+LIST_COMMANDS = {
+    "list-mappers": ("MAPPERS", "mapping heuristics"),
+    "list-droppers": ("DROPPERS", "dropping policies"),
+    "list-scenarios": ("SCENARIOS", "scenario presets"),
+    "list-arrivals": ("ARRIVALS", "arrival processes"),
+    "list-traffic": ("TRAFFIC", "traffic processes"),
+    "list-uncertainty": ("UNCERTAINTY", "uncertainty models"),
+    "list-faults": ("FAULTS", "fault processes"),
+    "list-topologies": ("TOPOLOGIES", "platform topologies"),
+}
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -161,6 +183,15 @@ def _add_run_style_options(parser: argparse.ArgumentParser) -> None:
                         help="fault-process parameter, e.g. "
                              "--fault-param mtbf=1500 or "
                              "--fault-param policy=drop (repeatable)")
+    parser.add_argument("--topology", default=None,
+                        help="platform-topology registry name "
+                             "(e.g. tiered-edge-cloud; default: uniform; "
+                             "see list-topologies)")
+    parser.add_argument("--topology-param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="topology parameter, e.g. "
+                             "--topology-param task_bytes=192 or "
+                             "--topology-param bandwidth=48 (repeatable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -175,7 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure_help = {"drops": "regenerate the §V-F drop-share analysis",
                    "churn": "run the ranking-under-churn study "
-                            "(clean vs crash/restart faults)"}
+                            "(clean vs crash/restart faults)",
+                   "locality": "run the ranking-under-locality study "
+                               "(uniform vs tiered edge/cloud topology)"}
     for figure in FIGURE_COMMANDS:
         sub = commands.add_parser(
             figure, help=figure_help.get(figure, f"regenerate {figure}"))
@@ -383,6 +416,18 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE",
                        help="fault-process parameter, e.g. "
                             "--fault-param mtbf=1500 (repeatable)")
+    serve.add_argument("--topology", default=None,
+                       help="platform-topology registry name "
+                            "(default: uniform; see list-topologies)")
+    serve.add_argument("--topology-param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="topology parameter, e.g. "
+                            "--topology-param task_bytes=192 (repeatable)")
+    serve.add_argument("--warmup", type=int, default=0, metavar="T",
+                       help="trim metrics windows that start before time T "
+                            "from the reported timeline, so steady-state "
+                            "rates are not polluted by the empty-system "
+                            "transient (0 disables)")
     serve.add_argument("--window", type=int, default=500,
                        help="tumbling metrics window length (default 500)")
     serve.add_argument("--decay", type=float, default=0.2,
@@ -440,9 +485,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="import MODULE first so its rule "
                                  "registrations show up")
 
-    for command in LIST_COMMANDS:
-        sub = commands.add_parser(
-            command, help=f"list registered {command.split('-', 1)[1]}")
+    for command, (_, plural) in LIST_COMMANDS.items():
+        sub = commands.add_parser(command,
+                                  help=f"list registered {plural}")
         sub.add_argument("--plugin", action="append", default=[],
                         metavar="MODULE",
                         help="import MODULE first so its registrations show up")
@@ -492,6 +537,8 @@ def _run_figure(args: argparse.Namespace, config: ExperimentConfig) -> FigureRes
         return reactive_share_analysis(config, level=args.level or "30k")
     if args.figure == "churn":
         return figure_churn_ranking(config, level=args.level or "30k")
+    if args.figure == "locality":
+        return figure_locality_ranking(config, level=args.level or "30k")
     raise ValueError(f"unknown figure {args.figure!r}")  # pragma: no cover
 
 
@@ -570,6 +617,12 @@ def _plan_from_run_args(args: argparse.Namespace) -> "ExperimentPlan":
                          **_parse_params(args.fault_param, allow_str=True))
     elif args.fault_param:
         raise SystemExit("--fault-param requires --faults")
+    if args.topology:
+        sim = sim.topology(args.topology,
+                           **_parse_params(args.topology_param,
+                                           allow_str=True))
+    elif args.topology_param:
+        raise SystemExit("--topology-param requires --topology")
     return sim.build_plan(**axes)
 
 
@@ -755,9 +808,12 @@ def _command_serve(args: argparse.Namespace) -> int:
                                               on_window=on_window)
         plan = StreamPlan(name="resumed", stream=service.spec,
                           horizon=args.horizon,
-                          snapshot_every=args.snapshot_every)
+                          snapshot_every=args.snapshot_every,
+                          warmup=args.warmup)
     elif args.plan:
         plan = StreamPlan.from_file(args.plan)
+        if args.warmup:
+            plan = plan.with_warmup(args.warmup)
         service = StreamingSimulation(plan.stream, on_window=on_window)
     else:
         uncertainty_params = _parse_params(args.uncertainty_param)
@@ -766,6 +822,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         fault_params = _parse_params(args.fault_param, allow_str=True)
         if fault_params and not args.faults:
             raise ValueError("--fault-param requires --faults")
+        topology_params = _parse_params(args.topology_param, allow_str=True)
+        if topology_params and not args.topology:
+            raise ValueError("--topology-param requires --topology")
         spec = StreamSpec(
             scenario_name=args.scenario,
             traffic_name=args.traffic,
@@ -780,11 +839,14 @@ def _command_serve(args: argparse.Namespace) -> int:
             uncertainty_params=uncertainty_params,
             faults_name=args.faults or "none",
             fault_params=fault_params,
+            topology_name=args.topology or "uniform",
+            topology_params=topology_params,
             numerics=args.numerics,
             metrics_window=args.window,
             metrics_decay=args.decay)
         plan = StreamPlan(name="serve", stream=spec, horizon=args.horizon,
-                          snapshot_every=args.snapshot_every)
+                          snapshot_every=args.snapshot_every,
+                          warmup=args.warmup)
         service = StreamingSimulation(spec, on_window=on_window)
 
     if plan.horizon <= service.horizon:
@@ -809,6 +871,11 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     metrics = service.metrics()
     timeline = service.timeline()
+    trimmed = 0
+    if plan.warmup:
+        full = len(timeline)
+        timeline = timeline.steady_state(plan.warmup)
+        trimmed = full - len(timeline)
     if args.json:
         print(_json.dumps({"spec": service.spec.to_dict(),
                            "horizon": service.horizon,
@@ -820,8 +887,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             print(timeline.chart(keys=("completion_rate", "drop_rate",
                                        "ewma_drop_rate")))
         rob = metrics.robustness
+        warm = (f" ({trimmed} warm-up trimmed)" if trimmed else "")
         print(f"{service.describe()}\n"
-              f"  windows closed : {len(timeline)}\n"
+              f"  windows closed : {len(timeline)}{warm}\n"
               f"  robustness     : {metrics.robustness_pct:.2f}% "
               f"({rob.on_time}/{rob.measured_tasks} on time)\n"
               f"  completed late : {rob.completed_late}\n"
@@ -870,17 +938,16 @@ def _command_list_rules(args: argparse.Namespace) -> int:
 
 
 def _command_list(args: argparse.Namespace) -> int:
-    """The ``list-*`` subcommands: print one registry."""
-    from ..api import (ARRIVALS, DROPPERS, FAULTS, MAPPERS, SCENARIOS,
-                       TRAFFIC, UNCERTAINTY)
+    """The ``list-*`` subcommands: print one registry.
 
-    registry = {"list-mappers": MAPPERS, "list-droppers": DROPPERS,
-                "list-scenarios": SCENARIOS,
-                "list-arrivals": ARRIVALS,
-                "list-traffic": TRAFFIC,
-                "list-uncertainty": UNCERTAINTY,
-                "list-faults": FAULTS}[args.figure]
-    print(registry.describe())
+    Fully driven by :data:`LIST_COMMANDS`; the registry object is resolved
+    by attribute name from :mod:`repro.api` so a new registry never needs
+    its own command function.
+    """
+    from .. import api
+
+    attr, _ = LIST_COMMANDS[args.figure]
+    print(getattr(api, attr).describe())
     return 0
 
 

@@ -19,7 +19,10 @@ grid can be shipped, diffed, resumed and sharded like any other plan.
 * Fig. 10 -- mapping heuristics × dropping on the transcoding workload;
 * §V-F    -- reactive share of drops under proactive dropping;
 * churn   -- ranking-under-churn study: the paper's mapper×dropper pairs
-  re-ranked under crash/restart machine churn vs the clean-room baseline.
+  re-ranked under crash/restart machine churn vs the clean-room baseline;
+* locality -- ranking-under-locality study: the same pairs re-ranked on a
+  tiered edge/cloud topology (data movement as a first-class cost) vs the
+  paper's implicit uniform platform.
 
 Absolute robustness values depend on the synthetic workloads (see DESIGN.md
 substitutions); what the benchmark harness asserts is the *shape* of these
@@ -48,6 +51,8 @@ __all__ = [
     "reactive_share_analysis",
     "churn_plan",
     "figure_churn_ranking",
+    "locality_plan",
+    "figure_locality_ranking",
     "DEFAULT_LEVELS",
     "CHURN_PAIRS",
 ]
@@ -466,6 +471,73 @@ def figure_churn_ranking(config: ExperimentConfig, level: str = "30k",
 
 
 # ----------------------------------------------------------------------
+# Ranking-under-locality study
+# ----------------------------------------------------------------------
+
+def locality_plan(config: ExperimentConfig, level: str = "30k",
+                  variant: str = "tiered", bandwidth: float = 48.0,
+                  latency: int = 2, task_bytes: int = 192):
+    """Compile one arm of the ranking-under-locality study to a plan.
+
+    ``variant="uniform"`` is the paper's implicit zero-cost platform;
+    ``variant="tiered"`` runs the same pair grid on a tiered edge/cloud
+    topology where every dispatch to a cloud machine pays a shared-uplink
+    transfer.  Both arms share scenario, seeds and grid (the transfer
+    schedule is deterministic and draws no randomness), so any ranking
+    difference is attributable to data movement alone.
+    """
+    if variant not in ("uniform", "tiered"):
+        raise ValueError(f"unknown locality variant {variant!r}; "
+                         f"known: uniform, tiered")
+    pairs = [{"mapper": mapper, "dropper": dropper}
+             for mapper, dropper in CHURN_PAIRS]
+    overrides = {}
+    if variant == "tiered":
+        overrides = {"topology": "tiered-edge-cloud",
+                     "topology_params": {"bandwidth": float(bandwidth),
+                                         "latency": int(latency),
+                                         "task_bytes": int(task_bytes)}}
+    return config.plan(name=f"locality-ranking-{variant}", levels=[level],
+                       pairs=pairs, **overrides)
+
+
+def figure_locality_ranking(config: ExperimentConfig, level: str = "30k",
+                            bandwidth: float = 48.0, latency: int = 2,
+                            task_bytes: int = 192) -> FigureResult:
+    """Mapper×dropper robustness ranking on a tiered topology vs uniform.
+
+    Runs the :data:`CHURN_PAIRS` grid twice -- once on the paper's implicit
+    uniform platform, once on a tiered edge/cloud topology with a shared
+    uplink in front of the fast machines -- and reports both robustness
+    series side by side.  The series order within each arm *is* the
+    ranking; the figure title records how the orderings compare.
+    """
+    labels = [_pair_label(mapper, dropper) for mapper, dropper in CHURN_PAIRS]
+    uniform = _run_plan(locality_plan(config, level, variant="uniform"))
+    tiered = _run_plan(locality_plan(config, level, variant="tiered",
+                                     bandwidth=bandwidth, latency=latency,
+                                     task_bytes=task_bytes))
+
+    def ranking(results: Sequence[ConfigurationResult]) -> List[str]:
+        order = sorted(zip(labels, results),
+                       key=lambda item: -item[1].aggregate.robustness_pct.mean)
+        return [label for label, _ in order]
+
+    preserved = ranking(uniform) == ranking(tiered)
+    fig = FigureResult(
+        figure_id="locality",
+        title="Pair ranking under a tiered edge/cloud topology "
+              + ("(ranking preserved)" if preserved else "(ranking changed)"),
+        x_label="Mapper+Dropper",
+        y_label="Tasks completed on time (%)")
+    for label, result in zip(labels, uniform):
+        fig.add_point("uniform", label, _relabel(result, label))
+    for label, result in zip(labels, tiered):
+        fig.add_point("tiered", label, _relabel(result, label))
+    return fig
+
+
+# ----------------------------------------------------------------------
 # Plan export
 # ----------------------------------------------------------------------
 
@@ -507,5 +579,10 @@ def figure_plan(figure_id: str, config: ExperimentConfig,
         # Export the faulted arm; the clean baseline is the same plan with
         # the fault axis removed (or variant="clean" through the API).
         return churn_plan(config, level=level or "30k", variant="churn")
+    if figure_id == "locality":
+        # Export the tiered arm; the uniform baseline is the same plan
+        # with the topology axis removed (or variant="uniform").
+        return locality_plan(config, level=level or "30k", variant="tiered")
     raise ValueError(f"unknown figure {figure_id!r}; known: fig5, fig6, "
-                     f"fig7a, fig7b, fig8, fig9, fig10, drops, churn")
+                     f"fig7a, fig7b, fig8, fig9, fig10, drops, churn, "
+                     f"locality")

@@ -120,6 +120,12 @@ class TrialSpec:
         :data:`repro.api.registries.FAULTS` registry, emitting crash /
         slowdown / partition events onto the simulation timeline
         (``"none"`` disables, the default).
+    topology_name / topology_params:
+        Platform topology from the
+        :data:`repro.api.registries.TOPOLOGIES` registry, composing
+        data-transfer delays into every completion-time PMF
+        (``"uniform"`` -- all machines at zero cost -- disables, the
+        default).
     """
 
     scenario_name: str
@@ -143,6 +149,8 @@ class TrialSpec:
     uncertainty_params: Tuple[Tuple[str, object], ...] = ()
     faults_name: str = "none"
     fault_params: Tuple[Tuple[str, object], ...] = ()
+    topology_name: str = "uniform"
+    topology_params: Tuple[Tuple[str, object], ...] = ()
 
     @property
     def dropper_kwargs(self) -> Dict[str, float]:
@@ -168,6 +176,11 @@ class TrialSpec:
     def fault_kwargs(self) -> Dict[str, object]:
         """Fault-process parameters as a dictionary."""
         return dict(self.fault_params)
+
+    @property
+    def topology_kwargs(self) -> Dict[str, object]:
+        """Topology parameters as a dictionary."""
+        return dict(self.topology_params)
 
     @property
     def label(self) -> str:
@@ -204,6 +217,11 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
     if spec.faults_name != "none":
         from ..api.registries import FAULTS
         faults = FAULTS.create(spec.faults_name, **spec.fault_kwargs)
+    topology = None
+    if spec.topology_name != "uniform":
+        from ..api.registries import TOPOLOGIES
+        topology = TOPOLOGIES.create(spec.topology_name,
+                                     **spec.topology_kwargs)
     config = SystemConfig(queue_capacity=spec.queue_capacity,
                           batch_window=spec.batch_window,
                           incremental=spec.incremental,
@@ -220,7 +238,8 @@ def build_system_for_trial(scenario: Scenario, spec: TrialSpec,
                       rng=rng,
                       uncertainty=uncertainty,
                       faults=faults,
-                      fault_rng=fault_rng)
+                      fault_rng=fault_rng,
+                      topology=topology)
     system.submit(scenario.fresh_tasks())
     return system
 

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, ClassVar, Dict, List, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from ..core.completion import (ChainFolder, batched_append_scores,
                                completion_pmf)
 from ..core.pet import PETMatrix
 from ..core.pmf import PMF
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (avoids a cycle)
+    from ..platform.topology import EffectiveExecution
 
 __all__ = [
     "TaskView",
@@ -225,8 +229,16 @@ class MappingContext:
                  folder: Optional[ChainFolder] = None,
                  memoize_scores: bool = False,
                  scoring: str = "vector",
-                 small_plane_tasks: Optional[int] = None):
+                 small_plane_tasks: Optional[int] = None,
+                 exec_view: Optional["EffectiveExecution"] = None):
         self.pet = pet
+        #: Optional transfer-composed execution views
+        #: (:class:`repro.platform.topology.EffectiveExecution`).  When set,
+        #: :meth:`exec_pmf` and :meth:`mean_execution` serve the effective
+        #: (transfer-shifted) per-machine entries, so every heuristic --
+        #: loop or vector backend, exact or fast numerics -- prices data
+        #: locality automatically.  ``None`` keeps the raw PET behaviour.
+        self._exec_view = exec_view
         self.now = int(now)
         self.prune_eps = float(prune_eps)
         #: Vector-dispatch threshold override (``None`` = kernel default).
@@ -265,11 +277,21 @@ class MappingContext:
 
     # ------------------------------------------------------------------
     def exec_pmf(self, task: TaskView, machine: MachineState) -> PMF:
-        """Execution-time PMF of ``task`` on ``machine`` (a PET entry)."""
+        """Execution-time PMF of ``task`` on ``machine``.
+
+        A raw PET entry, or the transfer-composed effective entry when the
+        run has a non-trivial topology; both are interned, identity-stable
+        instances, so every downstream memo keys on them unchanged.
+        """
+        if self._exec_view is not None:
+            return self._exec_view.pmf(task.type_id, machine.machine_id)
         return self.pet.pmf(task.type_id, machine.type_id)
 
     def mean_execution(self, task: TaskView, machine: MachineState) -> float:
-        """Expected execution time of ``task`` on ``machine``."""
+        """Expected execution time of ``task`` on ``machine``
+        (transfer-inclusive when the run has a non-trivial topology)."""
+        if self._exec_view is not None:
+            return self._exec_view.mean(task.type_id, machine.machine_id)
         return self.pet.mean_execution(task.type_id, machine.type_id)
 
     def mean_execution_over_types(self, task: TaskView) -> float:

@@ -7,6 +7,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..cost.accounting import CostReport, compute_cost_report
 from ..cost.pricing import PricingModel
+from ..platform.topology import TransferCounters
 from ..sim.fault_events import ChurnCounters
 from ..sim.perf import PerfStats
 from ..sim.system import SimulationResult
@@ -41,6 +42,11 @@ class TrialMetrics:
         fault process, so fault-free metrics stay byte-identical to older
         spools; *included* in equality -- the incremental and naive
         engines must agree on churn too.
+    transfers:
+        Data-movement counters (transfer count, link occupancy, contention
+        wait).  ``None`` when the trial ran without an effective topology,
+        so topology-free metrics stay byte-identical to older spools;
+        *included* in equality like ``churn``.
     perf:
         Hot-path work counters of the run (folds, cache hits, wall time).
         Excluded from equality so two runs with identical *outcomes* but
@@ -54,6 +60,7 @@ class TrialMetrics:
     num_mapping_events: int
     makespan: int
     churn: Optional[ChurnCounters] = None
+    transfers: Optional[TransferCounters] = None
     perf: Optional[PerfStats] = field(default=None, compare=False)
 
     @property
@@ -111,10 +118,16 @@ def collect_trial_metrics(result: SimulationResult,
                               requeued_tasks=result.num_requeued_tasks,
                               lost_tasks=result.num_crash_lost,
                               partition_time=result.partition_time)
+    transfers = None
+    if result.topology_active:
+        transfers = TransferCounters(transfers=result.num_transfers,
+                                     busy=result.transfer_time,
+                                     wait=result.transfer_wait)
     return TrialMetrics(robustness=robustness, drops=drops, cost=cost,
                         num_mapping_events=result.num_mapping_events,
                         makespan=result.makespan,
                         churn=churn,
+                        transfers=transfers,
                         perf=result.perf)
 
 
@@ -151,6 +164,9 @@ def trial_metrics_to_dict(metrics: TrialMetrics) -> Dict[str, Any]:
         # pre-fault spool format (backward/forward compatible resume).
         payload["churn"] = {f.name: getattr(metrics.churn, f.name)
                             for f in fields(metrics.churn)}
+    if metrics.transfers is not None:
+        # Same conditional-key contract as ``churn`` for the topology axis.
+        payload["transfers"] = metrics.transfers.to_dict()
     if metrics.perf is not None:
         payload["perf"] = {f.name: getattr(metrics.perf, f.name)
                            for f in fields(metrics.perf)}
@@ -176,6 +192,9 @@ def trial_metrics_from_dict(payload: Dict[str, Any]) -> TrialMetrics:
     churn = None
     if payload.get("churn") is not None:
         churn = ChurnCounters(**payload["churn"])
+    transfers = None
+    if payload.get("transfers") is not None:
+        transfers = TransferCounters.from_dict(payload["transfers"])
     return TrialMetrics(
         robustness=RobustnessReport(**payload["robustness"]),
         drops=DropBreakdown(**payload["drops"]),
@@ -183,6 +202,7 @@ def trial_metrics_from_dict(payload: Dict[str, Any]) -> TrialMetrics:
         num_mapping_events=payload["num_mapping_events"],
         makespan=payload["makespan"],
         churn=churn,
+        transfers=transfers,
         perf=perf)
 
 

@@ -1,0 +1,17 @@
+"""Topology-aware platform model (data movement as a first-class cost).
+
+See :mod:`repro.platform.topology` for the model; the named topologies are
+exposed through :data:`repro.api.registries.TOPOLOGIES` and threaded
+end-to-end like the fault and numerics axes
+(``Simulation.topology(...)``, ``ExperimentPlan``, ``StreamSpec``,
+``repro run/serve --topology``).
+"""
+
+from .topology import (LOCAL_LINK, BoundTopology, CustomTopology,
+                       EffectiveExecution, LinkSpec, StarUplinkTopology,
+                       TieredEdgeCloudTopology, Topology, TransferCounters,
+                       UniformTopology)
+
+__all__ = ["LinkSpec", "Topology", "BoundTopology", "EffectiveExecution",
+           "TransferCounters", "UniformTopology", "StarUplinkTopology",
+           "TieredEdgeCloudTopology", "CustomTopology", "LOCAL_LINK"]

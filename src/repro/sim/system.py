@@ -33,6 +33,7 @@ from ..core.pet import PETMatrix
 from ..core.pmf import PMF
 from ..mapping.base import (Assignment, MachineState, MappingContext,
                             MappingHeuristic, TaskView)
+from ..platform.topology import BoundTopology, EffectiveExecution, Topology
 from .batch_queue import BatchQueue
 from .engine import SimulationEngine
 from .events import Event, TaskArrival, TaskCompletion
@@ -162,6 +163,17 @@ class SimulationResult:
     #: fired); the metrics layer only attaches churn counters then, keeping
     #: fault-free trial metrics byte-identical to older spools.
     faults_active: bool = False
+    #: Data-movement totals (all zero on a trivial or absent topology).
+    #: ``transfer_time`` is raw link occupancy; ``transfer_wait`` is
+    #: contention-induced queueing on shared link groups.
+    num_transfers: int = 0
+    transfer_time: int = 0
+    transfer_wait: int = 0
+    #: True when the run had an effective (non-trivial) topology: some
+    #: (task type, machine) pair paid a transfer cost.  The metrics layer
+    #: only attaches transfer counters then, keeping topology-free trial
+    #: metrics byte-identical to older spools.
+    topology_active: bool = False
     #: Hot-path work counters of the run (``None`` only for hand-built
     #: results in tests; :meth:`HCSystem.result` always attaches them).
     #: Excluded from equality so identical outcomes compare equal even
@@ -224,7 +236,8 @@ class HCSystem:
                  trace: Optional[Trace] = None,
                  uncertainty: Optional["UncertaintyModel"] = None,
                  faults: Optional[FaultProcess] = None,
-                 fault_rng: Optional[np.random.Generator] = None):
+                 fault_rng: Optional[np.random.Generator] = None,
+                 topology: Optional[Topology] = None):
         self.machine_types = list(machine_types)
         self.machines = list(machines)
         self.task_types = list(task_types)
@@ -240,6 +253,31 @@ class HCSystem:
         self.uncertainty = uncertainty
 
         self._validate_platform()
+
+        #: Optional topology spec (data movement as a first-class cost).  A
+        #: trivial binding -- ``uniform``, or any topology whose every
+        #: (task type, machine) pair moves zero bytes -- is treated exactly
+        #: like no topology at all: no effective-PMF table, no counters, no
+        #: snapshot state, so such runs stay byte-identical to pre-topology
+        #: behaviour.
+        self.topology = topology
+        self._bound_topology: Optional[BoundTopology] = None
+        self._exec_view: Optional[EffectiveExecution] = None
+        if topology is not None:
+            bound = topology.bind(self.machines, self.task_types, self.pet)
+            if not bound.trivial:
+                self._bound_topology = bound
+                self._exec_view = EffectiveExecution(
+                    bound, self.machines, self.task_types, self.pet)
+        #: Busy-until clock per shared link group (uplink contention).
+        #: Advanced only at dispatch, in fixed machine-id order, with no
+        #: RNG: the transfer schedule is a deterministic function of the
+        #: dispatch sequence (see docs/INVARIANTS.md).
+        self._link_busy: Dict[str, int] = {}
+        # Data-movement counters.
+        self.num_transfers = 0
+        self.transfer_time_total = 0
+        self.transfer_wait_total = 0
 
         #: Optional timeline fault process (crash/restart churn, slowdown
         #: windows, partitions); its onset stream is driven by a dedicated
@@ -639,7 +677,8 @@ class HCSystem:
                              shared_cache=shared, folder=self._folder,
                              memoize_scores=self.config.incremental,
                              scoring=self.config.scoring,
-                             small_plane_tasks=self.config.small_plane_tasks)
+                             small_plane_tasks=self.config.small_plane_tasks,
+                             exec_view=self._exec_view)
         assignments = self.mapper.map_tasks(task_views, machine_states, ctx)
         self.perf.plane_evals += ctx.plane_evals
         self.perf.plane_rounds += ctx.plane_rounds
@@ -686,7 +725,7 @@ class HCSystem:
                 task_id = machine.start_next()
                 task = self.tasks[task_id]
                 task.mark_running(now)
-                duration = self._sample_execution(task, machine)
+                duration = self._sample_execution(task, machine, now)
                 finish = now + duration
                 self.engine.schedule(TaskCompletion(time=finish, task_id=task.id,
                                                     machine_id=machine.id))
@@ -697,6 +736,18 @@ class HCSystem:
     # ------------------------------------------------------------------
     # Scheduler views
     # ------------------------------------------------------------------
+    def _exec_pmf(self, type_id: int, machine: Machine) -> PMF:
+        """Execution PMF of a pair, transfer-composed when a topology is on.
+
+        Every scheduler view -- base/tail chains, queue entries handed to
+        dropping policies, naive recomputation -- routes through here, so
+        mapping scores and drop decisions see data locality automatically.
+        With no effective topology this is exactly the raw PET entry.
+        """
+        if self._exec_view is not None:
+            return self._exec_view.pmf(type_id, machine.id)
+        return self.pet.pmf(type_id, machine.type_id)
+
     def _machine_base_pmf(self, machine: Machine, now: int) -> PMF:
         """Completion PMF of whatever precedes the machine's pending queue."""
         running = machine.running_task
@@ -704,7 +755,7 @@ class HCSystem:
             return PMF.delta(now)
         if not self.config.incremental:
             task = self.tasks[running]
-            exec_pmf = self.pet.pmf(task.type_id, machine.type_id)
+            exec_pmf = self._exec_pmf(task.type_id, machine)
             started = task.start_time if task.start_time is not None else now
             return exec_pmf.shift(started).conditional_at_least(now)
         cached = self._base_cache.get(machine.id)
@@ -727,14 +778,14 @@ class HCSystem:
             return cached[1]
         task = self.tasks[task_id]
         started = task.start_time if task.start_time is not None else now
-        shifted = self.pet.pmf(task.type_id, machine.type_id).shift(started)
+        shifted = self._exec_pmf(task.type_id, machine).shift(started)
         self._shifted_exec_cache[machine.id] = (task_id, shifted)
         return shifted
 
     def _queue_entry(self, task_id: int, machine: Machine) -> QueueEntry:
         task = self.tasks[task_id]
         return QueueEntry(task_id=task.id,
-                          exec_pmf=self.pet.pmf(task.type_id, machine.type_id),
+                          exec_pmf=self._exec_pmf(task.type_id, machine),
                           deadline=task.deadline)
 
     def _machine_state(self, machine: Machine, now: int) -> MachineState:
@@ -759,7 +810,7 @@ class HCSystem:
         """One completion_pmf fold of the machine-queue chain (Eq. 1)."""
         task = self.tasks[task_id]
         self.perf.pmf_folds += 1
-        exec_pmf = self.pet.pmf(task.type_id, machine.type_id)
+        exec_pmf = self._exec_pmf(task.type_id, machine)
         if self._folder is not None:
             return self._folder.fold(prev, exec_pmf, task.deadline)
         return completion_pmf(prev, exec_pmf, task.deadline,
@@ -820,7 +871,7 @@ class HCSystem:
             return 1.0
         return min(1.0, len(self.batch_queue) / capacity)
 
-    def _sample_execution(self, task: Task, machine: Machine) -> int:
+    def _sample_execution(self, task: Task, machine: Machine, now: int) -> int:
         duration = int(self.pet.pmf(task.type_id, machine.type_id).sample(self.rng))
         duration = max(duration, 1)
         if self.uncertainty is not None:
@@ -837,6 +888,23 @@ class HCSystem:
                     factor *= window_factor
             if factor != 1.0:
                 duration = max(int(duration * factor), 1)
+        if self._bound_topology is not None:
+            # Transfer occupies the machine before compute starts; shared
+            # link groups additionally queue behind earlier transfers
+            # (deterministic busy-until clocks, no RNG draw, so the
+            # sampling stream stays aligned with a topology-free run).
+            # Slowdown windows inflate compute only, never the network.
+            # The total is stored in _sampled_exec so crash cancellation
+            # keys and snapshot duration derivation stay consistent; a
+            # requeued task re-pays its transfer on re-dispatch.
+            transfer = self._exec_view.transfer(task.type_id, machine.id)
+            if transfer:
+                wait = self._bound_topology.acquire(
+                    machine.id, transfer, now, self._link_busy)
+                self.num_transfers += 1
+                self.transfer_time_total += transfer
+                self.transfer_wait_total += wait
+                duration += wait + transfer
         self._sampled_exec[task.id] = duration
         return duration
 
@@ -894,6 +962,10 @@ class HCSystem:
             num_crash_lost=self.num_crash_lost,
             partition_time=self.partition_time,
             faults_active=self.fault_injector is not None,
+            num_transfers=self.num_transfers,
+            transfer_time=self.transfer_time_total,
+            transfer_wait=self.transfer_wait_total,
+            topology_active=self._bound_topology is not None,
             perf=self.perf,
         )
 

@@ -78,16 +78,28 @@ class TaskType:
         Row index of the type in the PET matrix.
     name:
         Human-readable name (e.g. a SPECint benchmark or transcoding kind).
+    input_bytes / output_bytes:
+        Data moved to / from the executing machine per task instance.
+        Both default to 0, so scenarios that never think about data
+        movement are unchanged; the topology layer
+        (:mod:`repro.platform.topology`) charges ``input_bytes +
+        output_bytes`` against the target machine's link, and its
+        ``task_bytes`` parameter provides a uniform fallback payload for
+        types annotated 0/0.
     """
 
     id: int
     name: str
+    input_bytes: int = 0
+    output_bytes: int = 0
 
     def __post_init__(self):
         if self.id < 0:
             raise ValueError("task type id must be non-negative")
         if not self.name:
             raise ValueError("task type needs a name")
+        if self.input_bytes < 0 or self.output_bytes < 0:
+            raise ValueError("task type data sizes cannot be negative")
 
 
 @dataclass

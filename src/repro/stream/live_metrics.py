@@ -142,6 +142,22 @@ class MetricsTimeline:
         """Window end times (the x axis of the timeline)."""
         return [w.end for w in self.windows]
 
+    def steady_state(self, warmup: int) -> "MetricsTimeline":
+        """Copy without the windows that start before ``warmup``.
+
+        Warm-up trimming is presentational: the empty-system transient at
+        service start depresses completion rates for the first few
+        windows, so steady-state reporting drops them.  The underlying
+        accumulators (and therefore snapshots) are untouched -- trimming
+        the same timeline twice, or after a snapshot/restore round-trip,
+        yields identical windows.
+        """
+        if warmup < 0:
+            raise ValueError("warmup cannot be negative")
+        return MetricsTimeline(
+            window=self.window, decay=self.decay,
+            windows=[w for w in self.windows if w.start >= warmup])
+
     def chart(self, keys: Sequence[str] = ("completion_rate", "drop_rate"),
               height: int = 10, width: int = 60, title: str = "") -> str:
         """ASCII line chart of the requested metrics over time."""

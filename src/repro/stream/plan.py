@@ -29,7 +29,7 @@ from .service import StreamSpec, StreamingSimulation
 
 __all__ = ["StreamPlan"]
 
-_PLAN_KEYS = ("name", "stream", "horizon", "snapshot_every")
+_PLAN_KEYS = ("name", "stream", "horizon", "snapshot_every", "warmup")
 
 
 @dataclass(frozen=True)
@@ -47,12 +47,19 @@ class StreamPlan:
     snapshot_every:
         Snapshot interval in simulation time units (0 disables periodic
         snapshots; the run then advances in one ``run_until`` call).
+    warmup:
+        Warm-up horizon in simulation time units: metrics windows that
+        *start* before this time are trimmed from reported timelines, so
+        steady-state rates are not polluted by the empty-system transient.
+        Purely presentational -- the simulation itself is unaffected (0
+        disables trimming).
     """
 
     name: str = "service"
     stream: StreamSpec = StreamSpec()
     horizon: int = 50_000
     snapshot_every: int = 0
+    warmup: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -61,15 +68,28 @@ class StreamPlan:
             raise ValueError("horizon must be positive")
         if self.snapshot_every < 0:
             raise ValueError("snapshot_every cannot be negative")
+        if self.warmup < 0:
+            raise ValueError("warmup cannot be negative")
+        if self.warmup >= self.horizon:
+            raise ValueError("warmup must be below the horizon "
+                             "(it would trim every window)")
 
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """Plain JSON/TOML-serialisable representation."""
-        return {"name": self.name, "stream": self.stream.to_dict(),
-                "horizon": self.horizon,
-                "snapshot_every": self.snapshot_every}
+        """Plain JSON/TOML-serialisable representation.
+
+        ``warmup`` is a conditional key (written only when non-zero), so
+        every plan written before the field existed keeps its fingerprint.
+        """
+        payload: Dict[str, object] = {
+            "name": self.name, "stream": self.stream.to_dict(),
+            "horizon": self.horizon,
+            "snapshot_every": self.snapshot_every}
+        if self.warmup:
+            payload["warmup"] = self.warmup
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "StreamPlan":
@@ -123,13 +143,14 @@ class StreamPlan:
         spec = self.stream
         snap = (f"snapshot every {self.snapshot_every}u"
                 if self.snapshot_every else "no periodic snapshots")
+        warm = f", warm-up {self.warmup}u" if self.warmup else ""
         return (f"stream plan {self.name!r} (fingerprint "
                 f"{self.fingerprint()})\n"
                 f"  {spec.label} on {spec.scenario_name}, "
                 f"{spec.oversubscription:.2f}x capacity, seed {spec.seed}\n"
                 f"  horizon {self.horizon}u, metrics window "
                 f"{spec.metrics_window}u (decay {spec.metrics_decay}), "
-                f"{snap}")
+                f"{snap}{warm}")
 
     def checkpoints(self) -> List[int]:
         """The ``run_until`` horizons of this plan, snapshot points included."""
@@ -158,3 +179,7 @@ class StreamPlan:
     def with_stream(self, **changes: object) -> "StreamPlan":
         """Copy of the plan with fields of the stream spec replaced."""
         return replace(self, stream=replace(self.stream, **changes))
+
+    def with_warmup(self, warmup: int) -> "StreamPlan":
+        """Copy of the plan with the warm-up horizon replaced."""
+        return replace(self, warmup=warmup)

@@ -88,6 +88,13 @@ class StreamSpec:
         faults draw from a dedicated seeded stream
         (``seed + FAULT_SEED_OFFSET``), so enabling them never perturbs
         traffic or execution sampling.
+    topology_name / topology_params:
+        Platform topology from the
+        :data:`repro.api.registries.TOPOLOGIES` registry ("uniform"
+        disables).  Transfer schedules are deterministic and RNG-free, so
+        enabling a topology never perturbs traffic, execution sampling or
+        fault schedules.  Snapshots written before the field existed
+        restore as ``"uniform"`` (the dataclass default).
     metrics_window / metrics_decay:
         Tumbling-window length and EWMA factor of the live metrics.
     gamma / queue_capacity / batch_window / seed / scenario_params /
@@ -114,6 +121,8 @@ class StreamSpec:
     uncertainty_params: Tuple[Tuple[str, object], ...] = ()
     faults_name: str = "none"
     fault_params: Tuple[Tuple[str, object], ...] = ()
+    topology_name: str = "uniform"
+    topology_params: Tuple[Tuple[str, object], ...] = ()
     incremental: bool = True
     scoring: str = "vector"
     numerics: str = "exact"
@@ -125,7 +134,7 @@ class StreamSpec:
         # StreamSpec(dropper_params={"beta": 1.0}) just works.
         for name in ("mapper_params", "dropper_params", "traffic_params",
                      "scenario_params", "uncertainty_params",
-                     "fault_params"):
+                     "fault_params", "topology_params"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, _freeze(value))
@@ -210,7 +219,8 @@ class StreamingSimulation:
         # The registries live in repro.api, which imports this package for
         # its TRAFFIC entries; import lazily to keep the module graph
         # acyclic (the same idiom the workload layer uses for ARRIVALS).
-        from ..api.registries import DROPPERS, FAULTS, TRAFFIC, UNCERTAINTY
+        from ..api.registries import (DROPPERS, FAULTS, TOPOLOGIES, TRAFFIC,
+                                      UNCERTAINTY)
 
         if chunk_tasks < 1:
             raise ValueError("chunk_tasks must be positive")
@@ -248,6 +258,10 @@ class StreamingSimulation:
             faults = FAULTS.create(spec.faults_name,
                                    **dict(spec.fault_params))
             fault_rng = np.random.default_rng(spec.seed + FAULT_SEED_OFFSET)
+        topology = None
+        if spec.topology_name != "uniform":
+            topology = TOPOLOGIES.create(spec.topology_name,
+                                         **dict(spec.topology_params))
 
         self.live = LiveMetrics(window=spec.metrics_window,
                                 decay=spec.metrics_decay,
@@ -272,7 +286,8 @@ class StreamingSimulation:
             trace=self.live,
             uncertainty=uncertainty,
             faults=faults,
-            fault_rng=fault_rng)
+            fault_rng=fault_rng,
+            topology=topology)
 
         self._deadline_policy = PaperDeadlinePolicy(gamma=spec.gamma)
         self._events: Iterator[Tuple[int, int]] = self.traffic.events(

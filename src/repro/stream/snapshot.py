@@ -18,7 +18,10 @@ A snapshot captures everything that determines the future of a
 * when a fault process is active: the fault stream position, the down /
   slowed / partitioned machine state, the cancelled-completion table and
   the churn counters (the fault schedule, like traffic, is a pure function
-  of its seed, so the position alone re-derives the stream).
+  of its seed, so the position alone re-derives the stream), and
+* when a topology is active: the per-link-group busy-until clocks and the
+  transfer counters (the transfer schedule is RNG-free, so this is the
+  entire network state).
 
 What is deliberately *not* serialised: the simulator's incremental
 completion-PMF caches.  Every cache is gated on bitwise-identical inputs,
@@ -207,6 +210,21 @@ def snapshot_state(service: "StreamingSimulation") -> Dict[str, object]:
                 "partition_time": system.partition_time,
             },
         }
+    if system._bound_topology is not None:
+        # Conditional key: topology-free snapshots stay byte-identical to
+        # the pre-topology layout.  Transfer scheduling is deterministic
+        # (no RNG), so the shared-link clocks plus the counters are the
+        # complete network state.
+        payload["topology"] = {
+            "link_busy": [[group, until]
+                          for group, until
+                          in sorted(system._link_busy.items())],
+            "counters": {
+                "num_transfers": system.num_transfers,
+                "transfer_time": system.transfer_time_total,
+                "transfer_wait": system.transfer_wait_total,
+            },
+        }
     return payload
 
 
@@ -329,6 +347,18 @@ def restore_state(payload: Mapping[str, object],
             task = system.tasks.get(task_id)
             if task is not None and task.start_time is not None:
                 system._sampled_exec[task_id] = time - task.start_time
+
+    topology = payload.get("topology")
+    if topology is not None:
+        if system._bound_topology is None:
+            raise ValueError("snapshot carries topology state but its spec "
+                             "binds no effective topology")
+        system._link_busy = {str(group): int(until)
+                             for group, until in topology["link_busy"]}
+        counters = topology["counters"]
+        system.num_transfers = int(counters["num_transfers"])
+        system.transfer_time_total = int(counters["transfer_time"])
+        system.transfer_wait_total = int(counters["transfer_wait"])
 
     service.live.load_state(payload["live"])
     return service

@@ -1,0 +1,315 @@
+"""The topology-aware platform model and its equivalence pins.
+
+Three guarantees are pinned here:
+
+* **Zero-size identity** -- a topology whose every payload moves in zero
+  time is *no topology*: ``topology_active`` stays off and the metrics are
+  equal to a pre-topology run, so all existing scenarios, fingerprints and
+  spools are unchanged by construction.
+* **Incremental == naive under data movement** -- the transfer-shifted
+  effective PMFs run through the incremental fold machinery and the naive
+  recompute-everything views bit-identically, on a topology x mapper x
+  dropper grid.
+* **Deterministic, RNG-free transfers** -- shared-uplink contention is a
+  pure function of dispatch order, so topology composes with the seeded
+  fault/uncertainty streams without perturbing them (crash-restart requeues
+  re-pay the transfer; partitions gate mapping only, never in-flight
+  transfers).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import TrialSpec, run_trial
+from repro.platform.topology import (LOCAL_LINK, BoundTopology,
+                                     CustomTopology, LinkSpec,
+                                     StarUplinkTopology,
+                                     TieredEdgeCloudTopology,
+                                     TransferCounters, UniformTopology)
+from repro.workload.scenario import build_scenario
+
+SCALE = 0.002
+
+TIERED = (("bandwidth", 48.0), ("latency", 2), ("task_bytes", 192))
+STAR = (("bandwidth", 64.0), ("latency", 1), ("task_bytes", 256))
+
+
+def _spec(level="30k", mapper="PAM", dropper="heuristic", seed=42,
+          incremental=True, topology="uniform", topology_params=(),
+          faults="none", fault_params=()):
+    return TrialSpec(scenario_name="spec", level=level, scale=SCALE,
+                     gamma=1.0, queue_capacity=6, seed=seed,
+                     mapper_name=mapper, dropper_name=dropper,
+                     incremental=incremental,
+                     topology_name=topology, topology_params=topology_params,
+                     faults_name=faults, fault_params=fault_params)
+
+
+# ----------------------------------------------------------------------
+# Link and binding primitives
+# ----------------------------------------------------------------------
+
+class TestLinkSpec:
+    def test_transfer_time_is_latency_plus_ceil_bytes_over_bandwidth(self):
+        link = LinkSpec(bandwidth=64.0, latency=2)
+        assert link.transfer_time(64) == 2 + 1
+        assert link.transfer_time(65) == 2 + 2
+        assert link.transfer_time(1) == 2 + 1
+
+    def test_empty_payload_never_touches_the_link(self):
+        # No latency, no occupancy: the invariant behind zero-size identity.
+        assert LinkSpec(bandwidth=1.0, latency=50).transfer_time(0) == 0
+
+    def test_local_link_is_trivial_and_free(self):
+        assert LOCAL_LINK.trivial
+        assert LOCAL_LINK.transfer_time(10**9) == 0
+        assert not LinkSpec(latency=1).trivial
+        assert not LinkSpec(bandwidth=64.0).trivial
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            LinkSpec(latency=-1)
+        with pytest.raises(ValueError):
+            LinkSpec(group="")
+
+
+class TestTransferCounters:
+    def test_round_trip(self):
+        counters = TransferCounters(transfers=3, busy=12, wait=5)
+        assert TransferCounters.from_dict(counters.to_dict()) == counters
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown TransferCounters"):
+            TransferCounters.from_dict({"transfers": 1, "retries": 2})
+
+
+def _platform(level="30k"):
+    scn = build_scenario("spec", level=level, scale=SCALE, seed=42)
+    return scn.build_machines(), list(scn.task_types), scn.pet
+
+
+class TestBoundTopology:
+    def test_task_bytes_fallback_vs_annotation(self):
+        machines, task_types, _ = _platform()
+        assert all(t.input_bytes == 0 and t.output_bytes == 0
+                   for t in task_types)
+        bound = BoundTopology("t", {m.id: LOCAL_LINK for m in machines},
+                              task_types, task_bytes=128)
+        assert bound.payload_bytes(task_types[0].id) == 128
+
+    def test_annotated_types_win_over_task_bytes(self, monkeypatch):
+        machines, task_types, _ = _platform()
+        annotated = task_types[0]
+        object.__setattr__(annotated, "input_bytes", 100)
+        object.__setattr__(annotated, "output_bytes", 28)
+        try:
+            bound = BoundTopology("t",
+                                  {m.id: LOCAL_LINK for m in machines},
+                                  task_types, task_bytes=5)
+            assert bound.payload_bytes(annotated.id) == 128
+            assert bound.payload_bytes(task_types[1].id) == 5
+        finally:
+            object.__setattr__(annotated, "input_bytes", 0)
+            object.__setattr__(annotated, "output_bytes", 0)
+
+    def test_trivial_when_all_payloads_zero_or_all_links_free(self):
+        machines, task_types, _ = _platform()
+        fast = {m.id: LinkSpec(bandwidth=1.0, latency=9) for m in machines}
+        assert BoundTopology("t", fast, task_types, task_bytes=0).trivial
+        free = {m.id: LOCAL_LINK for m in machines}
+        assert BoundTopology("t", free, task_types, task_bytes=999).trivial
+        assert not BoundTopology("t", fast, task_types,
+                                 task_bytes=1).trivial
+
+    def test_acquire_serializes_shared_groups_deterministically(self):
+        machines, task_types, _ = _platform()
+        shared = LinkSpec(bandwidth=1.0, group="uplink")
+        bound = BoundTopology("t", {m.id: shared for m in machines},
+                              task_types, task_bytes=4)
+        busy = {}
+        assert bound.acquire(machines[0].id, 4, now=10, busy_until=busy) == 0
+        assert bound.acquire(machines[1].id, 4, now=10, busy_until=busy) == 4
+        assert bound.acquire(machines[2].id, 4, now=10, busy_until=busy) == 8
+        assert busy == {"uplink": 22}
+        # After the channel drains, no wait.
+        assert bound.acquire(machines[0].id, 4, now=30, busy_until=busy) == 0
+
+    def test_dedicated_links_never_queue(self):
+        machines, task_types, _ = _platform()
+        link = LinkSpec(bandwidth=1.0)
+        bound = BoundTopology("t", {m.id: link for m in machines},
+                              task_types, task_bytes=4)
+        busy = {}
+        assert bound.acquire(machines[0].id, 4, now=0, busy_until=busy) == 0
+        assert bound.acquire(machines[0].id, 4, now=0, busy_until=busy) == 0
+        assert busy == {}
+
+
+class TestTopologySpecs:
+    def test_uniform_binding_is_trivial(self):
+        machines, task_types, pet = _platform()
+        assert UniformTopology().bind(machines, task_types, pet).trivial
+
+    def test_star_uplink_puts_everyone_on_one_group(self):
+        machines, task_types, pet = _platform()
+        bound = StarUplinkTopology(task_bytes=64).bind(machines, task_types,
+                                                       pet)
+        assert {spec.group for spec in bound.links.values()} == {"uplink"}
+        assert not bound.trivial
+
+    def test_tiered_auto_cloud_tier_is_the_fastest_type(self):
+        machines, task_types, pet = _platform()
+        fastest = int(pet.mean_matrix().mean(axis=0).argmin())
+        bound = TieredEdgeCloudTopology(task_bytes=64).bind(
+            machines, task_types, pet)
+        for machine in machines:
+            if machine.type_id == fastest:
+                assert bound.links[machine.id].group == "uplink"
+            else:
+                assert bound.links[machine.id] is LOCAL_LINK
+
+    def test_tiered_explicit_cloud_types_pin_the_tier(self):
+        machines, task_types, pet = _platform()
+        bound = TieredEdgeCloudTopology(task_bytes=64, cloud_types=[0]).bind(
+            machines, task_types, pet)
+        for machine in machines:
+            expected = "uplink" if machine.type_id == 0 else None
+            assert bound.links[machine.id].group == expected
+
+    def test_custom_selection_by_id_and_type_later_wins(self):
+        machines, task_types, pet = _platform()
+        type0_ids = [m.id for m in machines if m.type_id == 0]
+        topo = CustomTopology(task_bytes=16, links=(
+            {"machine_types": [0], "bandwidth": 8.0, "group": "wan"},
+            {"machines": [type0_ids[0]], "latency": 5},
+        ))
+        bound = topo.bind(machines, task_types, pet)
+        assert bound.links[type0_ids[0]] == LinkSpec(bandwidth=math.inf,
+                                                     latency=5)
+        for mid in type0_ids[1:]:
+            assert bound.links[mid].group == "wan"
+
+    def test_custom_rejects_empty_and_unknown_selections(self):
+        machines, task_types, pet = _platform()
+        with pytest.raises(ValueError, match="selects no machines"):
+            CustomTopology(links=({"bandwidth": 8.0},)).bind(
+                machines, task_types, pet)
+        with pytest.raises(ValueError, match="unknown machine id"):
+            CustomTopology(links=({"machines": [999]},)).bind(
+                machines, task_types, pet)
+
+
+# ----------------------------------------------------------------------
+# System-level pins
+# ----------------------------------------------------------------------
+
+class TestZeroSizeIdentity:
+    def test_uniform_topology_is_byte_identical_to_no_topology(self):
+        baseline = run_trial(_spec())
+        uniform = run_trial(_spec(topology="uniform"))
+        assert uniform == baseline
+        assert uniform.transfers is None
+
+    @pytest.mark.parametrize("topology,params", [
+        ("star-uplink", ()),
+        ("tiered-edge-cloud", ()),
+        ("custom", ()),
+    ])
+    def test_zero_payload_topology_is_byte_identical(self, topology, params):
+        """All task payloads default to 0 bytes, so any topology without a
+        ``task_bytes`` override binds trivially -- no counters, no metric
+        drift, nothing serialized."""
+        baseline = run_trial(_spec())
+        routed = run_trial(_spec(topology=topology, topology_params=params))
+        assert routed == baseline
+        assert routed.transfers is None
+
+
+TOPOLOGY_GRID = [
+    ("tiered-edge-cloud", TIERED, "PAM", "heuristic", 42),
+    ("tiered-edge-cloud", TIERED, "MM", "react", 43),
+    ("tiered-edge-cloud", TIERED, "MSD", "threshold-adaptive", 44),
+    ("star-uplink", STAR, "PAM", "heuristic", 42),
+    ("star-uplink", STAR, "MM", "heuristic", 7),
+    ("star-uplink", STAR, "EDF", "react", 11),
+]
+
+
+class TestIncrementalEquivalenceUnderTopology:
+    @pytest.mark.parametrize("topology,params,mapper,dropper,seed",
+                             TOPOLOGY_GRID)
+    def test_incremental_matches_naive(self, topology, params, mapper,
+                                       dropper, seed):
+        naive = run_trial(_spec(mapper=mapper, dropper=dropper, seed=seed,
+                                incremental=False, topology=topology,
+                                topology_params=params))
+        fast = run_trial(_spec(mapper=mapper, dropper=dropper, seed=seed,
+                               incremental=True, topology=topology,
+                               topology_params=params))
+        assert naive == fast
+        assert naive.transfers == fast.transfers
+        assert naive.transfers is not None
+        assert naive.transfers.transfers > 0
+
+    def test_topology_actually_changes_outcomes(self):
+        baseline = run_trial(_spec())
+        tiered = run_trial(_spec(topology="tiered-edge-cloud",
+                                 topology_params=TIERED))
+        assert tiered != baseline
+
+    def test_star_uplink_contention_is_counted(self):
+        metrics = run_trial(_spec(topology="star-uplink",
+                                  topology_params=STAR))
+        assert metrics.transfers.wait > 0
+        assert metrics.transfers.busy >= metrics.transfers.transfers
+
+
+class TestTopologyFaultInterplay:
+    def test_crash_restart_requeue_re_pays_the_transfer(self):
+        """A crashed transfer target loses the work *and* the transfer: the
+        requeued task dispatches again and pays again, so a churned run
+        records strictly more transfers than completions."""
+        metrics = run_trial(_spec(
+            level="40k", seed=7, topology="star-uplink",
+            topology_params=STAR, faults="crash-restart",
+            fault_params=(("mtbf", 300.0), ("repair_mean", 80.0),
+                          ("policy", "requeue"))))
+        assert metrics.churn is not None and metrics.churn.requeued_tasks > 0
+        completions = (metrics.robustness.on_time
+                       + metrics.robustness.completed_late)
+        assert metrics.transfers.transfers > completions
+
+    def test_partition_never_cancels_in_flight_transfers(self):
+        """Partitions gate *mapping* only: a partition arriving while a
+        transfer is under way never cancels it, so every dispatched task
+        still reaches a terminal state and the run terminates cleanly even
+        with both axes active."""
+        metrics = run_trial(_spec(
+            seed=5, topology="star-uplink", topology_params=STAR,
+            faults="partition",
+            fault_params=(("mean_interval", 200.0),
+                          ("duration_mean", 120.0))))
+        assert metrics.churn.partition_time > 0
+        assert metrics.transfers.transfers > 0
+        rob = metrics.robustness
+        accounted = (rob.on_time + rob.completed_late + rob.dropped_reactive
+                     + rob.dropped_proactive + rob.expired_batch)
+        assert accounted == rob.measured_tasks
+
+    @pytest.mark.parametrize("faults,fault_params", [
+        ("crash-restart", (("mtbf", 300.0), ("repair_mean", 80.0))),
+        ("slowdown", (("mean_interval", 250.0), ("duration_mean", 100.0),
+                      ("factor", 3.0))),
+        ("partition", (("mean_interval", 300.0),
+                       ("duration_mean", 100.0))),
+    ])
+    def test_incremental_matches_naive_with_faults_and_topology(
+            self, faults, fault_params):
+        kwargs = dict(topology="tiered-edge-cloud", topology_params=TIERED,
+                      faults=faults, fault_params=fault_params, seed=9)
+        naive = run_trial(_spec(incremental=False, **kwargs))
+        fast = run_trial(_spec(incremental=True, **kwargs))
+        assert naive == fast

@@ -1,0 +1,113 @@
+"""Topology under the streaming service: chunk invariance and snapshots.
+
+Transfer scheduling is deterministic and RNG-free, so an active topology
+must compose with the service mode's pins unchanged: chunk size cannot
+disturb the transfer schedule, snapshots capture the shared-link clocks and
+counters bit-exactly, and a trivially-bound topology leaves snapshots
+byte-identical to pre-topology payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.stream import (StreamSpec, StreamingSimulation, restore_state,
+                          snapshot_state)
+
+TOPO = {"topology_name": "star-uplink",
+        "topology_params": {"bandwidth": 64.0, "latency": 1,
+                            "task_bytes": 256}}
+
+
+def comparable(service):
+    return service.metrics(), service.timeline()
+
+
+def snapshot_round_trip(service):
+    return json.loads(json.dumps(snapshot_state(service)))
+
+
+class TestStreamingTopology:
+    def test_chunk_invariance_with_topology(self):
+        spec = StreamSpec(seed=21, **TOPO)
+        straight = StreamingSimulation(spec).run_until(3_000)
+        chunked = StreamingSimulation(spec, chunk_tasks=7)
+        for point in (333, 1_777, 2_900, 3_000):
+            chunked.run_until(point)
+        assert comparable(chunked) == comparable(straight)
+
+    def test_restore_continues_bit_identically(self):
+        spec = StreamSpec(seed=22, **TOPO)
+        straight = StreamingSimulation(spec).run_until(3_000)
+        paused = StreamingSimulation(spec).run_until(1_500)
+        resumed = restore_state(snapshot_round_trip(paused)).run_until(3_000)
+        assert comparable(resumed) == comparable(straight)
+        # The restored network state itself must match, not just metrics.
+        a, b = snapshot_state(straight), snapshot_state(resumed)
+        assert a["topology"] == b["topology"]
+
+    def test_restore_with_topology_and_faults(self):
+        spec = StreamSpec(seed=23, faults_name="crash-restart",
+                          fault_params={"mtbf": 400.0, "repair_mean": 100.0},
+                          **TOPO)
+        straight = StreamingSimulation(spec).run_until(3_000)
+        paused = StreamingSimulation(spec).run_until(1_500)
+        resumed = restore_state(snapshot_round_trip(paused)).run_until(3_000)
+        assert comparable(resumed) == comparable(straight)
+
+    def test_metrics_carry_transfer_counters(self):
+        service = StreamingSimulation(StreamSpec(seed=24, **TOPO))
+        service.run_until(2_000)
+        transfers = service.metrics().transfers
+        assert transfers is not None
+        assert transfers.transfers > 0
+        assert transfers.busy >= transfers.transfers
+
+
+class TestSnapshotPayloadCompatibility:
+    def test_topology_block_is_conditional(self):
+        """Topology-free services keep the pre-topology snapshot layout
+        byte-for-byte, and so do trivially-bound (zero-payload) ones."""
+        plain = StreamingSimulation(StreamSpec(seed=25)).run_until(1_000)
+        assert "topology" not in snapshot_state(plain)
+
+        trivial = StreamingSimulation(
+            StreamSpec(seed=25, topology_name="star-uplink")).run_until(1_000)
+        payload = snapshot_state(trivial)
+        assert "topology" not in payload
+        # The spec still records the (trivially bound) topology request.
+        assert payload["spec"]["topology_name"] == "star-uplink"
+
+    def test_zero_payload_topology_is_byte_identical(self):
+        plain = StreamingSimulation(StreamSpec(seed=26)).run_until(2_000)
+        routed = StreamingSimulation(
+            StreamSpec(seed=26, topology_name="tiered-edge-cloud"))
+        routed.run_until(2_000)
+        assert comparable(routed) == comparable(plain)
+
+    def test_active_topology_block_contents(self):
+        service = StreamingSimulation(StreamSpec(seed=27, **TOPO))
+        service.run_until(2_000)
+        block = snapshot_state(service)["topology"]
+        assert set(block) == {"link_busy", "counters"}
+        assert block["counters"]["num_transfers"] > 0
+
+    def test_restore_rejects_orphan_topology_state(self):
+        service = StreamingSimulation(StreamSpec(seed=28, **TOPO))
+        service.run_until(500)
+        payload = snapshot_round_trip(service)
+        payload["spec"]["topology_name"] = "uniform"
+        del payload["spec"]["topology_params"]
+        with pytest.raises(ValueError, match="topology state"):
+            restore_state(payload)
+
+    def test_pre_topology_snapshot_restores(self):
+        """A snapshot written before the axis existed has neither the spec
+        fields nor the state block; it must restore with the defaults."""
+        service = StreamingSimulation(StreamSpec(seed=29)).run_until(1_000)
+        payload = snapshot_round_trip(service)
+        del payload["spec"]["topology_name"]
+        del payload["spec"]["topology_params"]
+        restored = restore_state(payload)
+        assert restored.spec.topology_name == "uniform"
+        restored.run_until(2_000)

@@ -1,0 +1,104 @@
+"""Warm-up trimming of windowed stream metrics (StreamPlan.warmup).
+
+Trimming is presentational: it drops the windows polluted by the
+empty-system transient from reported timelines without touching the
+simulation, the accumulators or the snapshot pins -- so ``warmup`` is a
+conditional plan key (older plan files keep their fingerprints) and
+trimming commutes with snapshot/restore.
+"""
+
+import pytest
+
+from repro.stream import StreamPlan, StreamSpec, StreamingSimulation
+
+
+class TestTimelineTrimming:
+    def _timeline(self, horizon=4_000, seed=31):
+        service = StreamingSimulation(StreamSpec(seed=seed))
+        service.run_until(horizon)
+        return service.timeline()
+
+    def test_drops_windows_starting_before_warmup(self):
+        timeline = self._timeline()
+        steady = timeline.steady_state(1_000)
+        assert len(steady) < len(timeline)
+        assert all(w.start >= 1_000 for w in steady.windows)
+        assert steady.windows == timeline.windows[len(timeline)
+                                                  - len(steady):]
+
+    def test_zero_warmup_is_identity(self):
+        timeline = self._timeline()
+        assert timeline.steady_state(0) == timeline
+
+    def test_trimming_is_idempotent_and_non_destructive(self):
+        timeline = self._timeline()
+        before = list(timeline.windows)
+        steady = timeline.steady_state(1_000)
+        assert timeline.windows == before  # original untouched
+        assert steady.steady_state(1_000) == steady
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            self._timeline(horizon=1_000).steady_state(-1)
+
+    def test_transient_depresses_completions(self):
+        """The first window starts from an empty system, so tasks arrive
+        but few finish inside it; its completion count sits below the
+        steady-state mean -- the effect warm-up trimming exists to
+        exclude."""
+        timeline = self._timeline(horizon=6_000)
+        steady = timeline.steady_state(2_000)
+        mean = (sum(w.completions for w in steady.windows)
+                / len(steady.windows))
+        assert timeline.windows[0].completions < mean
+
+
+class TestStreamPlanWarmup:
+    def test_warmup_round_trips(self):
+        plan = StreamPlan(name="svc", horizon=10_000, warmup=2_000)
+        assert StreamPlan.from_dict(plan.to_dict()) == plan
+        assert plan.with_warmup(500).warmup == 500
+
+    def test_warmup_is_a_conditional_key(self):
+        # Plans written before the field existed keep their fingerprints.
+        plain = StreamPlan(name="svc", horizon=10_000)
+        explicit = StreamPlan(name="svc", horizon=10_000, warmup=0)
+        assert "warmup" not in plain.to_dict()
+        assert plain.fingerprint() == explicit.fingerprint()
+        warmed = plain.with_warmup(2_000)
+        assert warmed.to_dict()["warmup"] == 2_000
+        assert warmed.fingerprint() != plain.fingerprint()
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            StreamPlan(name="svc", horizon=10_000, warmup=-1)
+        with pytest.raises(ValueError, match="below the horizon"):
+            StreamPlan(name="svc", horizon=1_000, warmup=1_000)
+
+    def test_describe_mentions_warmup_only_when_set(self):
+        assert "warm-up" in StreamPlan(name="svc", horizon=10_000,
+                                       warmup=2_000).describe()
+        assert "warm-up" not in StreamPlan(name="svc",
+                                           horizon=10_000).describe()
+
+
+class TestServeWarmupCli:
+    def test_serve_reports_trimmed_windows(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(["serve", "--horizon", "4000", "--warmup", "1000",
+                     "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm-up trimmed" in out
+
+    def test_serve_json_timeline_is_trimmed(self, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        assert main(["serve", "--horizon", "4000", "--warmup", "1000",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(w["start"] >= 1000
+                   for w in payload["timeline"]["windows"])
